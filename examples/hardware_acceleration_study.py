@@ -1,0 +1,60 @@
+"""Model the RTGS plug-in hardware on a real SLAM run and compare configurations.
+
+This mirrors the paper's hardware evaluation (Fig. 15/17): the workload traces
+of one SLAM run are replayed through the cycle/energy models of the ONX edge
+GPU, the GPU with DISTWAR-style warp merging, and the GPU with the RTGS
+plug-in (tracking only, and tracking + mapping), followed by a per-technique
+ablation of the plug-in.
+
+Run with:  python examples/hardware_acceleration_study.py
+"""
+
+from repro.core import RTGSAlgorithmConfig, build_pipeline
+from repro.datasets import make_sequence
+from repro.hardware import (
+    EdgeGPUModel,
+    RTGSFeatureFlags,
+    RTGSPlugin,
+    evaluate_configurations,
+)
+from repro.slam import mono_gs
+
+# Scale the synthetic workload counts up to paper-scale pixel counts.
+WORKLOAD_SCALE = 150.0
+
+
+def main() -> None:
+    sequence = make_sequence("tum", n_frames=8, resolution_scale=0.8)
+    result = build_pipeline(mono_gs(fast=True), RTGSAlgorithmConfig()).run(sequence, n_frames=8)
+    snapshots = result.all_snapshots()
+    print(f"SLAM run: ATE {result.ate():.2f} cm, {len(snapshots)} optimisation iterations\n")
+
+    print("-- Fig. 15-style system comparison (modelled on the ONX host) --")
+    evaluations = evaluate_configurations(snapshots, "onx", workload_scale=WORKLOAD_SCALE)
+    for name, evaluation in evaluations.items():
+        print(
+            f"{name:>20}: tracking {evaluation.tracking_fps:7.2f} FPS | overall "
+            f"{evaluation.overall_fps:7.2f} FPS | energy/frame {evaluation.energy_per_frame_j * 1e3:8.2f} mJ"
+        )
+    improvement = (
+        evaluations["baseline"].energy_per_frame_j / evaluations["rtgs"].energy_per_frame_j
+    )
+    print(f"energy-efficiency improvement of RTGS over the baseline: {improvement:.1f}x\n")
+
+    print("-- Fig. 17(b)-style ablation of the plug-in techniques --")
+    baseline_latency = EdgeGPUModel("onx", workload_scale=WORKLOAD_SCALE).frame_latency(snapshots).total
+    configurations = [
+        ("pipeline only", RTGSFeatureFlags(use_gmu=False, use_rb_buffer=False, use_wsu=False, use_streaming=False, reuse_sorting=False)),
+        ("+ GMU", RTGSFeatureFlags(use_rb_buffer=False, use_wsu=False, use_streaming=False, reuse_sorting=False)),
+        ("+ R&B buffer", RTGSFeatureFlags(use_wsu=False, use_streaming=False, reuse_sorting=False)),
+        ("+ WSU", RTGSFeatureFlags(reuse_sorting=False)),
+        ("full RTGS", RTGSFeatureFlags()),
+    ]
+    for name, flags in configurations:
+        plugin = RTGSPlugin(features=flags, workload_scale=WORKLOAD_SCALE)
+        latency = plugin.frame_latency(snapshots).total
+        print(f"{name:>15}: {latency * 1e3:8.2f} ms/frame  ({baseline_latency / latency:5.2f}x vs ONX)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` falls back to the legacy editable-install path on
+offline machines that lack the ``wheel`` package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

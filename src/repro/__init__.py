@@ -1,0 +1,31 @@
+"""repro: a Python reproduction of RTGS (MICRO 2025).
+
+RTGS: Real-Time 3D Gaussian Splatting SLAM via Multi-Level Redundancy
+Reduction.  The package provides:
+
+* ``repro.gaussians`` - a differentiable 3D Gaussian Splatting rasterizer
+  (projection, tile intersection, sorting, alpha blending, full backward pass)
+* ``repro.slam`` - tracking / mapping / keyframing pipelines mirroring the
+  base algorithms the paper builds on (GS-SLAM, MonoGS, Photo-SLAM, SplaTAM)
+* ``repro.datasets`` - procedural RGB-D datasets standing in for TUM-RGBD,
+  Replica, ScanNet and ScanNet++
+* ``repro.core`` - the RTGS algorithm: adaptive Gaussian pruning and dynamic
+  downsampling, plus the pruning baselines it is compared against
+* ``repro.hardware`` - cycle/energy models of the edge GPU baseline, DISTWAR,
+  GauSPU and the RTGS plug-in (RE, WSU, R&B Buffer, GMU, PE)
+* ``repro.profiling`` and ``repro.metrics`` - the measurements behind the
+  paper's profiling and evaluation sections
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "datasets",
+    "gaussians",
+    "hardware",
+    "metrics",
+    "profiling",
+    "slam",
+    "utils",
+]

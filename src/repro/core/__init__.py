@@ -1,0 +1,41 @@
+"""RTGS algorithm (the paper's primary algorithmic contribution).
+
+* :mod:`importance` - gradient-reuse importance scoring (Eq. 7)
+* :mod:`pruning` - adaptive mask-then-prune Gaussian pruning (Sec. 4.1)
+* :mod:`downsampling` - dynamic non-keyframe downsampling (Sec. 4.2)
+* :mod:`baselines` - Taming-3DGS / LightGaussian / FlashGS / MaskGaussian pruners
+* :mod:`rtgs` - plug-and-play attachment of the techniques to base SLAM configs
+"""
+
+from repro.core.baselines import (
+    FlashGSPruner,
+    LightGaussianPruner,
+    MaskGaussianPruner,
+    TamingPruner,
+)
+from repro.core.downsampling import DownsamplingConfig, DynamicDownsampler
+from repro.core.importance import ImportanceScorer
+from repro.core.pruning import (
+    AdaptiveGaussianPruner,
+    FixedRatioPruner,
+    PruningConfig,
+    PruningStats,
+)
+from repro.core.rtgs import RTGSAlgorithmConfig, build_pipeline, make_pruner
+
+__all__ = [
+    "AdaptiveGaussianPruner",
+    "DownsamplingConfig",
+    "DynamicDownsampler",
+    "FixedRatioPruner",
+    "FlashGSPruner",
+    "ImportanceScorer",
+    "LightGaussianPruner",
+    "MaskGaussianPruner",
+    "PruningConfig",
+    "PruningStats",
+    "RTGSAlgorithmConfig",
+    "TamingPruner",
+    "build_pipeline",
+    "make_pruner",
+]

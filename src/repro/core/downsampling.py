@@ -1,0 +1,68 @@
+"""Dynamic downsampling (Sec. 4.2).
+
+Keyframes are processed at full resolution ``R0``.  A non-keyframe that
+immediately follows a keyframe is processed at ``R0 / 16`` (one sixteenth of
+the pixels); each further consecutive non-keyframe multiplies the fraction by
+``m`` until it saturates at ``R0 / 4``; the next keyframe resets to ``R0``.
+
+The policy reuses the keyframe decision the base algorithm already makes, so
+it costs nothing to evaluate - the paper's point about exploiting the existing
+pipeline to avoid redundancy-identification overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DownsamplingConfig:
+    """Parameters of the resolution schedule (paper default ``m = 2``)."""
+
+    initial_fraction: float = 1.0 / 16.0
+    max_fraction: float = 1.0 / 4.0
+    growth_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.initial_fraction <= 1.0:
+            raise ValueError("initial_fraction must lie in (0, 1]")
+        if not self.initial_fraction <= self.max_fraction <= 1.0:
+            raise ValueError("max_fraction must lie in [initial_fraction, 1]")
+        if self.growth_factor < 1.0:
+            raise ValueError("growth_factor must be >= 1")
+
+
+class DynamicDownsampler:
+    """Per-frame resolution policy implementing the Sec. 4.2 schedule."""
+
+    def __init__(self, config: DownsamplingConfig | None = None):
+        self.config = config or DownsamplingConfig()
+        self.history: list[float] = []
+
+    def resolution_fraction(
+        self, frame_index: int, is_keyframe: bool, last_keyframe_index: int | None
+    ) -> float:
+        """Return the pixel fraction for ``frame_index``.
+
+        ``last_keyframe_index`` is the index of the most recent keyframe (the
+        paper's ``k``); the fraction grows geometrically with the distance to
+        it.
+        """
+        fraction = self._fraction_for(frame_index, is_keyframe, last_keyframe_index)
+        self.history.append(fraction)
+        return fraction
+
+    def _fraction_for(
+        self, frame_index: int, is_keyframe: bool, last_keyframe_index: int | None
+    ) -> float:
+        if is_keyframe or last_keyframe_index is None:
+            return 1.0
+        distance = max(frame_index - last_keyframe_index - 1, 0)
+        fraction = self.config.initial_fraction * self.config.growth_factor**distance
+        return float(min(fraction, self.config.max_fraction))
+
+    def average_fraction(self) -> float:
+        """Mean pixel fraction over the frames seen so far (efficiency proxy)."""
+        if not self.history:
+            return 1.0
+        return float(sum(self.history) / len(self.history))

@@ -1,0 +1,82 @@
+"""Gradient-reuse importance scoring (Eq. 7 of the paper).
+
+The importance of a Gaussian is the weighted sum of the L2 norms of the loss
+gradients with respect to its 3D mean and its covariance:
+
+``Score_gaussian = ||dL/dmu|| + lambda * ||dL/dSigma||``
+
+Both gradients are *already computed* by tracking/mapping backpropagation, so
+evaluating the score adds no extra loss or gradient computation - the property
+that distinguishes RTGS from LightGaussian/FlashGS-style pruners that need
+dedicated importance passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.backward import CloudGradients
+
+
+@dataclass
+class ImportanceScorer:
+    """Accumulates per-Gaussian importance scores from tracking gradients.
+
+    Scores are accumulated (summed) over the iterations of the current pruning
+    window so that a Gaussian's importance reflects its sustained contribution
+    to pose optimisation rather than a single iteration's noise - addressing
+    the "can we prune in a single frame?" caveat of Sec. 3.
+    """
+
+    position_weight: float = 1.0
+    covariance_weight: float = 0.8
+    _accumulated: np.ndarray | None = field(default=None, repr=False)
+    _iterations_seen: int = field(default=0, repr=False)
+
+    def reset(self, n_gaussians: int) -> None:
+        """Clear accumulated scores for a cloud of ``n_gaussians``."""
+        self._accumulated = np.zeros(n_gaussians)
+        self._iterations_seen = 0
+
+    @property
+    def iterations_seen(self) -> int:
+        return self._iterations_seen
+
+    def score_single(self, gradients: CloudGradients) -> np.ndarray:
+        """Eq. 7 for one backward pass (no accumulation)."""
+        mu_norm, sigma_norm = gradients.importance_inputs()
+        return self.position_weight * mu_norm + self.covariance_weight * sigma_norm
+
+    def observe(self, gradients: CloudGradients) -> np.ndarray:
+        """Accumulate the scores of one backward pass; returns this pass's scores."""
+        scores = self.score_single(gradients)
+        if self._accumulated is None or self._accumulated.shape != scores.shape:
+            self.reset(scores.shape[0])
+        self._accumulated += scores
+        self._iterations_seen += 1
+        return scores
+
+    def accumulated(self) -> np.ndarray:
+        """Mean accumulated score per Gaussian over the current window."""
+        if self._accumulated is None or self._iterations_seen == 0:
+            return np.zeros(0)
+        return self._accumulated / self._iterations_seen
+
+    def resize(self, n_gaussians: int) -> None:
+        """Adapt the accumulator when the cloud grew or shrank mid-window."""
+        if self._accumulated is None:
+            self.reset(n_gaussians)
+            return
+        if self._accumulated.shape[0] == n_gaussians:
+            return
+        resized = np.zeros(n_gaussians)
+        keep = min(self._accumulated.shape[0], n_gaussians)
+        resized[:keep] = self._accumulated[:keep]
+        self._accumulated = resized
+
+    def keep_rows(self, keep_mask: np.ndarray) -> None:
+        """Drop accumulator rows for removed Gaussians."""
+        if self._accumulated is not None and self._accumulated.shape[0] == keep_mask.shape[0]:
+            self._accumulated = self._accumulated[np.asarray(keep_mask, dtype=bool)]

@@ -1,0 +1,98 @@
+"""RTGS algorithm configuration: attaching pruning + downsampling to a base SLAM.
+
+The paper positions the RTGS algorithm techniques as a plug-and-play extension
+of existing 3DGS-SLAM algorithms (Sec. 6.1).  :func:`build_pipeline` mirrors
+that: given a base :class:`~repro.slam.algorithms.SLAMConfig` and an
+:class:`RTGSAlgorithmConfig`, it constructs a pipeline with the pruner hooked
+into tracking and the dynamic downsampler driving non-keyframe resolution.
+
+For Photo-SLAM, whose tracking backpropagation is classical/geometric, the
+pruner has no tracking gradients to reuse; as in the paper, the techniques are
+applied to its rendering/mapping path only (the downsampler still applies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import (
+    FlashGSPruner,
+    LightGaussianPruner,
+    MaskGaussianPruner,
+    TamingPruner,
+)
+from repro.core.downsampling import DownsamplingConfig, DynamicDownsampler
+from repro.core.pruning import AdaptiveGaussianPruner, FixedRatioPruner, PruningConfig
+from repro.slam.algorithms import SLAMConfig
+from repro.slam.pipeline import SLAMPipeline
+from repro.slam.tracking import TrackingHook
+
+
+@dataclass
+class RTGSAlgorithmConfig:
+    """Which RTGS algorithm techniques to enable, and their parameters."""
+
+    enable_pruning: bool = True
+    enable_downsampling: bool = True
+    pruning: PruningConfig = field(default_factory=PruningConfig)
+    downsampling: DownsamplingConfig = field(default_factory=DownsamplingConfig)
+
+
+PRUNER_REGISTRY = {
+    "rtgs": lambda: AdaptiveGaussianPruner(),
+    "taming": lambda: TamingPruner(),
+    "lightgaussian": lambda: LightGaussianPruner(),
+    "flashgs": lambda: FlashGSPruner(),
+    "maskgaussian": lambda: MaskGaussianPruner(),
+}
+
+
+def make_pruner(name: str, **kwargs) -> TrackingHook:
+    """Instantiate a pruner by name (``rtgs`` or one of the baselines)."""
+    if name == "rtgs":
+        return AdaptiveGaussianPruner(PruningConfig(**kwargs)) if kwargs else AdaptiveGaussianPruner()
+    if name == "fixed":
+        return FixedRatioPruner(**kwargs)
+    if name in PRUNER_REGISTRY and not kwargs:
+        return PRUNER_REGISTRY[name]()
+    factories = {
+        "taming": TamingPruner,
+        "lightgaussian": LightGaussianPruner,
+        "flashgs": FlashGSPruner,
+        "maskgaussian": MaskGaussianPruner,
+    }
+    if name not in factories:
+        raise ValueError(f"unknown pruner '{name}'; options: {sorted(factories) + ['rtgs', 'fixed']}")
+    return factories[name](**kwargs)
+
+
+def build_pipeline(
+    base: SLAMConfig,
+    rtgs: RTGSAlgorithmConfig | None = None,
+    pruner: TrackingHook | None = None,
+) -> SLAMPipeline:
+    """Create a SLAM pipeline for ``base``, optionally RTGS-enhanced.
+
+    Parameters
+    ----------
+    base:
+        A base algorithm configuration (``gs_slam()``, ``mono_gs()``, ...).
+    rtgs:
+        RTGS algorithm configuration.  ``None`` runs the unmodified baseline.
+    pruner:
+        Optional explicit pruning hook (e.g. a baseline pruner or a
+        :class:`~repro.core.pruning.FixedRatioPruner` for ratio sweeps); when
+        given it overrides ``rtgs.enable_pruning``.
+    """
+    if rtgs is None and pruner is None:
+        return SLAMPipeline(base)
+
+    hook: TrackingHook | None = pruner
+    if hook is None and rtgs is not None and rtgs.enable_pruning and base.tracker == "gradient":
+        hook = AdaptiveGaussianPruner(rtgs.pruning)
+
+    resolution_policy = None
+    if rtgs is not None and rtgs.enable_downsampling:
+        resolution_policy = DynamicDownsampler(rtgs.downsampling)
+
+    return SLAMPipeline(base, tracking_hook=hook, resolution_policy=resolution_policy)

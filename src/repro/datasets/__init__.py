@@ -1,0 +1,35 @@
+"""Synthetic RGB-D SLAM datasets.
+
+The paper evaluates on TUM-RGBD, Replica, ScanNet and ScanNet++.  Those
+datasets cannot be redistributed here, so this package generates procedural
+indoor scenes (rooms with textured walls and ellipsoidal objects, themselves
+represented as ground-truth Gaussian clouds) and smooth camera trajectories,
+then renders ground-truth RGB-D frames with the same rasterizer used by the
+SLAM pipeline.  Each paper dataset maps to a registry entry that mimics its
+resolution, sequence length and scene complexity at laptop scale.
+"""
+
+from repro.datasets.registry import (
+    DATASET_REGISTRY,
+    DatasetConfig,
+    available_datasets,
+    dataset_scenes,
+    make_sequence,
+)
+from repro.datasets.rgbd import RGBDFrame, RGBDSequence
+from repro.datasets.scene import SceneConfig, SyntheticScene
+from repro.datasets.trajectory import TrajectoryConfig, generate_trajectory
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "DatasetConfig",
+    "RGBDFrame",
+    "RGBDSequence",
+    "SceneConfig",
+    "SyntheticScene",
+    "TrajectoryConfig",
+    "available_datasets",
+    "dataset_scenes",
+    "generate_trajectory",
+    "make_sequence",
+]

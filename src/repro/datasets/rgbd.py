@@ -1,0 +1,114 @@
+"""RGB-D sequences: ground-truth frames rendered from a synthetic scene.
+
+A sequence bundles the scene, the camera intrinsics and the ground-truth
+trajectory, and lazily renders the RGB-D observation of each frame using the
+same rasterizer the SLAM pipeline uses for its map.  Optional sensor noise
+(image noise, multiplicative depth noise, depth dropout) makes the tracking
+and mapping problems non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.scene import SyntheticScene
+from repro.gaussians.camera import Camera
+from repro.gaussians.rasterizer import rasterize
+from repro.gaussians.se3 import SE3
+from repro.utils.random import default_rng, derive_rng
+
+
+@dataclass(frozen=True)
+class RGBDFrame:
+    """One observation: colour image, depth map and ground-truth pose."""
+
+    index: int
+    image: np.ndarray  # (H, W, 3) in [0, 1]
+    depth: np.ndarray  # (H, W) metres; 0 where invalid
+    camera: Camera
+    gt_pose_cw: SE3
+    timestamp: float = 0.0
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        return self.camera.resolution
+
+
+@dataclass
+class SensorNoise:
+    """Sensor noise model applied to rendered ground-truth observations."""
+
+    image_std: float = 0.01
+    depth_std_fraction: float = 0.01
+    depth_dropout: float = 0.0
+
+    def apply(
+        self, image: np.ndarray, depth: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        noisy_image = image
+        noisy_depth = depth
+        if self.image_std > 0:
+            noisy_image = np.clip(image + rng.normal(0.0, self.image_std, image.shape), 0.0, 1.0)
+        if self.depth_std_fraction > 0:
+            noisy_depth = depth * (1.0 + rng.normal(0.0, self.depth_std_fraction, depth.shape))
+            noisy_depth = np.maximum(noisy_depth, 0.0)
+        if self.depth_dropout > 0:
+            dropout = rng.random(depth.shape) < self.depth_dropout
+            noisy_depth = np.where(dropout, 0.0, noisy_depth)
+        return noisy_image, noisy_depth
+
+
+@dataclass
+class RGBDSequence:
+    """A full synthetic RGB-D sequence with lazy, cached frame rendering."""
+
+    name: str
+    scene: SyntheticScene
+    camera: Camera
+    gt_trajectory: list[SE3]
+    noise: SensorNoise = field(default_factory=SensorNoise)
+    fps: float = 30.0
+    seed: int = 0
+    _frame_cache: dict[int, RGBDFrame] = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.gt_trajectory)
+
+    def __getitem__(self, index: int) -> RGBDFrame:
+        return self.frame(index)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self.frame(index)
+
+    def frame(self, index: int) -> RGBDFrame:
+        """Render (or fetch from cache) frame ``index``."""
+        if index < 0 or index >= len(self):
+            raise IndexError(f"frame index {index} out of range [0, {len(self)})")
+        if index not in self._frame_cache:
+            self._frame_cache[index] = self._render_frame(index)
+        return self._frame_cache[index]
+
+    def ground_truth_poses(self) -> list[SE3]:
+        """Return the full ground-truth world-to-camera trajectory."""
+        return list(self.gt_trajectory)
+
+    def clear_cache(self) -> None:
+        """Drop all cached frames (frees memory between experiments)."""
+        self._frame_cache.clear()
+
+    def _render_frame(self, index: int) -> RGBDFrame:
+        pose = self.gt_trajectory[index]
+        result = rasterize(self.scene.cloud, self.camera, pose)
+        rng = derive_rng(default_rng(self.seed), "frame", index)
+        image, depth = self.noise.apply(result.image, result.depth, rng)
+        return RGBDFrame(
+            index=index,
+            image=image,
+            depth=depth,
+            camera=self.camera,
+            gt_pose_cw=pose,
+            timestamp=index / self.fps,
+        )

@@ -1,0 +1,55 @@
+"""3D Gaussian Splatting substrate: scene representation, rendering, backprop.
+
+This package implements every step of the 3DGS pipeline described in Sec. 2.1
+of the paper:
+
+* Step 1 Preprocessing: :mod:`projection` (1-1) and :mod:`tiling` (1-2)
+* Step 2 Sorting: :mod:`sorting`
+* Step 3 Rendering: :mod:`rasterizer`
+* Step 4 Rendering BP and Step 5 Preprocessing BP: :mod:`backward`
+"""
+
+from repro.gaussians.backward import (
+    CloudGradients,
+    GradientTrace,
+    ScreenSpaceGradients,
+    preprocess_backward,
+    rasterize_backward,
+    render_backward,
+)
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian_model import BYTES_PER_GAUSSIAN, GaussianCloud
+from repro.gaussians.projection import ProjectedGaussians, project_gaussians
+from repro.gaussians.rasterizer import RenderResult, TileRenderCache, rasterize
+from repro.gaussians.se3 import SE3, quaternion_to_rotation, rotation_to_quaternion
+from repro.gaussians.sorting import (
+    TileIntersections,
+    build_tile_lists,
+    intersection_change_ratio,
+)
+from repro.gaussians.tiling import TileGrid, assign_tiles
+
+__all__ = [
+    "BYTES_PER_GAUSSIAN",
+    "Camera",
+    "CloudGradients",
+    "GaussianCloud",
+    "GradientTrace",
+    "ProjectedGaussians",
+    "RenderResult",
+    "SE3",
+    "ScreenSpaceGradients",
+    "TileGrid",
+    "TileIntersections",
+    "TileRenderCache",
+    "assign_tiles",
+    "build_tile_lists",
+    "intersection_change_ratio",
+    "preprocess_backward",
+    "project_gaussians",
+    "quaternion_to_rotation",
+    "rasterize",
+    "rasterize_backward",
+    "render_backward",
+    "rotation_to_quaternion",
+]

@@ -1,0 +1,395 @@
+"""Steps 4-5: *Rendering BP* and *Preprocessing BP*.
+
+``rasterize_backward`` propagates per-pixel colour (and optionally depth)
+losses to pixel-level 2D Gaussian gradients and aggregates them to
+Gaussian-level 2D gradients - the stage the paper identifies as the dominant
+bottleneck (Observation 2/4) because of the atomic-add aggregation.  It also
+emits a :class:`GradientTrace` describing exactly how many pixel-level
+gradient contributions each Gaussian received per tile; this trace is what the
+hardware model feeds to its atomic-add and GMU cycle models.
+
+``preprocess_backward`` then maps 2D gradients to 3D Gaussian gradients
+(position, covariance -> scale/rotation, opacity, colour) and, during
+tracking, to the camera-pose twist gradient via the SE(3) left perturbation.
+The gradients with respect to the 3D mean and covariance are exactly the
+quantities RTGS's adaptive pruning reuses for its importance score (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.projection import ProjectedGaussians
+from repro.gaussians.rasterizer import RenderResult
+from repro.gaussians.se3 import hat
+
+_EPS = 1e-12
+
+
+@dataclass
+class GradientTrace:
+    """Bookkeeping of the gradient-aggregation workload for the hardware model.
+
+    Attributes
+    ----------
+    tile_ids:
+        Tiles that produced at least one gradient.
+    per_tile_source_indices:
+        For each such tile, the *source* Gaussian indices (rows of the cloud)
+        that received gradients from that tile.
+    per_tile_pixel_counts:
+        For each such tile, the number of pixels contributing a gradient to the
+        matching Gaussian - i.e. the number of pixel-level atomic adds the GPU
+        baseline would issue for that (tile, Gaussian) pair.
+    fragments_per_pixel:
+        Per-pixel backward fragment counts (mirrors the forward workload).
+    """
+
+    tile_ids: list[int] = field(default_factory=list)
+    per_tile_source_indices: list[np.ndarray] = field(default_factory=list)
+    per_tile_pixel_counts: list[np.ndarray] = field(default_factory=list)
+    fragments_per_pixel: np.ndarray | None = None
+
+    @property
+    def total_pixel_level_updates(self) -> int:
+        """Total pixel-level gradient contributions (GPU atomic adds)."""
+        return int(sum(int(c.sum()) for c in self.per_tile_pixel_counts))
+
+    @property
+    def total_tile_level_updates(self) -> int:
+        """Total (tile, Gaussian) pairs with a non-zero merged gradient."""
+        return int(sum(len(c) for c in self.per_tile_source_indices))
+
+    def gaussian_level_updates(self, n_gaussians: int) -> np.ndarray:
+        """Per-source-Gaussian count of tile-level gradient updates."""
+        counts = np.zeros(n_gaussians, dtype=int)
+        for indices in self.per_tile_source_indices:
+            np.add.at(counts, indices, 1)
+        return counts
+
+
+@dataclass
+class ScreenSpaceGradients:
+    """Gradients with respect to the *projected* (screen-space) Gaussians."""
+
+    projected: ProjectedGaussians
+    colors: np.ndarray  # (M, 3)
+    opacities: np.ndarray  # (M,) d L / d opacity (post-sigmoid)
+    means2d: np.ndarray  # (M, 2)
+    conics: np.ndarray  # (M, 2, 2)
+    depths: np.ndarray  # (M,) direct depth-render term
+    trace: GradientTrace
+
+
+@dataclass
+class CloudGradients:
+    """Gradients with respect to the full Gaussian cloud and the camera pose."""
+
+    positions: np.ndarray  # (N, 3)
+    log_scales: np.ndarray  # (N, 3)
+    rotations: np.ndarray  # (N, 4)
+    opacity_logits: np.ndarray  # (N,)
+    colors: np.ndarray  # (N, 3)
+    cov3d: np.ndarray  # (N, 3, 3)  dL/dSigma_world, consumed by the importance score
+    pose_twist: np.ndarray  # (6,)  dL/d xi for the left-perturbed world-to-camera pose
+    per_gaussian_pose: np.ndarray  # (N, 6) per-Gaussian contribution to the pose gradient
+    trace: GradientTrace
+
+    def importance_inputs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (||dL/dmu||, ||dL/dSigma||) per Gaussian for Eq. 7."""
+        mu_norm = np.linalg.norm(self.positions, axis=1)
+        sigma_norm = np.linalg.norm(self.cov3d.reshape(self.cov3d.shape[0], -1), axis=1)
+        return mu_norm, sigma_norm
+
+
+def rasterize_backward(
+    result: RenderResult,
+    dL_dimage: np.ndarray,
+    dL_ddepth: np.ndarray | None = None,
+) -> ScreenSpaceGradients:
+    """Step 4 Rendering BP: pixel losses -> screen-space Gaussian gradients."""
+    projected = result.projected
+    n_visible = projected.n_visible
+    grads_colors = np.zeros((n_visible, 3))
+    grads_opacity = np.zeros(n_visible)
+    grads_means2d = np.zeros((n_visible, 2))
+    grads_conics = np.zeros((n_visible, 2, 2))
+    grads_depths = np.zeros(n_visible)
+    trace = GradientTrace(fragments_per_pixel=result.fragments_per_pixel.copy())
+
+    dL_dimage = np.asarray(dL_dimage, dtype=np.float64)
+    if dL_dimage.shape != result.image.shape:
+        raise ValueError(
+            f"dL_dimage shape {dL_dimage.shape} does not match image {result.image.shape}"
+        )
+    if dL_ddepth is not None:
+        dL_ddepth = np.asarray(dL_ddepth, dtype=np.float64)
+        if dL_ddepth.shape != result.depth.shape:
+            raise ValueError(
+                f"dL_ddepth shape {dL_ddepth.shape} does not match depth {result.depth.shape}"
+            )
+
+    for cache in result.tile_caches:
+        rows = cache.rows
+        v_idx, u_idx = cache.pixel_indices
+        pixel_color_grad = dL_dimage[v_idx, u_idx]  # (P, 3)
+        if dL_ddepth is not None:
+            pixel_depth_grad = dL_ddepth[v_idx, u_idx]  # (P,)
+        else:
+            pixel_depth_grad = np.zeros(len(v_idx))
+
+        colors = projected.colors[rows]  # (M, 3)
+        depths = projected.depths[rows]  # (M,)
+        opacities = projected.opacities[rows]  # (M,)
+        conics = projected.conics[rows]  # (M, 2, 2)
+
+        weights = cache.weights  # (P, M)
+        alphas = cache.alphas
+        gauss = cache.gauss_values
+        trans_before = cache.transmittance_before
+        deltas = cache.deltas
+
+        # Direct colour / depth gradients: dL/dc_k = w_k * dL/dC_P.
+        np.add.at(grads_colors, rows, weights.T @ pixel_color_grad)
+        np.add.at(grads_depths, rows, weights.T @ pixel_depth_grad)
+
+        # Suffix sums S_k = sum_{n > k} w_n c_n needed for dC/dalpha_k.
+        weighted_colors = weights[:, :, None] * colors[None, :, :]
+        suffix_color = _reverse_exclusive_cumsum(weighted_colors, axis=1)
+        weighted_depths = weights * depths[None, :]
+        suffix_depth = _reverse_exclusive_cumsum(weighted_depths, axis=1)
+
+        one_minus_alpha = np.maximum(1.0 - alphas, 1.0 - 0.995)
+        dC_dalpha = (
+            trans_before[:, :, None] * colors[None, :, :]
+            - suffix_color / one_minus_alpha[:, :, None]
+        )
+        dD_dalpha = trans_before * depths[None, :] - suffix_depth / one_minus_alpha
+
+        dL_dalpha = (dC_dalpha * pixel_color_grad[:, None, :]).sum(axis=2)
+        dL_dalpha += dD_dalpha * pixel_depth_grad[:, None]
+
+        valid = cache.processed & (alphas > 0.0) & (~cache.clamp_mask)
+        dL_dalpha = np.where(valid, dL_dalpha, 0.0)
+
+        # alpha = opacity * G  ->  opacity and Gaussian-value chains.
+        np.add.at(grads_opacity, rows, (gauss * dL_dalpha).sum(axis=0))
+        dL_dgauss = opacities[None, :] * dL_dalpha  # (P, M)
+
+        # G = exp(-0.5 d^T A d): dG/dmu = G * (A d), dG/dA = -0.5 * G * d d^T.
+        a = conics[:, 0, 0][None, :]
+        b = conics[:, 0, 1][None, :]
+        c = conics[:, 1, 1][None, :]
+        a_dx0 = a * deltas[:, :, 0] + b * deltas[:, :, 1]
+        a_dx1 = b * deltas[:, :, 0] + c * deltas[:, :, 1]
+        common = dL_dgauss * gauss
+        np.add.at(
+            grads_means2d,
+            rows,
+            np.stack([(common * a_dx0).sum(axis=0), (common * a_dx1).sum(axis=0)], axis=1),
+        )
+        outer = deltas[:, :, :, None] * deltas[:, :, None, :]  # (P, M, 2, 2)
+        np.add.at(
+            grads_conics,
+            rows,
+            np.einsum("pm,pmij->mij", -0.5 * common, outer),
+        )
+
+        # Trace of pixel-level contributions for the hardware model.
+        contributions = (weights > 0.0).sum(axis=0)
+        has_grad = contributions > 0
+        if np.any(has_grad):
+            trace.tile_ids.append(cache.tile_id)
+            trace.per_tile_source_indices.append(projected.indices[rows[has_grad]])
+            trace.per_tile_pixel_counts.append(contributions[has_grad].astype(int))
+
+    return ScreenSpaceGradients(
+        projected=projected,
+        colors=grads_colors,
+        opacities=grads_opacity,
+        means2d=grads_means2d,
+        conics=grads_conics,
+        depths=grads_depths,
+        trace=trace,
+    )
+
+
+def preprocess_backward(
+    screen_grads: ScreenSpaceGradients,
+    cloud: GaussianCloud,
+    compute_pose_gradient: bool = True,
+) -> CloudGradients:
+    """Step 5 Preprocessing BP: 2D gradients -> 3D Gaussian and pose gradients."""
+    projected = screen_grads.projected
+    n_total = len(cloud)
+    indices = projected.indices
+    m_count = projected.n_visible
+
+    out_positions = np.zeros((n_total, 3))
+    out_log_scales = np.zeros((n_total, 3))
+    out_rotations = np.zeros((n_total, 4))
+    out_opacity_logits = np.zeros(n_total)
+    out_colors = np.zeros((n_total, 3))
+    out_cov3d = np.zeros((n_total, 3, 3))
+    per_gaussian_pose = np.zeros((n_total, 6))
+    pose_twist = np.zeros(6)
+
+    if m_count == 0:
+        return CloudGradients(
+            positions=out_positions,
+            log_scales=out_log_scales,
+            rotations=out_rotations,
+            opacity_logits=out_opacity_logits,
+            colors=out_colors,
+            cov3d=out_cov3d,
+            pose_twist=pose_twist,
+            per_gaussian_pose=per_gaussian_pose,
+            trace=screen_grads.trace,
+        )
+
+    camera = projected.camera
+    rotation_cw = projected.rotation_cw
+    points_cam = projected.points_cam
+    jac = projected.jacobians  # (M, 2, 3)
+    cov3d = projected.cov3d  # (M, 3, 3)
+    conics = projected.conics
+
+    # conic = inv(cov2d): dL/dcov2d = -conic^T dL/dconic conic^T (conic symmetric).
+    dL_dcov2d = -np.einsum("mij,mjk,mkl->mil", conics, screen_grads.conics, conics)
+
+    # mean2d chain: dL/dp_cam = J^T dL/dmean2d.
+    dL_dpcam = np.einsum("mij,mi->mj", jac, screen_grads.means2d)
+
+    # cov2d = M Sigma M^T with M = J R_cw.
+    m_lin = jac @ rotation_cw  # (M, 2, 3)
+    dL_dsigma = np.einsum("mia,mij,mjb->mab", m_lin, dL_dcov2d, m_lin)
+    dL_dmlin = 2.0 * np.einsum("mij,mjk,mkl->mil", dL_dcov2d, m_lin, cov3d)
+    dL_djac = dL_dmlin @ rotation_cw.T
+    dL_drot_cw = np.einsum("mki,mkj->mij", jac, dL_dmlin)  # (M, 3, 3) per-Gaussian dL/dW
+
+    # J depends on p_cam; add those terms to dL/dp_cam.
+    x, y, z = points_cam[:, 0], points_cam[:, 1], points_cam[:, 2]
+    inv_z2 = 1.0 / (z * z)
+    inv_z3 = inv_z2 / z
+    dL_dpcam[:, 0] += dL_djac[:, 0, 2] * (-camera.fx * inv_z2)
+    dL_dpcam[:, 1] += dL_djac[:, 1, 2] * (-camera.fy * inv_z2)
+    dL_dpcam[:, 2] += (
+        dL_djac[:, 0, 0] * (-camera.fx * inv_z2)
+        + dL_djac[:, 0, 2] * (2.0 * camera.fx * x * inv_z3)
+        + dL_djac[:, 1, 1] * (-camera.fy * inv_z2)
+        + dL_djac[:, 1, 2] * (2.0 * camera.fy * y * inv_z3)
+    )
+    # Direct depth-render term (rendered depth is the camera-frame z).
+    dL_dpcam[:, 2] += screen_grads.depths
+
+    # p_cam = R_cw p_world + t: position gradient in world frame.
+    dL_dpos = dL_dpcam @ rotation_cw
+
+    # Sigma_world = A A^T with A = R_q S: scale and rotation gradients.
+    rot_g = cloud.rotation_matrices()[indices]
+    scales = cloud.scales()[indices]
+    a_mat = rot_g * scales[:, None, :]
+    dL_da = 2.0 * np.einsum("mij,mjk->mik", dL_dsigma, a_mat)
+    dL_dscales = np.einsum("mij,mij->mj", dL_da, rot_g)
+    dL_dlog_scales = dL_dscales * scales
+    dL_drot_g = dL_da * scales[:, None, :]
+    dL_dquat = _rotation_gradient_to_quaternion(dL_drot_g, cloud.rotations[indices])
+
+    # Opacity logit chain through the sigmoid.
+    opac = projected.opacities
+    dL_dlogit = screen_grads.opacities * opac * (1.0 - opac)
+
+    # Scatter into full-cloud arrays.
+    np.add.at(out_positions, indices, dL_dpos)
+    np.add.at(out_log_scales, indices, dL_dlog_scales)
+    np.add.at(out_rotations, indices, dL_dquat)
+    np.add.at(out_opacity_logits, indices, dL_dlogit)
+    np.add.at(out_colors, indices, screen_grads.colors)
+    np.add.at(out_cov3d, indices, dL_dsigma)
+
+    if compute_pose_gradient:
+        # Left perturbation T' = exp(xi) T: dp_cam/drho = I, dp_cam/dphi = -[p_cam]_x.
+        per_rho = dL_dpcam
+        per_phi = np.cross(points_cam, dL_dpcam)
+        # Rotation part of the covariance chain: R' = exp(phi^) R => dR = phi^ R.
+        generators = [hat(e) for e in np.eye(3)]
+        rot_terms = np.stack(
+            [
+                np.einsum("mij,ij->m", dL_drot_cw, gen @ rotation_cw)
+                for gen in generators
+            ],
+            axis=1,
+        )
+        per_phi = per_phi + rot_terms
+        per_pose = np.concatenate([per_rho, per_phi], axis=1)
+        np.add.at(per_gaussian_pose, indices, per_pose)
+        pose_twist = per_pose.sum(axis=0)
+
+    return CloudGradients(
+        positions=out_positions,
+        log_scales=out_log_scales,
+        rotations=out_rotations,
+        opacity_logits=out_opacity_logits,
+        colors=out_colors,
+        cov3d=out_cov3d,
+        pose_twist=pose_twist,
+        per_gaussian_pose=per_gaussian_pose,
+        trace=screen_grads.trace,
+    )
+
+
+def render_backward(
+    result: RenderResult,
+    cloud: GaussianCloud,
+    dL_dimage: np.ndarray,
+    dL_ddepth: np.ndarray | None = None,
+    compute_pose_gradient: bool = True,
+) -> CloudGradients:
+    """Convenience wrapper running Steps 4 and 5 back to back."""
+    screen = rasterize_backward(result, dL_dimage, dL_ddepth)
+    return preprocess_backward(screen, cloud, compute_pose_gradient=compute_pose_gradient)
+
+
+# -- helpers ----------------------------------------------------------------
+def _reverse_exclusive_cumsum(values: np.ndarray, axis: int) -> np.ndarray:
+    """Return ``S[k] = sum_{n > k} values[n]`` along ``axis``."""
+    flipped = np.flip(values, axis=axis)
+    csum = np.cumsum(flipped, axis=axis)
+    inclusive = np.flip(csum, axis=axis)
+    return inclusive - values
+
+
+def _rotation_gradient_to_quaternion(
+    dL_drot: np.ndarray, quaternions: np.ndarray
+) -> np.ndarray:
+    """Chain dL/dR through R(q_hat) and the quaternion normalisation."""
+    quats = np.atleast_2d(quaternions)
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    norms = np.where(norms < _EPS, 1.0, norms)
+    unit = quats / norms
+    w, x, y, z = unit[:, 0], unit[:, 1], unit[:, 2], unit[:, 3]
+    zeros = np.zeros_like(w)
+
+    def _stack(rows):
+        return np.stack([np.stack(r, axis=-1) for r in rows], axis=-2)
+
+    dR_dw = 2.0 * _stack([[zeros, -z, y], [z, zeros, -x], [-y, x, zeros]])
+    dR_dx = 2.0 * _stack([[zeros, y, z], [y, -2 * x, -w], [z, w, -2 * x]])
+    dR_dy = 2.0 * _stack([[-2 * y, x, w], [x, zeros, z], [-w, z, -2 * y]])
+    dR_dz = 2.0 * _stack([[-2 * z, -w, x], [w, -2 * z, y], [x, y, zeros]])
+
+    dL_dunit = np.stack(
+        [
+            np.einsum("mij,mij->m", dL_drot, dR_dw),
+            np.einsum("mij,mij->m", dL_drot, dR_dx),
+            np.einsum("mij,mij->m", dL_drot, dR_dy),
+            np.einsum("mij,mij->m", dL_drot, dR_dz),
+        ],
+        axis=1,
+    )
+    # q_hat = q / ||q||: dq_hat/dq = (I - q_hat q_hat^T) / ||q||.
+    projection = np.eye(4)[None, :, :] - unit[:, :, None] * unit[:, None, :]
+    return np.einsum("mij,mi->mj", projection, dL_dunit) / norms

@@ -1,0 +1,142 @@
+"""Pinhole camera model with the intrinsics used across the SLAM pipeline.
+
+The dynamic downsampling technique (Sec. 4.2 of the paper) renders
+non-keyframes at reduced resolution; :meth:`Camera.downscale` produces the
+matching scaled intrinsics so the rasterizer, loss, and hardware model all see
+a consistent image size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Pinhole camera intrinsics.
+
+    Attributes
+    ----------
+    width, height:
+        Image resolution in pixels.
+    fx, fy:
+        Focal lengths in pixels.
+    cx, cy:
+        Principal point in pixels.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "width", int(self.width))
+        object.__setattr__(self, "height", int(self.height))
+        check_positive(self.width, "width")
+        check_positive(self.height, "height")
+        check_positive(self.fx, "fx")
+        check_positive(self.fy, "fy")
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def from_fov(width: int, height: int, fov_x_degrees: float = 70.0) -> "Camera":
+        """Create a camera from a horizontal field-of-view angle."""
+        check_positive(fov_x_degrees, "fov_x_degrees")
+        fov_x = np.deg2rad(fov_x_degrees)
+        fx = width / (2.0 * np.tan(fov_x / 2.0))
+        fy = fx
+        return Camera(width, height, fx, fy, width / 2.0, height / 2.0)
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def resolution(self) -> tuple[int, int]:
+        """Return ``(height, width)``."""
+        return self.height, self.width
+
+    @property
+    def n_pixels(self) -> int:
+        """Total number of pixels."""
+        return self.width * self.height
+
+    def intrinsic_matrix(self) -> np.ndarray:
+        """Return the 3x3 intrinsic matrix ``K``."""
+        return np.array(
+            [
+                [self.fx, 0.0, self.cx],
+                [0.0, self.fy, self.cy],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    def project(self, points_cam: np.ndarray) -> np.ndarray:
+        """Project camera-frame points ``(N, 3)`` to pixel coordinates ``(N, 2)``.
+
+        Points behind the camera produce non-finite values; callers are
+        expected to cull by depth beforehand (see ``projection.project_gaussians``).
+        """
+        points_cam = np.atleast_2d(np.asarray(points_cam, dtype=np.float64))
+        z = points_cam[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = self.fx * points_cam[:, 0] / z + self.cx
+            v = self.fy * points_cam[:, 1] / z + self.cy
+        return np.stack([u, v], axis=1)
+
+    def unproject(self, pixels: np.ndarray, depths: np.ndarray) -> np.ndarray:
+        """Back-project pixel coordinates ``(N, 2)`` at ``depths`` to camera-frame points."""
+        pixels = np.atleast_2d(np.asarray(pixels, dtype=np.float64))
+        depths = np.asarray(depths, dtype=np.float64).reshape(-1)
+        x = (pixels[:, 0] - self.cx) / self.fx * depths
+        y = (pixels[:, 1] - self.cy) / self.fy * depths
+        return np.stack([x, y, depths], axis=1)
+
+    def pixel_grid(self) -> np.ndarray:
+        """Return an ``(H, W, 2)`` array of (u, v) pixel-centre coordinates."""
+        us = np.arange(self.width, dtype=np.float64) + 0.5
+        vs = np.arange(self.height, dtype=np.float64) + 0.5
+        grid_u, grid_v = np.meshgrid(us, vs)
+        return np.stack([grid_u, grid_v], axis=-1)
+
+    def downscale(self, factor: float) -> "Camera":
+        """Return a camera whose *pixel count* is reduced by ``factor``.
+
+        The paper expresses non-keyframe resolutions as fractions of the full
+        resolution ``R0`` (e.g. ``R0 / 16``), i.e. a reduction in total pixel
+        count.  Width and height therefore each shrink by ``sqrt(factor)``.
+        """
+        check_positive(factor, "factor")
+        if factor < 1.0:
+            raise ValueError(f"downscale factor must be >= 1, got {factor}")
+        linear = float(np.sqrt(factor))
+        new_width = max(8, int(round(self.width / linear)))
+        new_height = max(8, int(round(self.height / linear)))
+        scale_x = new_width / self.width
+        scale_y = new_height / self.height
+        return Camera(
+            new_width,
+            new_height,
+            self.fx * scale_x,
+            self.fy * scale_y,
+            self.cx * scale_x,
+            self.cy * scale_y,
+        )
+
+    def scale_resolution(self, scale: float) -> "Camera":
+        """Return a camera with width/height each multiplied by ``scale``."""
+        check_positive(scale, "scale")
+        new_width = max(8, int(round(self.width * scale)))
+        new_height = max(8, int(round(self.height * scale)))
+        return Camera(
+            new_width,
+            new_height,
+            self.fx * new_width / self.width,
+            self.fy * new_height / self.height,
+            self.cx * new_width / self.width,
+            self.cy * new_height / self.height,
+        )

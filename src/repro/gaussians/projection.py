@@ -1,0 +1,185 @@
+"""Step 1-1 *Projection*: 3D Gaussians to screen-space 2D Gaussians.
+
+Implements the EWA splatting projection used by 3DGS: the world-frame
+covariance is pushed through the camera rotation and the perspective Jacobian
+to obtain a 2D covariance on the image plane.  All intermediates needed by the
+backward pass (camera-frame points, Jacobians, 3D covariances) are kept on the
+returned structure so Step 5 *Preprocessing BP* can reuse them - the same reuse
+the RTGS R&B Buffer exploits in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.se3 import SE3
+
+# Screen-space dilation added to the 2D covariance, as in the reference
+# implementation, to guarantee a minimum splat footprint of ~one pixel.
+COV2D_DILATION = 0.3
+# Gaussians closer than this to the camera plane are culled.
+NEAR_PLANE = 0.05
+# Splat radius in standard deviations used for tile intersection tests.
+RADIUS_SIGMAS = 3.0
+# Frustum-culling margin: Gaussians whose centre lies outside this multiple of
+# the view frustum are discarded.  Points that sit almost in the camera plane
+# (tiny z, large lateral offset) otherwise produce degenerate EWA splats that
+# smear across the whole image and occlude the scene.
+FRUSTUM_MARGIN = 2.0
+
+
+@dataclass
+class ProjectedGaussians:
+    """Screen-space Gaussians plus the intermediates required for backprop.
+
+    ``indices`` maps each projected Gaussian back to its row in the source
+    :class:`~repro.gaussians.gaussian_model.GaussianCloud`.
+    """
+
+    indices: np.ndarray  # (M,) int
+    means2d: np.ndarray  # (M, 2)
+    depths: np.ndarray  # (M,)
+    cov2d: np.ndarray  # (M, 2, 2)
+    conics: np.ndarray  # (M, 2, 2) inverse 2D covariances
+    radii: np.ndarray  # (M,)
+    colors: np.ndarray  # (M, 3)
+    opacities: np.ndarray  # (M,)
+    points_cam: np.ndarray  # (M, 3)
+    jacobians: np.ndarray  # (M, 2, 3) perspective Jacobians
+    cov3d: np.ndarray  # (M, 3, 3) world-frame covariances
+    rotation_cw: np.ndarray  # (3, 3) world-to-camera rotation
+    camera: Camera
+    pose_cw: SE3
+
+    @property
+    def n_visible(self) -> int:
+        """Number of Gaussians that survived culling."""
+        return int(self.indices.shape[0])
+
+
+def perspective_jacobian(points_cam: np.ndarray, camera: Camera) -> np.ndarray:
+    """Return the ``(M, 2, 3)`` Jacobian of the pinhole projection at ``points_cam``."""
+    points_cam = np.atleast_2d(points_cam)
+    x, y, z = points_cam[:, 0], points_cam[:, 1], points_cam[:, 2]
+    inv_z = 1.0 / z
+    inv_z2 = inv_z * inv_z
+    jac = np.zeros((points_cam.shape[0], 2, 3))
+    jac[:, 0, 0] = camera.fx * inv_z
+    jac[:, 0, 2] = -camera.fx * x * inv_z2
+    jac[:, 1, 1] = camera.fy * inv_z
+    jac[:, 1, 2] = -camera.fy * y * inv_z2
+    return jac
+
+
+def project_gaussians(
+    cloud: GaussianCloud,
+    camera: Camera,
+    pose_cw: SE3,
+    active_only: bool = True,
+) -> ProjectedGaussians:
+    """Project the Gaussians of ``cloud`` into the image plane of ``camera``.
+
+    Gaussians behind the near plane or whose splat falls entirely outside the
+    image are culled.  When ``active_only`` is True (the default), Gaussians
+    masked by the adaptive pruner are skipped, which is exactly how the
+    mask-prune strategy removes them from the rendering workload.
+    """
+    if active_only:
+        candidate = cloud.active_indices()
+    else:
+        candidate = np.arange(len(cloud))
+
+    if candidate.size == 0:
+        return _empty_projection(camera, pose_cw)
+
+    rotation_cw = pose_cw.rotation
+    points_world = cloud.positions[candidate]
+    points_cam = points_world @ rotation_cw.T + pose_cw.translation
+
+    in_front = points_cam[:, 2] > NEAR_PLANE
+    # Frustum cull with a generous margin: rejects points nearly in the camera
+    # plane whose EWA linearisation would be numerically meaningless.
+    tan_x = FRUSTUM_MARGIN * (camera.width / 2.0) / camera.fx
+    tan_y = FRUSTUM_MARGIN * (camera.height / 2.0) / camera.fy
+    with np.errstate(divide="ignore", invalid="ignore"):
+        in_frustum = (
+            (np.abs(points_cam[:, 0]) <= tan_x * points_cam[:, 2])
+            & (np.abs(points_cam[:, 1]) <= tan_y * points_cam[:, 2])
+        )
+    keep_mask = in_front & in_frustum
+    candidate = candidate[keep_mask]
+    points_cam = points_cam[keep_mask]
+    if candidate.size == 0:
+        return _empty_projection(camera, pose_cw)
+
+    means2d = camera.project(points_cam)
+    depths = points_cam[:, 2]
+
+    cov3d = cloud.covariances()[candidate]
+    jac = perspective_jacobian(points_cam, camera)
+    # M = J @ R_cw is the full 2x3 linearisation of world point -> pixel.
+    m_lin = jac @ rotation_cw
+    cov2d = m_lin @ cov3d @ np.transpose(m_lin, (0, 2, 1))
+    cov2d[:, 0, 0] += COV2D_DILATION
+    cov2d[:, 1, 1] += COV2D_DILATION
+
+    det = cov2d[:, 0, 0] * cov2d[:, 1, 1] - cov2d[:, 0, 1] * cov2d[:, 1, 0]
+    det = np.maximum(det, 1e-12)
+    conics = np.empty_like(cov2d)
+    conics[:, 0, 0] = cov2d[:, 1, 1] / det
+    conics[:, 1, 1] = cov2d[:, 0, 0] / det
+    conics[:, 0, 1] = -cov2d[:, 0, 1] / det
+    conics[:, 1, 0] = -cov2d[:, 1, 0] / det
+
+    # Splat radius from the dominant eigenvalue of the 2D covariance.
+    mid = 0.5 * (cov2d[:, 0, 0] + cov2d[:, 1, 1])
+    lambda_max = mid + np.sqrt(np.maximum(mid * mid - det, 0.0))
+    radii = np.ceil(RADIUS_SIGMAS * np.sqrt(lambda_max))
+
+    # Cull splats that cannot touch the image.
+    on_screen = (
+        (means2d[:, 0] + radii > 0)
+        & (means2d[:, 0] - radii < camera.width)
+        & (means2d[:, 1] + radii > 0)
+        & (means2d[:, 1] - radii < camera.height)
+    )
+    keep = on_screen
+    return ProjectedGaussians(
+        indices=candidate[keep],
+        means2d=means2d[keep],
+        depths=depths[keep],
+        cov2d=cov2d[keep],
+        conics=conics[keep],
+        radii=radii[keep],
+        colors=cloud.colors[candidate[keep]],
+        opacities=cloud.opacities()[candidate[keep]],
+        points_cam=points_cam[keep],
+        jacobians=jac[keep],
+        cov3d=cov3d[keep],
+        rotation_cw=rotation_cw,
+        camera=camera,
+        pose_cw=pose_cw,
+    )
+
+
+def _empty_projection(camera: Camera, pose_cw: SE3) -> ProjectedGaussians:
+    return ProjectedGaussians(
+        indices=np.zeros(0, dtype=int),
+        means2d=np.zeros((0, 2)),
+        depths=np.zeros(0),
+        cov2d=np.zeros((0, 2, 2)),
+        conics=np.zeros((0, 2, 2)),
+        radii=np.zeros(0),
+        colors=np.zeros((0, 3)),
+        opacities=np.zeros(0),
+        points_cam=np.zeros((0, 3)),
+        jacobians=np.zeros((0, 2, 3)),
+        cov3d=np.zeros((0, 3, 3)),
+        rotation_cw=pose_cw.rotation,
+        camera=camera,
+        pose_cw=pose_cw,
+    )

@@ -1,0 +1,259 @@
+"""SE(3) rigid transforms and so(3)/se(3) Lie-algebra helpers.
+
+Camera poses in the SLAM pipeline are represented as world-to-camera SE(3)
+transforms.  Tracking optimises a left-multiplied twist increment
+``T <- exp(xi) @ T`` exactly as MonoGS does, so the backward pass in
+``repro.gaussians.backward`` produces gradients with respect to that twist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_shape
+
+_EPS = 1e-12
+
+
+def hat(omega: np.ndarray) -> np.ndarray:
+    """Return the 3x3 skew-symmetric matrix of a 3-vector."""
+    omega = np.asarray(omega, dtype=np.float64)
+    wx, wy, wz = omega
+    return np.array(
+        [
+            [0.0, -wz, wy],
+            [wz, 0.0, -wx],
+            [-wy, wx, 0.0],
+        ]
+    )
+
+
+def vee(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`hat`: extract the 3-vector from a skew matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return np.array([matrix[2, 1], matrix[0, 2], matrix[1, 0]])
+
+
+def so3_exp(omega: np.ndarray) -> np.ndarray:
+    """Exponential map from so(3) to SO(3) (Rodrigues formula)."""
+    omega = np.asarray(omega, dtype=np.float64)
+    theta = float(np.linalg.norm(omega))
+    skew = hat(omega)
+    if theta < 1e-8:
+        return np.eye(3) + skew + 0.5 * skew @ skew
+    return (
+        np.eye(3)
+        + (np.sin(theta) / theta) * skew
+        + ((1.0 - np.cos(theta)) / theta**2) * (skew @ skew)
+    )
+
+
+def so3_log(rotation: np.ndarray) -> np.ndarray:
+    """Logarithm map from SO(3) to so(3)."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    cos_theta = np.clip((np.trace(rotation) - 1.0) / 2.0, -1.0, 1.0)
+    theta = float(np.arccos(cos_theta))
+    if theta < 1e-8:
+        return vee(rotation - rotation.T) / 2.0
+    if abs(np.pi - theta) < 1e-6:
+        # Near pi the standard formula is ill-conditioned; recover the axis
+        # from the symmetric part.
+        sym = (rotation + np.eye(3)) / 2.0
+        axis = np.sqrt(np.clip(np.diag(sym), 0.0, None))
+        # Fix signs using off-diagonal entries.
+        if axis[0] > _EPS:
+            axis[1] = np.copysign(axis[1], sym[0, 1])
+            axis[2] = np.copysign(axis[2], sym[0, 2])
+        elif axis[1] > _EPS:
+            axis[2] = np.copysign(axis[2], sym[1, 2])
+        axis = axis / max(np.linalg.norm(axis), _EPS)
+        return theta * axis
+    return theta / (2.0 * np.sin(theta)) * vee(rotation - rotation.T)
+
+
+def _left_jacobian(omega: np.ndarray) -> np.ndarray:
+    """Left Jacobian of SO(3), used for the SE(3) exponential."""
+    theta = float(np.linalg.norm(omega))
+    skew = hat(omega)
+    if theta < 1e-8:
+        return np.eye(3) + 0.5 * skew + skew @ skew / 6.0
+    return (
+        np.eye(3)
+        + ((1.0 - np.cos(theta)) / theta**2) * skew
+        + ((theta - np.sin(theta)) / theta**3) * (skew @ skew)
+    )
+
+
+@dataclass(frozen=True)
+class SE3:
+    """A rigid transform ``x -> R @ x + t``.
+
+    Instances are immutable; all operations return new :class:`SE3` objects.
+    """
+
+    rotation: np.ndarray
+    translation: np.ndarray
+
+    def __post_init__(self) -> None:
+        rotation = check_shape(check_array(self.rotation, "rotation"), (3, 3), "rotation")
+        translation = check_shape(
+            check_array(self.translation, "translation"), (3,), "translation"
+        )
+        object.__setattr__(self, "rotation", rotation)
+        object.__setattr__(self, "translation", translation)
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def identity() -> "SE3":
+        """Return the identity transform."""
+        return SE3(np.eye(3), np.zeros(3))
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray) -> "SE3":
+        """Build from a 4x4 homogeneous matrix."""
+        matrix = check_shape(check_array(matrix, "matrix"), (4, 4), "matrix")
+        return SE3(matrix[:3, :3], matrix[:3, 3])
+
+    @staticmethod
+    def exp(twist: np.ndarray) -> "SE3":
+        """Exponential map from a 6-vector twist ``(rho, omega)`` to SE(3)."""
+        twist = check_shape(check_array(twist, "twist"), (6,), "twist")
+        rho, omega = twist[:3], twist[3:]
+        rotation = so3_exp(omega)
+        translation = _left_jacobian(omega) @ rho
+        return SE3(rotation, translation)
+
+    @staticmethod
+    def look_at(eye: np.ndarray, target: np.ndarray, up=(0.0, 0.0, 1.0)) -> "SE3":
+        """Return the world-to-camera transform of a camera at ``eye`` looking at ``target``.
+
+        The camera convention is +z forward, +x right, +y down (OpenCV).
+        """
+        eye = check_array(eye, "eye")
+        target = check_array(target, "target")
+        up = check_array(up, "up")
+        forward = target - eye
+        norm = np.linalg.norm(forward)
+        if norm < _EPS:
+            raise ValueError("eye and target coincide; cannot build look_at pose")
+        forward = forward / norm
+        right = np.cross(forward, up)
+        if np.linalg.norm(right) < _EPS:
+            # Forward parallel to up: pick an arbitrary orthogonal right vector.
+            right = np.cross(forward, np.array([1.0, 0.0, 0.0]))
+            if np.linalg.norm(right) < _EPS:
+                right = np.cross(forward, np.array([0.0, 1.0, 0.0]))
+        right = right / np.linalg.norm(right)
+        down = np.cross(forward, right)
+        rotation_wc = np.stack([right, down, forward], axis=1)  # camera-to-world
+        rotation_cw = rotation_wc.T
+        translation_cw = -rotation_cw @ eye
+        return SE3(rotation_cw, translation_cw)
+
+    # -- core operations ---------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """Return the 4x4 homogeneous matrix."""
+        out = np.eye(4)
+        out[:3, :3] = self.rotation
+        out[:3, 3] = self.translation
+        return out
+
+    def inverse(self) -> "SE3":
+        """Return the inverse transform."""
+        rot_inv = self.rotation.T
+        return SE3(rot_inv, -rot_inv @ self.translation)
+
+    def compose(self, other: "SE3") -> "SE3":
+        """Return ``self @ other`` (apply ``other`` first)."""
+        return SE3(
+            self.rotation @ other.rotation,
+            self.rotation @ other.translation + self.translation,
+        )
+
+    def __matmul__(self, other: "SE3") -> "SE3":
+        return self.compose(other)
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(N, 3)`` array of points (or a single 3-vector)."""
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        pts = np.atleast_2d(points)
+        out = pts @ self.rotation.T + self.translation
+        return out[0] if single else out
+
+    def log(self) -> np.ndarray:
+        """Logarithm map to a 6-vector twist ``(rho, omega)``."""
+        omega = so3_log(self.rotation)
+        jac = _left_jacobian(omega)
+        rho = np.linalg.solve(jac, self.translation)
+        return np.concatenate([rho, omega])
+
+    def retract(self, twist: np.ndarray) -> "SE3":
+        """Left-multiplicative update ``exp(twist) @ self`` used by tracking."""
+        return SE3.exp(twist) @ self
+
+    def distance(self, other: "SE3") -> tuple[float, float]:
+        """Return ``(translation_distance, rotation_angle_radians)`` to ``other``."""
+        delta = self.inverse() @ other
+        trans = float(np.linalg.norm(delta.translation))
+        angle = float(np.linalg.norm(so3_log(delta.rotation)))
+        return trans, angle
+
+    def almost_equal(self, other: "SE3", atol: float = 1e-9) -> bool:
+        """Return True when both transforms agree within ``atol``."""
+        return bool(
+            np.allclose(self.rotation, other.rotation, atol=atol)
+            and np.allclose(self.translation, other.translation, atol=atol)
+        )
+
+
+def quaternion_to_rotation(quaternion: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions ``(N, 4)`` in ``(w, x, y, z)`` order to rotation matrices.
+
+    Quaternions are normalised internally, matching the 3DGS convention of
+    storing unconstrained quaternion parameters.
+    """
+    quat = np.atleast_2d(np.asarray(quaternion, dtype=np.float64))
+    norm = np.linalg.norm(quat, axis=1, keepdims=True)
+    norm = np.where(norm < _EPS, 1.0, norm)
+    w, x, y, z = (quat / norm).T
+    rot = np.empty((quat.shape[0], 3, 3))
+    rot[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rot[:, 0, 1] = 2 * (x * y - w * z)
+    rot[:, 0, 2] = 2 * (x * z + w * y)
+    rot[:, 1, 0] = 2 * (x * y + w * z)
+    rot[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rot[:, 1, 2] = 2 * (y * z - w * x)
+    rot[:, 2, 0] = 2 * (x * z - w * y)
+    rot[:, 2, 1] = 2 * (y * z + w * x)
+    rot[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    if np.asarray(quaternion).ndim == 1:
+        return rot[0]
+    return rot
+
+
+def rotation_to_quaternion(rotation: np.ndarray) -> np.ndarray:
+    """Convert a rotation matrix to a unit quaternion in ``(w, x, y, z)`` order."""
+    rotation = check_shape(check_array(rotation, "rotation"), (3, 3), "rotation")
+    trace = np.trace(rotation)
+    if trace > 0:
+        s = 0.5 / np.sqrt(trace + 1.0)
+        w = 0.25 / s
+        x = (rotation[2, 1] - rotation[1, 2]) * s
+        y = (rotation[0, 2] - rotation[2, 0]) * s
+        z = (rotation[1, 0] - rotation[0, 1]) * s
+    else:
+        diag = np.diag(rotation)
+        i = int(np.argmax(diag))
+        j, k = (i + 1) % 3, (i + 2) % 3
+        s = np.sqrt(max(rotation[i, i] - rotation[j, j] - rotation[k, k] + 1.0, _EPS)) * 2
+        q = np.zeros(4)
+        q[1 + i] = 0.25 * s
+        q[0] = (rotation[k, j] - rotation[j, k]) / s
+        q[1 + j] = (rotation[j, i] + rotation[i, j]) / s
+        q[1 + k] = (rotation[k, i] + rotation[i, k]) / s
+        w, x, y, z = q
+    quat = np.array([w, x, y, z])
+    return quat / np.linalg.norm(quat)

@@ -1,0 +1,121 @@
+"""Real spherical harmonics (SH) colour model.
+
+3DGS stores view-dependent colour as SH coefficients per Gaussian.  The SLAM
+pipelines in the paper use low SH degrees (degree 0 during mapping on edge
+devices) for speed; we support degrees 0-2 with analytic gradients with
+respect to the coefficients so mapping can optionally optimise them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Real SH basis constants (as in the reference 3DGS implementation).
+SH_C0 = 0.28209479177387814
+SH_C1 = 0.4886025119029199
+SH_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+
+_COEFFS_PER_DEGREE = {0: 1, 1: 4, 2: 9}
+
+
+def n_sh_coeffs(degree: int) -> int:
+    """Number of SH coefficients per colour channel for ``degree``."""
+    if degree not in _COEFFS_PER_DEGREE:
+        raise ValueError(f"SH degree must be 0, 1, or 2; got {degree}")
+    return _COEFFS_PER_DEGREE[degree]
+
+
+def sh_basis(directions: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate the real SH basis for unit ``directions`` ``(N, 3)``.
+
+    Returns an ``(N, n_coeffs)`` array.  Directions are normalised internally.
+    """
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    d = directions / norms
+    x, y, z = d[:, 0], d[:, 1], d[:, 2]
+    n = d.shape[0]
+    n_coeffs = n_sh_coeffs(degree)
+    basis = np.zeros((n, n_coeffs))
+    basis[:, 0] = SH_C0
+    if degree >= 1:
+        basis[:, 1] = -SH_C1 * y
+        basis[:, 2] = SH_C1 * z
+        basis[:, 3] = -SH_C1 * x
+    if degree >= 2:
+        basis[:, 4] = SH_C2[0] * x * y
+        basis[:, 5] = SH_C2[1] * y * z
+        basis[:, 6] = SH_C2[2] * (2.0 * z * z - x * x - y * y)
+        basis[:, 7] = SH_C2[3] * x * z
+        basis[:, 8] = SH_C2[4] * (x * x - y * y)
+    return basis
+
+
+def eval_sh(coefficients: np.ndarray, directions: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate SH colour for each Gaussian along a viewing direction.
+
+    Parameters
+    ----------
+    coefficients:
+        ``(N, n_coeffs, 3)`` SH coefficients per Gaussian per channel.
+    directions:
+        ``(N, 3)`` viewing directions (Gaussian centre minus camera centre).
+    degree:
+        SH degree (0-2).
+
+    Returns
+    -------
+    ``(N, 3)`` RGB colours clipped to ``[0, 1]``.  Following the 3DGS
+    convention the DC term is offset by +0.5.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    n_coeffs = n_sh_coeffs(degree)
+    if coefficients.ndim != 3 or coefficients.shape[2] != 3:
+        raise ValueError(
+            f"coefficients must have shape (N, n_coeffs, 3), got {coefficients.shape}"
+        )
+    if coefficients.shape[1] < n_coeffs:
+        raise ValueError(
+            f"degree {degree} requires {n_coeffs} coefficients, got {coefficients.shape[1]}"
+        )
+    basis = sh_basis(directions, degree)
+    colours = np.einsum("nk,nkc->nc", basis, coefficients[:, :n_coeffs, :])
+    return np.clip(colours + 0.5, 0.0, 1.0)
+
+
+def eval_sh_gradient(
+    dL_dcolours: np.ndarray, directions: np.ndarray, degree: int, n_total_coeffs: int
+) -> np.ndarray:
+    """Backpropagate colour gradients to SH coefficient gradients.
+
+    The clipping in :func:`eval_sh` is ignored (treated as identity), matching
+    the straight-through behaviour of the reference CUDA implementation.
+
+    Returns an ``(N, n_total_coeffs, 3)`` gradient array, zero-padded beyond the
+    active degree.
+    """
+    dL_dcolours = np.asarray(dL_dcolours, dtype=np.float64)
+    basis = sh_basis(directions, degree)
+    n = dL_dcolours.shape[0]
+    grads = np.zeros((n, n_total_coeffs, 3))
+    grads[:, : basis.shape[1], :] = basis[:, :, None] * dL_dcolours[:, None, :]
+    return grads
+
+
+def rgb_to_sh_dc(rgb: np.ndarray) -> np.ndarray:
+    """Convert an RGB colour in [0, 1] to the SH DC coefficient producing it."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    return (rgb - 0.5) / SH_C0
+
+
+def sh_dc_to_rgb(dc: np.ndarray) -> np.ndarray:
+    """Convert SH DC coefficients to the RGB colour they produce."""
+    dc = np.asarray(dc, dtype=np.float64)
+    return np.clip(dc * SH_C0 + 0.5, 0.0, 1.0)

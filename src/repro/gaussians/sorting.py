@@ -1,0 +1,80 @@
+"""Step 2 *Sorting*: per-tile depth ordering of the projected Gaussians.
+
+The forward pass sorts fragments front-to-back so alpha blending composites in
+the correct occlusion order; the backward pass walks the same lists back-to-
+front.  RTGS exploits the fact that these tile/Gaussian intersection lists stay
+nearly constant across the iterations of one frame (Observation 6), so this
+module also exposes the *intersection signature* used to measure the change
+ratio that drives the adaptive pruning interval (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.projection import ProjectedGaussians
+from repro.gaussians.tiling import TileGrid, assign_tiles
+
+
+@dataclass
+class TileIntersections:
+    """Per-tile, depth-sorted lists of projected-Gaussian rows."""
+
+    grid: TileGrid
+    per_tile: list[np.ndarray]
+    projected: ProjectedGaussians
+
+    @property
+    def n_pairs(self) -> int:
+        """Total number of (tile, Gaussian) intersection pairs."""
+        return int(sum(len(rows) for rows in self.per_tile))
+
+    def tile_gaussian_counts(self) -> np.ndarray:
+        """Return the number of Gaussians intersecting each tile."""
+        return np.array([len(rows) for rows in self.per_tile], dtype=int)
+
+    def intersection_signature(self) -> set[int]:
+        """Return a hashable set of (tile, source-Gaussian) pair codes.
+
+        The adaptive pruner compares signatures from consecutive pruning
+        windows to compute the tile-Gaussian intersection change ratio.
+        """
+        codes: set[int] = set()
+        source_indices = self.projected.indices
+        n_tiles = self.grid.n_tiles
+        for tile_id, rows in enumerate(self.per_tile):
+            for row in rows:
+                codes.add(int(source_indices[row]) * n_tiles + tile_id)
+        return codes
+
+
+def sort_by_depth(rows: np.ndarray, depths: np.ndarray) -> np.ndarray:
+    """Return ``rows`` reordered front-to-back by ``depths[rows]`` (stable)."""
+    if rows.size == 0:
+        return rows
+    order = np.argsort(depths[rows], kind="stable")
+    return rows[order]
+
+
+def build_tile_lists(projected: ProjectedGaussians, grid: TileGrid) -> TileIntersections:
+    """Run tile intersection and per-tile depth sorting (Steps 1-2 and 2)."""
+    assignments = assign_tiles(projected, grid)
+    sorted_lists = [sort_by_depth(rows, projected.depths) for rows in assignments]
+    return TileIntersections(grid=grid, per_tile=sorted_lists, projected=projected)
+
+
+def intersection_change_ratio(before: set[int], after: set[int]) -> float:
+    """Fraction of (tile, Gaussian) pairs that changed between two signatures.
+
+    Defined as the size of the symmetric difference divided by the size of the
+    union (0.0 when identical, 1.0 when disjoint).  Used to adapt the pruning
+    interval ``K``: > 5% change halves the interval, otherwise it doubles.
+    """
+    if not before and not after:
+        return 0.0
+    union = before | after
+    if not union:
+        return 0.0
+    return len(before ^ after) / len(union)

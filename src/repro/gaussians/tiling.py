@@ -1,0 +1,128 @@
+"""Step 1-2 *Tile intersection*: assigning 2D Gaussians to image tiles.
+
+The image is partitioned into 16x16-pixel tiles (the GPU rasterizer
+convention followed by the paper).  RTGS further splits each tile into 4x4
+*subtiles*, the unit of work dispatched to one Rendering Engine; the
+:class:`TileGrid` exposes both granularities so the hardware model and the
+rasterizer agree on the pixel-to-unit mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.projection import ProjectedGaussians
+
+DEFAULT_TILE_SIZE = 16
+DEFAULT_SUBTILE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Partition of a ``width`` x ``height`` image into square tiles and subtiles."""
+
+    width: int
+    height: int
+    tile_size: int = DEFAULT_TILE_SIZE
+    subtile_size: int = DEFAULT_SUBTILE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.tile_size <= 0 or self.subtile_size <= 0:
+            raise ValueError("tile_size and subtile_size must be positive")
+        if self.tile_size % self.subtile_size != 0:
+            raise ValueError(
+                f"tile_size ({self.tile_size}) must be a multiple of subtile_size "
+                f"({self.subtile_size})"
+            )
+
+    # -- tile level ---------------------------------------------------------
+    @property
+    def n_tiles_x(self) -> int:
+        return (self.width + self.tile_size - 1) // self.tile_size
+
+    @property
+    def n_tiles_y(self) -> int:
+        return (self.height + self.tile_size - 1) // self.tile_size
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_tiles_x * self.n_tiles_y
+
+    def tile_bounds(self, tile_id: int) -> tuple[int, int, int, int]:
+        """Return ``(x0, y0, x1, y1)`` pixel bounds (exclusive upper) of a tile."""
+        if not 0 <= tile_id < self.n_tiles:
+            raise IndexError(f"tile_id {tile_id} out of range [0, {self.n_tiles})")
+        ty, tx = divmod(tile_id, self.n_tiles_x)
+        x0 = tx * self.tile_size
+        y0 = ty * self.tile_size
+        return x0, y0, min(x0 + self.tile_size, self.width), min(y0 + self.tile_size, self.height)
+
+    def tile_pixel_coordinates(self, tile_id: int) -> np.ndarray:
+        """Return the ``(P, 2)`` pixel-centre (u, v) coordinates inside a tile."""
+        x0, y0, x1, y1 = self.tile_bounds(tile_id)
+        us = np.arange(x0, x1, dtype=np.float64) + 0.5
+        vs = np.arange(y0, y1, dtype=np.float64) + 0.5
+        grid_u, grid_v = np.meshgrid(us, vs)
+        return np.stack([grid_u.ravel(), grid_v.ravel()], axis=1)
+
+    # -- subtile level --------------------------------------------------------
+    @property
+    def subtiles_per_tile(self) -> int:
+        per_side = self.tile_size // self.subtile_size
+        return per_side * per_side
+
+    @property
+    def pixels_per_subtile(self) -> int:
+        return self.subtile_size * self.subtile_size
+
+    def subtile_of_pixel_offsets(self, tile_id: int) -> np.ndarray:
+        """Return the subtile index (within the tile) of each pixel of ``tile_id``.
+
+        The array is aligned with :meth:`tile_pixel_coordinates` (row-major over
+        the tile's pixels).
+        """
+        x0, y0, x1, y1 = self.tile_bounds(tile_id)
+        us = np.arange(x0, x1)
+        vs = np.arange(y0, y1)
+        grid_u, grid_v = np.meshgrid(us, vs)
+        local_u = grid_u - x0
+        local_v = grid_v - y0
+        per_side = self.tile_size // self.subtile_size
+        subtile = (local_v // self.subtile_size) * per_side + (local_u // self.subtile_size)
+        return subtile.ravel()
+
+    # -- assignment -----------------------------------------------------------
+    def tiles_overlapping(self, mean2d: np.ndarray, radius: float) -> np.ndarray:
+        """Return the tile ids whose pixel rectangle overlaps the splat bounding box."""
+        x_min = int(np.floor((mean2d[0] - radius) / self.tile_size))
+        x_max = int(np.floor((mean2d[0] + radius) / self.tile_size))
+        y_min = int(np.floor((mean2d[1] - radius) / self.tile_size))
+        y_max = int(np.floor((mean2d[1] + radius) / self.tile_size))
+        x_min = max(x_min, 0)
+        y_min = max(y_min, 0)
+        x_max = min(x_max, self.n_tiles_x - 1)
+        y_max = min(y_max, self.n_tiles_y - 1)
+        if x_max < x_min or y_max < y_min:
+            return np.zeros(0, dtype=int)
+        xs = np.arange(x_min, x_max + 1)
+        ys = np.arange(y_min, y_max + 1)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        return (grid_y * self.n_tiles_x + grid_x).ravel()
+
+
+def assign_tiles(projected: ProjectedGaussians, grid: TileGrid) -> list[np.ndarray]:
+    """Assign each projected Gaussian to the tiles its bounding box overlaps.
+
+    Returns a list of length ``grid.n_tiles``; entry ``t`` holds the projected
+    indices (rows of ``projected``) that intersect tile ``t``, in input order
+    (depth sorting happens in :mod:`repro.gaussians.sorting`).
+    """
+    per_tile: list[list[int]] = [[] for _ in range(grid.n_tiles)]
+    means = projected.means2d
+    radii = projected.radii
+    for row in range(projected.n_visible):
+        for tile_id in grid.tiles_overlapping(means[row], float(radii[row])):
+            per_tile[int(tile_id)].append(row)
+    return [np.asarray(rows, dtype=int) for rows in per_tile]

@@ -1,0 +1,72 @@
+"""Hardware substrate: cycle/energy models of the GPU baseline and the RTGS plug-in."""
+
+from repro.hardware.atomic import AtomicAddModel, DISTWARModel, aggregation_reduction
+from repro.hardware.config import (
+    DEVICE_SPECS,
+    TECHNOLOGY_SCALING,
+    DeviceSpec,
+    RTGSArchitectureConfig,
+    scale_device,
+)
+from repro.hardware.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParameters,
+    energy_efficiency_improvement,
+)
+from repro.hardware.gauspu import GauSPUModel, gauspu_architecture
+from repro.hardware.gmu import BenesNetwork, GradientMergingUnit
+from repro.hardware.gpu_model import EdgeGPUModel, GPUCostParameters, StageLatency
+from repro.hardware.interface import (
+    FrameTransaction,
+    RTGSInterface,
+    RTGSStatus,
+    SharedFlagBuffer,
+)
+from repro.hardware.plugin import (
+    RTGSFeatureFlags,
+    RTGSPlugin,
+    SystemEvaluation,
+    evaluate_configurations,
+    evaluate_system,
+)
+from repro.hardware.preprocessing_engine import PreprocessingEngine
+from repro.hardware.rendering_engine import RBBuffer, RenderingEngine
+from repro.hardware.wsu import SchedulingMode, WorkloadSchedulingUnit, WSUResult
+
+__all__ = [
+    "AtomicAddModel",
+    "BenesNetwork",
+    "DEVICE_SPECS",
+    "DISTWARModel",
+    "DeviceSpec",
+    "EdgeGPUModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "FrameTransaction",
+    "GPUCostParameters",
+    "GauSPUModel",
+    "GradientMergingUnit",
+    "PreprocessingEngine",
+    "RBBuffer",
+    "RTGSArchitectureConfig",
+    "RTGSFeatureFlags",
+    "RTGSInterface",
+    "RTGSPlugin",
+    "RTGSStatus",
+    "RenderingEngine",
+    "SchedulingMode",
+    "SharedFlagBuffer",
+    "StageLatency",
+    "SystemEvaluation",
+    "TECHNOLOGY_SCALING",
+    "WSUResult",
+    "WorkloadSchedulingUnit",
+    "aggregation_reduction",
+    "energy_efficiency_improvement",
+    "evaluate_configurations",
+    "evaluate_system",
+    "gauspu_architecture",
+    "scale_device",
+]

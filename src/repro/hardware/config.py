@@ -1,0 +1,186 @@
+"""Hardware configuration tables (Tab. 4 and Tab. 5 of the paper).
+
+``RTGSArchitectureConfig`` captures the plug-in's compute/memory provisioning
+and the per-unit cycle latencies quoted in Sec. 5 (12-cycle alpha computing,
+3-cycle alpha blending, 20-cycle alpha-gradient computation reduced to 4 with
+the R&B Buffer, 8-cycle 2D covariance/position gradients).  ``DEVICE_SPECS``
+reproduces the device comparison table, including the DeepScaleTool-scaled
+12 nm and 8 nm RTGS variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One row of the paper's device-specification table (Tab. 5)."""
+
+    name: str
+    technology_nm: int
+    sram_kb: float
+    n_cores: int
+    core_description: str
+    area_mm2: float
+    power_w: float
+    frequency_ghz: float
+    # Fraction of peak core throughput these memory-bound SLAM kernels sustain;
+    # big discrete GPUs are harder to fill with small per-tile kernels.
+    kernel_utilization: float = 0.35
+
+
+DEVICE_SPECS: dict[str, DeviceSpec] = {
+    "onx": DeviceSpec(
+        name="ONX",
+        technology_nm=8,
+        sram_kb=4096.0,
+        n_cores=512,
+        core_description="512 CUDA cores",
+        area_mm2=450.0,
+        power_w=15.0,
+        frequency_ghz=0.918,
+    ),
+    "rtx3090": DeviceSpec(
+        name="RTX 3090",
+        technology_nm=8,
+        sram_kb=80.25 * 1024,
+        n_cores=5248,
+        core_description="5248 CUDA cores",
+        area_mm2=628.0,
+        power_w=352.0,
+        frequency_ghz=1.7,
+        kernel_utilization=0.06,
+    ),
+    "gauspu": DeviceSpec(
+        name="GauSPU",
+        technology_nm=12,
+        sram_kb=560.0,
+        n_cores=160,
+        core_description="128 REs / 32 BEs",
+        area_mm2=30.0,
+        power_w=9.4,
+        frequency_ghz=0.5,
+    ),
+    "rtgs": DeviceSpec(
+        name="RTGS",
+        technology_nm=28,
+        sram_kb=197.0,
+        n_cores=32,
+        core_description="16 REs / 16 PEs",
+        area_mm2=28.41,
+        power_w=8.11,
+        frequency_ghz=0.5,
+    ),
+    "rtgs-12nm": DeviceSpec(
+        name="RTGS-12nm",
+        technology_nm=12,
+        sram_kb=197.0,
+        n_cores=32,
+        core_description="16 REs / 16 PEs",
+        area_mm2=6.49,
+        power_w=4.63,
+        frequency_ghz=0.5,
+    ),
+    "rtgs-8nm": DeviceSpec(
+        name="RTGS-8nm",
+        technology_nm=8,
+        sram_kb=197.0,
+        n_cores=32,
+        core_description="16 REs / 16 PEs",
+        area_mm2=2.40,
+        power_w=3.76,
+        frequency_ghz=0.5,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RTGSArchitectureConfig:
+    """The RTGS plug-in provisioning and unit latencies (Tab. 4 + Sec. 5)."""
+
+    # Compute resources.
+    n_rendering_engines: int = 16
+    rcs_per_re: int = 8
+    n_preprocessing_engines: int = 16
+    gaussians_per_pe: int = 16
+    n_gmus: int = 4
+    frequency_hz: float = 500e6
+
+    # Geometry of the parallel compute.
+    tile_size: int = 16
+    subtile_size: int = 4
+
+    # Unit latencies in cycles (Sec. 5.2-5.4).
+    alpha_compute_cycles: int = 12
+    alpha_blend_cycles: int = 3
+    alpha_grad_cycles_baseline: int = 20
+    alpha_grad_cycles_reuse: int = 4
+    grad_2d_cycles: int = 8
+    pe_gaussian_cycles: int = 6
+    pose_merge_tree_latency: int = 8
+    gmu_tree_latency: int = 4
+    gmu_inputs_per_cycle: int = 4
+
+    # On-chip memory (KB), mirroring Tab. 4.
+    gaussian_cache_kb: float = 80.0
+    pixel_buffer_kb: float = 24.0
+    buffer_2d_kb: float = 20.0
+    rb_buffer_kb: float = 16.0
+    stage_buffer_kb: float = 16.0
+    buffer_3d_kb: float = 10.0
+    output_buffer_kb: float = 15.0
+    wsu_buffer_kb: float = 16.0
+    l2_cache_mb: float = 2.0
+
+    # Physical characteristics (28 nm synthesis, Tab. 4).
+    area_mm2: float = 28.41
+    power_w: float = 8.11
+
+    @property
+    def pixels_per_subtile(self) -> int:
+        return self.subtile_size * self.subtile_size
+
+    @property
+    def total_sram_kb(self) -> float:
+        """Total dedicated SRAM (197 KB in Tab. 4)."""
+        return (
+            self.gaussian_cache_kb
+            + self.pixel_buffer_kb
+            + self.buffer_2d_kb
+            + self.rb_buffer_kb
+            + self.stage_buffer_kb
+            + self.buffer_3d_kb
+            + self.output_buffer_kb
+            + self.wsu_buffer_kb
+        )
+
+
+# Scaling factors relative to 28 nm, in the spirit of DeepScaleTool: area and
+# power shrink with the technology node at 0.8 V / 500 MHz.
+TECHNOLOGY_SCALING = {
+    28: {"area": 1.0, "power": 1.0},
+    12: {"area": 6.49 / 28.41, "power": 4.63 / 8.11},
+    8: {"area": 2.40 / 28.41, "power": 3.76 / 8.11},
+}
+
+
+def scale_device(spec: DeviceSpec, target_nm: int) -> DeviceSpec:
+    """Scale an RTGS-class device spec to another technology node."""
+    if spec.technology_nm not in TECHNOLOGY_SCALING or target_nm not in TECHNOLOGY_SCALING:
+        raise ValueError(
+            f"unsupported technology nodes {spec.technology_nm} -> {target_nm}; "
+            f"supported: {sorted(TECHNOLOGY_SCALING)}"
+        )
+    base = TECHNOLOGY_SCALING[spec.technology_nm]
+    target = TECHNOLOGY_SCALING[target_nm]
+    return DeviceSpec(
+        name=f"{spec.name}-{target_nm}nm",
+        technology_nm=target_nm,
+        sram_kb=spec.sram_kb,
+        n_cores=spec.n_cores,
+        core_description=spec.core_description,
+        area_mm2=spec.area_mm2 * target["area"] / base["area"],
+        power_w=spec.power_w * target["power"] / base["power"],
+        frequency_ghz=spec.frequency_ghz,
+    )

@@ -1,0 +1,94 @@
+"""Energy model for the GPU baseline and the RTGS plug-in.
+
+Per-frame energy is the sum of a dynamic part (arithmetic operations and
+memory accesses, each charged a per-event energy that depends on where the
+data lives) and a static part (device power integrated over the frame
+latency).  The per-event energies follow the usual 28/8 nm ballpark figures
+used in accelerator papers; the *relative* energy efficiency between devices -
+the quantity Fig. 15(b) reports - is dominated by the latency reduction and
+the replacement of DRAM/L2 traffic by small dedicated SRAMs, both of which the
+model captures explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event energies in Joules."""
+
+    mac_energy: float = 2.0e-12
+    sram_access_energy: float = 5.0e-12
+    l2_access_energy: float = 2.5e-11
+    dram_access_energy: float = 2.0e-10
+
+    @staticmethod
+    def for_technology(technology_nm: int) -> "EnergyParameters":
+        """Scale the default 28 nm energies to another node."""
+        scale = {28: 1.0, 12: 0.55, 8: 0.4}.get(technology_nm, 1.0)
+        base = EnergyParameters()
+        return EnergyParameters(
+            mac_energy=base.mac_energy * scale,
+            sram_access_energy=base.sram_access_energy * scale,
+            l2_access_energy=base.l2_access_energy * scale,
+            dram_access_energy=base.dram_access_energy * scale,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one frame, split by source."""
+
+    compute_j: float = 0.0
+    sram_j: float = 0.0
+    l2_j: float = 0.0
+    dram_j: float = 0.0
+    static_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.sram_j + self.l2_j + self.dram_j + self.static_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_j=self.compute_j + other.compute_j,
+            sram_j=self.sram_j + other.sram_j,
+            l2_j=self.l2_j + other.l2_j,
+            dram_j=self.dram_j + other.dram_j,
+            static_j=self.static_j + other.static_j,
+        )
+
+
+class EnergyModel:
+    """Turns operation/access counts plus latency into an energy estimate."""
+
+    def __init__(self, parameters: EnergyParameters | None = None, static_power_w: float = 10.0):
+        self.parameters = parameters or EnergyParameters()
+        self.static_power_w = float(static_power_w)
+
+    def energy(
+        self,
+        compute_ops: float,
+        sram_accesses: float = 0.0,
+        l2_accesses: float = 0.0,
+        dram_accesses: float = 0.0,
+        latency_s: float = 0.0,
+    ) -> EnergyBreakdown:
+        """Energy of a workload chunk described by its event counts."""
+        params = self.parameters
+        return EnergyBreakdown(
+            compute_j=compute_ops * params.mac_energy,
+            sram_j=sram_accesses * params.sram_access_energy,
+            l2_j=l2_accesses * params.l2_access_energy,
+            dram_j=dram_accesses * params.dram_access_energy,
+            static_j=self.static_power_w * latency_s,
+        )
+
+
+def energy_efficiency_improvement(baseline_j: float, optimized_j: float) -> float:
+    """Energy-per-frame ratio (``x`` improvement), as reported in Fig. 15(b)."""
+    if optimized_j <= 0:
+        return float("inf")
+    return baseline_j / optimized_j

@@ -1,0 +1,119 @@
+"""Gradient Merging Unit (GMU): Benes routing + bypassed reduction trees.
+
+The GMU replaces serialised atomic adds with on-chip aggregation (Sec. 5.3):
+a Benes network clusters incoming pixel-level gradients by Gaussian, a
+reduction tree with bypass links merges each cluster at ``inputs_per_cycle``
+operands per cycle, and a stage queue/buffer accumulates tile-level partial
+sums into Gaussian-level gradients.  The model charges throughput-limited
+cycles for intra-tile merging plus a small per-(tile, Gaussian) cost for the
+stage-buffer accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.hardware.config import RTGSArchitectureConfig
+from repro.slam.records import WorkloadSnapshot
+
+
+@dataclass(frozen=True)
+class BenesNetwork:
+    """An N-input Benes permutation network (used to cluster gradients).
+
+    The network is rearrangeably non-blocking, so any input permutation can be
+    routed; the model only needs its stage count (latency) and switch count
+    (area/energy bookkeeping), but the topology builder is exposed because the
+    unit tests verify the classic ``2 log2(N) - 1`` stage structure.
+    """
+
+    n_inputs: int = 16
+
+    def __post_init__(self) -> None:
+        n = self.n_inputs
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n_inputs must be a power of two >= 2, got {n}")
+
+    @property
+    def n_stages(self) -> int:
+        """Number of switching stages: ``2 log2(N) - 1``."""
+        return 2 * int(np.log2(self.n_inputs)) - 1
+
+    @property
+    def n_switches(self) -> int:
+        """Total 2x2 switches: ``N/2`` per stage."""
+        return self.n_stages * self.n_inputs // 2
+
+    def topology(self) -> nx.DiGraph:
+        """Build the stage graph (nodes are (stage, port), edges are wires)."""
+        graph = nx.DiGraph()
+        n = self.n_inputs
+        for stage in range(self.n_stages + 1):
+            for port in range(n):
+                graph.add_node((stage, port))
+        half = n // 2
+        for stage in range(self.n_stages):
+            # Butterfly-style connectivity: straight edge plus an exchange edge
+            # whose span shrinks then grows across the recursive halves.
+            distance = max(1, half >> min(stage, self.n_stages - 1 - stage))
+            for port in range(n):
+                graph.add_edge((stage, port), (stage + 1, port))
+                graph.add_edge((stage, port), (stage + 1, port ^ distance))
+        return graph
+
+    def is_routable(self) -> bool:
+        """Every input can reach every output (rearrangeable non-blocking check)."""
+        graph = self.topology()
+        for source in range(self.n_inputs):
+            reachable = nx.descendants(graph, (0, source))
+            outputs = {(self.n_stages, port) for port in range(self.n_inputs)}
+            if not outputs.issubset(reachable):
+                return False
+        return True
+
+
+@dataclass
+class GradientMergingUnit:
+    """Cycle model of intra-tile and inter-tile gradient aggregation."""
+
+    config: RTGSArchitectureConfig = None
+    n_gmus: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = RTGSArchitectureConfig()
+        if self.n_gmus is None:
+            self.n_gmus = self.config.n_gmus
+        self.network = BenesNetwork(self.config.n_rendering_engines)
+
+    def tile_merging_cycles(self, update_counts: np.ndarray) -> float:
+        """Cycles to merge one tile's pixel-level updates into tile-level gradients."""
+        counts = np.asarray(update_counts, dtype=np.float64)
+        if counts.size == 0:
+            return 0.0
+        total_updates = float(counts.sum())
+        # Throughput: the reduction tree consumes ``inputs_per_cycle`` operands
+        # per cycle per GMU group; the Benes network and tree depth add a fixed
+        # pipeline latency per tile.
+        throughput_cycles = total_updates / self.config.gmu_inputs_per_cycle
+        latency = self.network.n_stages + self.config.gmu_tree_latency
+        # Stage-buffer accumulation: one read-modify-write per distinct Gaussian.
+        stage_buffer_cycles = float(counts.size)
+        return throughput_cycles + latency + stage_buffer_cycles
+
+    def merging_cycles(self, snapshot: WorkloadSnapshot) -> float:
+        """Total gradient-merging cycles of one backward pass across all GMUs."""
+        per_tile = [
+            self.tile_merging_cycles(counts) for counts in snapshot.per_tile_update_counts
+        ]
+        if not per_tile:
+            return 0.0
+        # Tiles are distributed across the GMU groups; merging overlaps with
+        # rendering backpropagation, so the groups work in parallel.
+        per_gmu = np.zeros(max(self.n_gmus, 1))
+        for index, cycles in enumerate(sorted(per_tile, reverse=True)):
+            per_gmu[index % per_gmu.size] += cycles
+        return float(per_gmu.max())

@@ -1,0 +1,125 @@
+"""Behavioural model of the RTGS programming interface (Listing 1, Sec. 5.5).
+
+The real plug-in exposes two C++ entry points, ``RTGS_execute`` and
+``RTGS_check_status``, coordinated with the GPU SMs through shared-memory flag
+buffers (``Input_done`` -> ``gradient_ready`` -> ``pruning_done``).  This module
+models that handshake so the integration tests can exercise the frame-level
+protocol: keyframes skip the pruning wait and update Gaussians, non-keyframes
+wait for the SMs' pruning step before the optimised pose is written back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class RTGSStatus(str, Enum):
+    """Execution states reported by ``RTGS_check_status``."""
+
+    IDLE = "IDLE"
+    EXECUTING = "EXECUTING"
+    WAIT_PRUNING = "WAIT_PRUNING"
+
+
+@dataclass
+class SharedFlagBuffer:
+    """The shared-memory flags used for SM <-> RTGS synchronisation."""
+
+    input_done: bool = False
+    gradient_ready: bool = False
+    pruning_done: bool = False
+
+    def reset(self) -> None:
+        self.input_done = False
+        self.gradient_ready = False
+        self.pruning_done = False
+
+
+@dataclass
+class FrameTransaction:
+    """Bookkeeping of one ``RTGS_execute`` call."""
+
+    frame_id: int
+    is_keyframe: bool
+    status: RTGSStatus = RTGSStatus.IDLE
+    pose_written_back: bool = False
+    gaussians_updated: bool = False
+
+
+@dataclass
+class RTGSInterface:
+    """Functional model of the plug-in's host-facing interface."""
+
+    flags: SharedFlagBuffer = field(default_factory=SharedFlagBuffer)
+    transactions: dict[int, FrameTransaction] = field(default_factory=dict)
+    _current_frame: int | None = None
+
+    # -- host-side calls ------------------------------------------------------
+    def notify_preprocessing_done(self) -> None:
+        """SMs signal that Step 1-2 (preprocessing + sorting) finished."""
+        self.flags.input_done = True
+
+    def notify_pruning_done(self) -> None:
+        """SMs signal that the pruning pass over the returned gradients finished."""
+        self.flags.pruning_done = True
+        self._advance()
+
+    def RTGS_execute(self, frame_id: int, is_keyframe: bool) -> FrameTransaction:
+        """Trigger RTGS execution for one SLAM frame (mirrors Listing 1)."""
+        if self._current_frame is not None:
+            current = self.transactions[self._current_frame]
+            if current.status not in (RTGSStatus.IDLE,):
+                raise RuntimeError(
+                    f"RTGS is busy with frame {self._current_frame} "
+                    f"(status {current.status}); wait via RTGS_check_status"
+                )
+        if not self.flags.input_done:
+            raise RuntimeError("RTGS_execute called before preprocessing/sorting completed")
+
+        transaction = FrameTransaction(frame_id=frame_id, is_keyframe=is_keyframe)
+        self.transactions[frame_id] = transaction
+        self._current_frame = frame_id
+
+        # Rendering + backpropagation happen on the plug-in, then gradients are
+        # published to the SMs.
+        transaction.status = RTGSStatus.EXECUTING
+        self.flags.gradient_ready = True
+
+        if is_keyframe:
+            # Keyframes skip pruning and pose write-back; gradients update the map.
+            transaction.gaussians_updated = True
+            transaction.status = RTGSStatus.IDLE
+            self._complete(transaction)
+        else:
+            transaction.status = RTGSStatus.WAIT_PRUNING
+        return transaction
+
+    def RTGS_check_status(self, frame_id: int, blocking: bool = False) -> RTGSStatus:
+        """Report the execution status of ``frame_id``.
+
+        With ``blocking=True`` the model resolves the outstanding pruning wait
+        (as if the SMs had just finished), mirroring the host thread blocking
+        until RTGS is idle.
+        """
+        transaction = self.transactions.get(frame_id)
+        if transaction is None:
+            return RTGSStatus.IDLE
+        if blocking and transaction.status == RTGSStatus.WAIT_PRUNING:
+            self.notify_pruning_done()
+        return self.transactions[frame_id].status
+
+    # -- internals ----------------------------------------------------------------
+    def _advance(self) -> None:
+        if self._current_frame is None:
+            return
+        transaction = self.transactions[self._current_frame]
+        if transaction.status == RTGSStatus.WAIT_PRUNING and self.flags.pruning_done:
+            # Non-keyframe: the optimised pose is written back to the L2 cache.
+            transaction.pose_written_back = True
+            transaction.status = RTGSStatus.IDLE
+            self._complete(transaction)
+
+    def _complete(self, transaction: FrameTransaction) -> None:
+        self.flags.reset()
+        self._current_frame = None

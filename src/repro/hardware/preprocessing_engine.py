@@ -1,0 +1,55 @@
+"""Preprocessing Engines (PE), Merging Tree and Pose Computing Unit (Sec. 5.4).
+
+Step 5 Preprocessing BP converts Gaussian-level 2D gradients into 3D Gaussian
+gradients (mapping) and, during tracking, additionally reduces the
+per-Gaussian camera-pose gradients through a Merging Tree into the final pose
+gradient consumed by the Pose Computing Unit.  The PEs process
+``gaussians_per_pe`` Gaussians in parallel each; the model is throughput
+limited with a small tree/update latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.config import RTGSArchitectureConfig
+from repro.slam.records import WorkloadSnapshot
+
+
+@dataclass
+class PreprocessingEngine:
+    """Throughput model of the PE array."""
+
+    config: RTGSArchitectureConfig = None
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = RTGSArchitectureConfig()
+
+    @property
+    def gaussians_per_cycle(self) -> float:
+        """How many Gaussians the PE array retires per ``pe_gaussian_cycles`` window."""
+        return self.config.n_preprocessing_engines * self.config.gaussians_per_pe
+
+    def preprocessing_bp_cycles(self, snapshot: WorkloadSnapshot) -> float:
+        """Cycles for Step 5 over all Gaussians that received gradients."""
+        n_gaussians = snapshot.total_tile_level_updates
+        if n_gaussians == 0:
+            return 0.0
+        batches = np.ceil(n_gaussians / self.gaussians_per_cycle)
+        cycles = batches * self.config.pe_gaussian_cycles
+        if snapshot.stage == "tracking":
+            cycles += self.pose_merge_cycles(n_gaussians)
+        return float(cycles)
+
+    def pose_merge_cycles(self, n_gaussians: int) -> float:
+        """Merging Tree + Pose Computing Unit cycles for the pose gradient."""
+        if n_gaussians <= 0:
+            return 0.0
+        tree_depth = np.ceil(np.log2(max(self.config.n_preprocessing_engines, 2)))
+        batches = np.ceil(
+            n_gaussians / (self.config.n_preprocessing_engines * self.config.gaussians_per_pe)
+        )
+        return float(batches + tree_depth + self.config.pose_merge_tree_latency)

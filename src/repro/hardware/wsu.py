@@ -1,0 +1,141 @@
+"""Workload Scheduling Unit (WSU): pixel pairing + subtile streaming.
+
+The WSU attacks workload imbalance at two levels (Sec. 5.2):
+
+* *pixel level*: within a subtile, pixels with heavy and light fragment counts
+  are paired onto the same RC lane, using the completion order recorded in the
+  previous iteration (a FIFO of light pixels and a LIFO of heavy pixels) - the
+  model reuses the previous iteration's fragment counts the same way, so the
+  pairing is slightly stale, exactly like the hardware;
+* *subtile level*: subtiles are streamed to whichever RE frees up first rather
+  than being statically mapped, which is list scheduling in arrival order.
+
+``schedule`` returns the modelled RE cycles for a whole iteration under a
+selectable combination of the two techniques plus the ideal bound, enabling
+the Fig. 17(a) ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.hardware.config import RTGSArchitectureConfig
+from repro.hardware.rendering_engine import RenderingEngine
+
+
+class SchedulingMode(str, Enum):
+    """Which imbalance-mitigation techniques are active."""
+
+    NONE = "none"
+    STREAMING = "streaming"
+    PAIRING = "pairing"
+    BOTH = "both"
+    IDEAL = "ideal"
+
+
+@dataclass
+class WSUResult:
+    """Outcome of scheduling one iteration's subtiles onto the REs."""
+
+    total_cycles: int
+    per_engine_cycles: np.ndarray
+    imbalance: float  # (max - mean) / max over engines
+    mode: SchedulingMode
+
+
+@dataclass
+class WorkloadSchedulingUnit:
+    """Models the WSU's pairing tables and streaming dispatch."""
+
+    config: RTGSArchitectureConfig
+    engine: RenderingEngine | None = None
+    _previous_fragments: list[np.ndarray] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = RenderingEngine(self.config)
+
+    def reset(self) -> None:
+        """Forget the previous iteration (start of a new frame)."""
+        self._previous_fragments = None
+
+    # -- pixel-level pairing -----------------------------------------------------
+    def pairing_for(self, pixel_fragments: np.ndarray) -> np.ndarray:
+        """Heavy/light pairing of a subtile's pixels: rank k with rank n-1-k."""
+        fragments = np.asarray(pixel_fragments).ravel()
+        expected = self.config.pixels_per_subtile
+        if fragments.size < expected:
+            fragments = np.pad(fragments, (0, expected - fragments.size))
+        order = np.argsort(fragments)
+        n = order.size
+        return np.stack([order[: n // 2], order[::-1][: n // 2]], axis=1)
+
+    # -- iteration-level scheduling --------------------------------------------------
+    def schedule(
+        self,
+        subtile_pixel_fragments: list[np.ndarray],
+        mode: SchedulingMode = SchedulingMode.BOTH,
+        include_backward: bool = True,
+    ) -> WSUResult:
+        """Model RE cycles for an iteration's subtiles under ``mode``.
+
+        Pairing decisions are taken from the *previous* iteration's fragment
+        counts when available (inter-iteration reuse); the current counts are
+        stored for the next call.
+        """
+        mode = SchedulingMode(mode)
+        n_engines = self.config.n_rendering_engines
+        reference = self._reference_fragments(subtile_pixel_fragments)
+
+        subtile_cycles = []
+        for index, fragments in enumerate(subtile_pixel_fragments):
+            pairing = None
+            if mode in (SchedulingMode.PAIRING, SchedulingMode.BOTH, SchedulingMode.IDEAL):
+                source = reference[index] if index < len(reference) else fragments
+                pairing = self.pairing_for(source)
+            subtile_cycles.append(
+                self.engine.subtile_cycles(fragments, pairing, include_backward)
+            )
+        subtile_cycles = np.asarray(subtile_cycles, dtype=np.int64)
+        self._previous_fragments = [np.asarray(f).copy() for f in subtile_pixel_fragments]
+
+        if subtile_cycles.size == 0:
+            return WSUResult(0, np.zeros(n_engines, dtype=np.int64), 0.0, mode)
+
+        if mode == SchedulingMode.IDEAL:
+            per_engine = np.full(n_engines, subtile_cycles.sum() / n_engines)
+        elif mode in (SchedulingMode.STREAMING, SchedulingMode.BOTH):
+            per_engine = self._stream(subtile_cycles, n_engines)
+        else:
+            per_engine = self._static_map(subtile_cycles, n_engines)
+
+        total = int(np.ceil(per_engine.max()))
+        mean = float(per_engine.mean())
+        imbalance = 0.0 if total == 0 else (total - mean) / total
+        return WSUResult(total, per_engine, imbalance, mode)
+
+    # -- internals ----------------------------------------------------------------
+    def _reference_fragments(self, current: list[np.ndarray]) -> list[np.ndarray]:
+        if self._previous_fragments is not None and len(self._previous_fragments) == len(current):
+            return self._previous_fragments
+        return current
+
+    @staticmethod
+    def _static_map(subtile_cycles: np.ndarray, n_engines: int) -> np.ndarray:
+        """Fixed subtile-to-RE mapping (subtile s runs on RE s mod n)."""
+        per_engine = np.zeros(n_engines, dtype=np.float64)
+        for index, cycles in enumerate(subtile_cycles):
+            per_engine[index % n_engines] += cycles
+        return per_engine
+
+    @staticmethod
+    def _stream(subtile_cycles: np.ndarray, n_engines: int) -> np.ndarray:
+        """Streaming dispatch: the next subtile goes to the earliest-free RE."""
+        per_engine = np.zeros(n_engines, dtype=np.float64)
+        for cycles in subtile_cycles:
+            target = int(np.argmin(per_engine))
+            per_engine[target] += cycles
+        return per_engine

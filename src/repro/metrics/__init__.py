@@ -1,0 +1,17 @@
+"""Evaluation metrics used throughout the paper's tables and figures."""
+
+from repro.metrics.image import psnr, rmse, ssim
+from repro.metrics.performance import FPSMeter, gaussian_memory_gb, model_size_report
+from repro.metrics.trajectory import align_trajectories, ate_rmse, cumulative_ate
+
+__all__ = [
+    "FPSMeter",
+    "align_trajectories",
+    "ate_rmse",
+    "cumulative_ate",
+    "gaussian_memory_gb",
+    "model_size_report",
+    "psnr",
+    "rmse",
+    "ssim",
+]

@@ -1,0 +1,93 @@
+"""Trajectory accuracy metrics: Absolute Trajectory Error (ATE).
+
+The paper reports ATE RMSE in centimetres after rigid alignment of the
+estimated and ground-truth trajectories (the standard TUM evaluation
+protocol).  ``cumulative_ate`` reproduces the drift-accumulation curve of
+Fig. 13(b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.se3 import SE3
+
+
+def _positions(trajectory: list[SE3] | np.ndarray) -> np.ndarray:
+    """Extract camera centres from a list of world-to-camera poses or an (N,3) array."""
+    if isinstance(trajectory, np.ndarray):
+        return np.asarray(trajectory, dtype=np.float64).reshape(-1, 3)
+    centres = []
+    for pose in trajectory:
+        # Camera centre in world coordinates is -R^T t for a world-to-camera pose.
+        centres.append(-pose.rotation.T @ pose.translation)
+    return np.asarray(centres)
+
+
+def align_trajectories(
+    estimated: np.ndarray, ground_truth: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rigidly align ``estimated`` onto ``ground_truth`` (Umeyama without scale).
+
+    Returns ``(aligned_estimated, rotation, translation)``.
+    """
+    est = np.asarray(estimated, dtype=np.float64)
+    gt = np.asarray(ground_truth, dtype=np.float64)
+    if est.shape != gt.shape:
+        raise ValueError(f"trajectory shapes differ: {est.shape} vs {gt.shape}")
+    if est.shape[0] == 0:
+        return est.copy(), np.eye(3), np.zeros(3)
+    mu_est = est.mean(axis=0)
+    mu_gt = gt.mean(axis=0)
+    est_c = est - mu_est
+    gt_c = gt - mu_gt
+    covariance = gt_c.T @ est_c / est.shape[0]
+    u, _, vt = np.linalg.svd(covariance)
+    sign = np.sign(np.linalg.det(u @ vt))
+    correction = np.diag([1.0, 1.0, sign])
+    rotation = u @ correction @ vt
+    translation = mu_gt - rotation @ mu_est
+    aligned = est @ rotation.T + translation
+    return aligned, rotation, translation
+
+
+def ate_rmse(
+    estimated: list[SE3] | np.ndarray,
+    ground_truth: list[SE3] | np.ndarray,
+    align: bool = True,
+    scale: float = 100.0,
+) -> float:
+    """Absolute Trajectory Error RMSE.
+
+    ``scale`` converts the scene units to the reported unit; the default of
+    100 matches the paper's centimetres-for-metre-scenes convention.
+    """
+    est = _positions(estimated)
+    gt = _positions(ground_truth)
+    if est.shape != gt.shape:
+        raise ValueError(f"trajectory lengths differ: {est.shape} vs {gt.shape}")
+    if est.shape[0] == 0:
+        return 0.0
+    if align and est.shape[0] >= 3:
+        est, _, _ = align_trajectories(est, gt)
+    errors = np.linalg.norm(est - gt, axis=1)
+    return float(np.sqrt(np.mean(errors**2)) * scale)
+
+
+def cumulative_ate(
+    estimated: list[SE3] | np.ndarray,
+    ground_truth: list[SE3] | np.ndarray,
+    scale: float = 100.0,
+) -> np.ndarray:
+    """Per-frame cumulative ATE curve (no alignment), as in Fig. 13(b).
+
+    Entry ``i`` is the ATE RMSE of the first ``i + 1`` frames, so the curve
+    shows how pose error accumulates ("drift") over the sequence.
+    """
+    est = _positions(estimated)
+    gt = _positions(ground_truth)
+    if est.shape != gt.shape:
+        raise ValueError(f"trajectory lengths differ: {est.shape} vs {gt.shape}")
+    errors_sq = np.sum((est - gt) ** 2, axis=1)
+    cumulative_mean = np.cumsum(errors_sq) / np.arange(1, len(errors_sq) + 1)
+    return np.sqrt(cumulative_mean) * scale

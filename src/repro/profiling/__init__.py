@@ -1,0 +1,21 @@
+"""Profiling tools reproducing the Sec. 3 observations (Figs. 3-6, 10)."""
+
+from repro.profiling.gradients import GradientDistribution, gradient_distribution
+from repro.profiling.latency import latency_breakdown, stage_breakdown
+from repro.profiling.similarity import frame_similarity_series
+from repro.profiling.workload import (
+    iteration_workload_similarity,
+    pixel_workload_distribution,
+    subtile_pair_symmetry,
+)
+
+__all__ = [
+    "GradientDistribution",
+    "frame_similarity_series",
+    "gradient_distribution",
+    "iteration_workload_similarity",
+    "latency_breakdown",
+    "pixel_workload_distribution",
+    "stage_breakdown",
+    "subtile_pair_symmetry",
+]

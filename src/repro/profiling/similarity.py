@@ -1,0 +1,54 @@
+"""Inter-frame similarity profiling (Fig. 5, Observation 5).
+
+Consecutive frames of a SLAM sequence - especially non-keyframes close to a
+keyframe - are highly similar, which motivates dynamic downsampling.  This
+module measures RMSE and SSIM between each frame and its predecessor and
+relates the similarity to the distance from the most recent keyframe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.rgbd import RGBDSequence
+from repro.metrics.image import rmse, ssim
+
+
+def frame_similarity_series(
+    sequence: RGBDSequence,
+    n_frames: int | None = None,
+    keyframe_interval: int = 4,
+) -> dict[str, np.ndarray]:
+    """RMSE/SSIM between consecutive frames plus keyframe-distance labels.
+
+    ``keyframe_interval`` marks every k-th frame as a keyframe (the MonoGS
+    policy used for this profiling figure in the paper).
+    """
+    total = len(sequence) if n_frames is None else min(n_frames, len(sequence))
+    rmse_values, ssim_values, keyframe_distance = [], [], []
+    for index in range(1, total):
+        previous = sequence.frame(index - 1).image
+        current = sequence.frame(index).image
+        rmse_values.append(rmse(previous, current))
+        ssim_values.append(ssim(previous, current))
+        keyframe_distance.append(index % keyframe_interval)
+    return {
+        "rmse": np.asarray(rmse_values),
+        "ssim": np.asarray(ssim_values),
+        "keyframe_distance": np.asarray(keyframe_distance),
+        "frame_index": np.arange(1, total),
+    }
+
+
+def similarity_by_keyframe_distance(series: dict[str, np.ndarray]) -> dict[int, dict[str, float]]:
+    """Group the Fig. 5 series by distance to the most recent keyframe."""
+    out: dict[int, dict[str, float]] = {}
+    distances = series["keyframe_distance"]
+    for distance in sorted(set(int(d) for d in distances)):
+        mask = distances == distance
+        out[distance] = {
+            "rmse": float(series["rmse"][mask].mean()),
+            "ssim": float(series["ssim"][mask].mean()),
+            "count": int(mask.sum()),
+        }
+    return out

@@ -1,0 +1,100 @@
+"""Per-pixel workload profiling (Fig. 6, Fig. 10, Observation 6).
+
+The per-pixel fragment counts recorded by the rasterizer define the rendering
+workload distribution.  The paper exploits two of its properties: consecutive
+iterations of one frame have nearly identical distributions (so scheduling
+decisions can be reused), and within most subtiles heavy and light pixels are
+symmetrically distributed (so pairwise heavy/light scheduling is close to the
+ideal balance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.slam.records import WorkloadSnapshot
+
+
+def pixel_workload_distribution(snapshot: WorkloadSnapshot, n_bins: int = 30) -> dict:
+    """Histogram of per-pixel fragment counts of one iteration (Fig. 6)."""
+    workloads = snapshot.fragments_per_pixel.ravel()
+    max_load = max(int(workloads.max()), 1)
+    counts, edges = np.histogram(workloads, bins=min(n_bins, max_load + 1))
+    return {
+        "counts": counts,
+        "edges": edges,
+        "mean": float(workloads.mean()),
+        "max": int(workloads.max()),
+        "frame_index": snapshot.frame_index,
+        "iteration": snapshot.iteration,
+    }
+
+
+def iteration_workload_similarity(snapshots: list[WorkloadSnapshot]) -> np.ndarray:
+    """Pearson correlation of per-pixel workloads between consecutive iterations.
+
+    Only pairs belonging to the same frame and the same stage (and the same
+    resolution) are compared; the paper's Observation 6 expects values close
+    to one within a frame.
+    """
+    correlations = []
+    for previous, current in zip(snapshots[:-1], snapshots[1:]):
+        if previous.frame_index != current.frame_index or previous.stage != current.stage:
+            continue
+        a = previous.fragments_per_pixel.ravel().astype(np.float64)
+        b = current.fragments_per_pixel.ravel().astype(np.float64)
+        if a.shape != b.shape or a.std() == 0 or b.std() == 0:
+            continue
+        correlations.append(float(np.corrcoef(a, b)[0, 1]))
+    return np.asarray(correlations)
+
+
+def cross_frame_workload_similarity(snapshots: list[WorkloadSnapshot]) -> np.ndarray:
+    """Correlation of workloads between the *first iterations of different frames*.
+
+    Used as the contrast case for Fig. 6: distributions change across frames
+    while staying stable across iterations within one frame.
+    """
+    firsts = [s for s in snapshots if s.iteration == 0 and s.stage == "tracking"]
+    correlations = []
+    for previous, current in zip(firsts[:-1], firsts[1:]):
+        a = previous.fragments_per_pixel.ravel().astype(np.float64)
+        b = current.fragments_per_pixel.ravel().astype(np.float64)
+        if a.shape != b.shape or a.std() == 0 or b.std() == 0:
+            continue
+        correlations.append(float(np.corrcoef(a, b)[0, 1]))
+    return np.asarray(correlations)
+
+
+def subtile_pair_symmetry(snapshot: WorkloadSnapshot, tolerance: float = 0.35) -> dict:
+    """Measure how symmetric heavy/light pixel workloads are within subtiles (Fig. 10).
+
+    For each subtile, pixels are sorted by workload and paired rank-k with
+    rank-(n-1-k); the subtile counts as *symmetric* when every pair's summed
+    workload is within ``tolerance`` of the subtile's mean pair workload.  The
+    paper reports ~89% of subtiles being symmetric, which is what makes cheap
+    pairwise scheduling nearly ideal.
+    """
+    symmetric = 0
+    total = 0
+    pair_balance: list[float] = []
+    for workloads in snapshot.pixel_workloads_per_subtile():
+        if workloads.sum() == 0:
+            continue
+        total += 1
+        ordered = np.sort(workloads)
+        pairs = ordered + ordered[::-1]
+        pairs = pairs[: len(pairs) // 2]
+        mean_pair = pairs.mean()
+        if mean_pair <= 0:
+            symmetric += 1
+            continue
+        deviation = np.abs(pairs - mean_pair).max() / mean_pair
+        pair_balance.append(float(deviation))
+        if deviation <= tolerance:
+            symmetric += 1
+    return {
+        "n_subtiles": total,
+        "symmetric_fraction": symmetric / total if total else 1.0,
+        "mean_pair_deviation": float(np.mean(pair_balance)) if pair_balance else 0.0,
+    }

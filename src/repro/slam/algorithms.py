@@ -1,0 +1,119 @@
+"""Base 3DGS-SLAM algorithm configurations.
+
+The paper evaluates RTGS on four base algorithms that share the same
+tracking/mapping skeleton and differ in a handful of knobs (Sec. 2.3 and
+Tab. 2).  Each factory below captures those distinguishing characteristics:
+
+* :func:`gs_slam` - keyframes on scene change (pose distance), moderate
+  Gaussian counts.
+* :func:`mono_gs` - fixed keyframe interval, denser maps (more Gaussians for
+  monocular detail recovery).
+* :func:`photo_slam` - classical geometric tracking (no rendering BP for the
+  pose), photometric keyframe selection, lighter maps.
+* :func:`splatam` - tracking *and* mapping on every frame, no keyframing.
+
+The ``fast`` flag shrinks iteration counts for unit tests and CI; the default
+profile follows the paper's 15-100 iterations-per-frame regime scaled to the
+synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.slam.mapping import MappingConfig
+from repro.slam.tracking import GeometricTrackingConfig, TrackingConfig
+
+
+@dataclass
+class SLAMConfig:
+    """Complete configuration of one base 3DGS-SLAM algorithm."""
+
+    name: str
+    tracker: str = "gradient"  # "gradient" or "geometric"
+    tracking: TrackingConfig = field(default_factory=TrackingConfig)
+    geometric_tracking: GeometricTrackingConfig = field(default_factory=GeometricTrackingConfig)
+    mapping: MappingConfig = field(default_factory=MappingConfig)
+    keyframe_policy: str = "interval"
+    keyframe_kwargs: dict = field(default_factory=dict)
+    map_every_frame: bool = False
+    init_stride: int = 4
+
+    def iterations_per_frame(self) -> int:
+        """Nominal optimisation iterations per frame (tracking + mapping)."""
+        tracking = 1 if self.tracker == "geometric" else self.tracking.n_iterations
+        return tracking + self.mapping.n_iterations
+
+
+def gs_slam(fast: bool = False) -> SLAMConfig:
+    """GS-SLAM: keyframing on scene change via pose distance."""
+    tracking_iters = 12 if fast else 20
+    mapping_iters = 8 if fast else 14
+    return SLAMConfig(
+        name="gs_slam",
+        tracker="gradient",
+        tracking=TrackingConfig(n_iterations=tracking_iters, pose_learning_rate=3e-3),
+        mapping=MappingConfig(n_iterations=mapping_iters, densify_stride=5),
+        keyframe_policy="pose_distance",
+        keyframe_kwargs={"translation_threshold": 0.22, "rotation_threshold": 0.3},
+        init_stride=4,
+    )
+
+
+def mono_gs(fast: bool = False) -> SLAMConfig:
+    """MonoGS: fixed keyframe interval and denser maps."""
+    tracking_iters = 12 if fast else 22
+    mapping_iters = 8 if fast else 16
+    return SLAMConfig(
+        name="mono_gs",
+        tracker="gradient",
+        tracking=TrackingConfig(n_iterations=tracking_iters, pose_learning_rate=3e-3),
+        mapping=MappingConfig(n_iterations=mapping_iters, densify_stride=4),
+        keyframe_policy="interval",
+        keyframe_kwargs={"interval": 4},
+        init_stride=3,
+    )
+
+
+def photo_slam(fast: bool = False) -> SLAMConfig:
+    """Photo-SLAM: geometric tracking, photometric keyframing, lighter maps."""
+    mapping_iters = 6 if fast else 12
+    return SLAMConfig(
+        name="photo_slam",
+        tracker="geometric",
+        geometric_tracking=GeometricTrackingConfig(depth_stride=2),
+        mapping=MappingConfig(n_iterations=mapping_iters, densify_stride=6),
+        keyframe_policy="photometric",
+        keyframe_kwargs={"rmse_threshold": 0.06},
+        init_stride=5,
+    )
+
+
+def splatam(fast: bool = False) -> SLAMConfig:
+    """SplaTAM: per-frame tracking and mapping, no keyframe distinction."""
+    tracking_iters = 10 if fast else 15
+    mapping_iters = 5 if fast else 10
+    return SLAMConfig(
+        name="splatam",
+        tracker="gradient",
+        tracking=TrackingConfig(n_iterations=tracking_iters, pose_learning_rate=3e-3),
+        mapping=MappingConfig(n_iterations=mapping_iters, densify_stride=5),
+        keyframe_policy="every_frame",
+        map_every_frame=True,
+        init_stride=5,
+    )
+
+
+BASE_ALGORITHMS = {
+    "gs_slam": gs_slam,
+    "mono_gs": mono_gs,
+    "photo_slam": photo_slam,
+    "splatam": splatam,
+}
+
+
+def make_algorithm(name: str, fast: bool = False) -> SLAMConfig:
+    """Look up an algorithm factory by name."""
+    if name not in BASE_ALGORITHMS:
+        raise ValueError(f"unknown algorithm '{name}'; options: {sorted(BASE_ALGORITHMS)}")
+    return BASE_ALGORITHMS[name](fast=fast)

@@ -1,0 +1,91 @@
+"""SLAM frames and resolution handling.
+
+A :class:`Frame` wraps one RGB-D observation together with its (estimated)
+pose and keyframe status.  ``downsample_frame`` implements the resolution
+reduction used by RTGS's dynamic downsampling: the observation is resampled to
+the resolution of a down-scaled camera so that rendering, loss and gradients
+all operate on the reduced pixel count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.datasets.rgbd import RGBDFrame
+from repro.gaussians.camera import Camera
+from repro.gaussians.se3 import SE3
+
+
+@dataclass
+class Frame:
+    """A frame flowing through the SLAM pipeline."""
+
+    index: int
+    image: np.ndarray
+    depth: np.ndarray
+    camera: Camera
+    gt_pose_cw: SE3 | None = None
+    estimated_pose_cw: SE3 | None = None
+    is_keyframe: bool = False
+    resolution_fraction: float = 1.0  # pixel-count fraction relative to full resolution
+
+    @staticmethod
+    def from_rgbd(observation: RGBDFrame) -> "Frame":
+        """Wrap a dataset observation into a pipeline frame."""
+        return Frame(
+            index=observation.index,
+            image=observation.image,
+            depth=observation.depth,
+            camera=observation.camera,
+            gt_pose_cw=observation.gt_pose_cw,
+        )
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        return self.camera.resolution
+
+    @property
+    def n_pixels(self) -> int:
+        return self.camera.n_pixels
+
+    def with_pose(self, pose_cw: SE3) -> "Frame":
+        """Return a copy with the estimated pose set."""
+        return replace(self, estimated_pose_cw=pose_cw)
+
+
+def resample_image(image: np.ndarray, new_height: int, new_width: int) -> np.ndarray:
+    """Nearest-neighbour resampling of an image or depth map to a new resolution."""
+    image = np.asarray(image)
+    height, width = image.shape[:2]
+    row_idx = np.clip(
+        np.round(np.linspace(0, height - 1, new_height)).astype(int), 0, height - 1
+    )
+    col_idx = np.clip(
+        np.round(np.linspace(0, width - 1, new_width)).astype(int), 0, width - 1
+    )
+    return image[np.ix_(row_idx, col_idx)]
+
+
+def downsample_frame(frame: Frame, pixel_fraction: float) -> Frame:
+    """Return a copy of ``frame`` carrying ``pixel_fraction`` of the original pixels.
+
+    ``pixel_fraction`` follows the paper's convention (Sec. 4.2): a value of
+    1/16 means the frame is processed with one sixteenth of the pixels of the
+    full resolution ``R0``.  Values >= 1 return the frame unchanged.
+    """
+    if pixel_fraction >= 1.0:
+        return replace(frame, resolution_fraction=1.0)
+    if pixel_fraction <= 0.0:
+        raise ValueError(f"pixel_fraction must be positive, got {pixel_fraction}")
+    reduced_camera = frame.camera.downscale(1.0 / pixel_fraction)
+    image = resample_image(frame.image, reduced_camera.height, reduced_camera.width)
+    depth = resample_image(frame.depth, reduced_camera.height, reduced_camera.width)
+    return replace(
+        frame,
+        image=image,
+        depth=depth,
+        camera=reduced_camera,
+        resolution_fraction=pixel_fraction,
+    )

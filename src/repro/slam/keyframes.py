@@ -1,0 +1,103 @@
+"""Keyframe selection policies.
+
+Each base 3DGS-SLAM algorithm in the paper uses a different policy (Sec. 6.1):
+GS-SLAM keys on scene change (pose distance), MonoGS on fixed frame intervals,
+Photo-SLAM on photometric change, and SplaTAM maps every frame.  RTGS keeps
+the base algorithm's policy untouched and *reuses* its decision to drive
+dynamic downsampling, which is why the policies live in the SLAM substrate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.slam.frame import Frame
+from repro.slam.losses import image_difference_metrics
+
+
+class KeyframePolicy(ABC):
+    """Decides whether the current frame becomes a keyframe."""
+
+    def reset(self) -> None:
+        """Clear any internal state (called at the start of a sequence)."""
+
+    @abstractmethod
+    def is_keyframe(self, frame: Frame, last_keyframe: Frame | None) -> bool:
+        """Return True when ``frame`` should be promoted to a keyframe."""
+
+
+class EveryFramePolicy(KeyframePolicy):
+    """SplaTAM-style: every frame is mapped (no keyframe distinction)."""
+
+    def is_keyframe(self, frame: Frame, last_keyframe: Frame | None) -> bool:
+        return True
+
+
+class IntervalKeyframePolicy(KeyframePolicy):
+    """MonoGS-style: a keyframe every ``interval`` frames."""
+
+    def __init__(self, interval: int = 5):
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+
+    def is_keyframe(self, frame: Frame, last_keyframe: Frame | None) -> bool:
+        if last_keyframe is None:
+            return True
+        return (frame.index - last_keyframe.index) >= self.interval
+
+
+class PoseDistanceKeyframePolicy(KeyframePolicy):
+    """GS-SLAM-style: keyframe when the camera moved far enough since the last one."""
+
+    def __init__(self, translation_threshold: float = 0.25, rotation_threshold: float = 0.35):
+        self.translation_threshold = float(translation_threshold)
+        self.rotation_threshold = float(rotation_threshold)
+
+    def is_keyframe(self, frame: Frame, last_keyframe: Frame | None) -> bool:
+        if last_keyframe is None:
+            return True
+        current = frame.estimated_pose_cw or frame.gt_pose_cw
+        previous = last_keyframe.estimated_pose_cw or last_keyframe.gt_pose_cw
+        if current is None or previous is None:
+            return False
+        translation, rotation = previous.distance(current)
+        return (
+            translation >= self.translation_threshold
+            or rotation >= self.rotation_threshold
+        )
+
+
+class PhotometricKeyframePolicy(KeyframePolicy):
+    """Photo-SLAM-style: keyframe when image content changed enough."""
+
+    def __init__(self, rmse_threshold: float = 0.08):
+        self.rmse_threshold = float(rmse_threshold)
+
+    def is_keyframe(self, frame: Frame, last_keyframe: Frame | None) -> bool:
+        if last_keyframe is None:
+            return True
+        if frame.image.shape != last_keyframe.image.shape:
+            # Compare at matching resolution by subsampling the larger image.
+            return True
+        metrics = image_difference_metrics(frame.image, last_keyframe.image)
+        return metrics["rmse"] >= self.rmse_threshold
+
+
+def make_keyframe_policy(spec: str, **kwargs) -> KeyframePolicy:
+    """Factory used by the algorithm configuration layer.
+
+    ``spec`` is one of ``every_frame``, ``interval``, ``pose_distance`` or
+    ``photometric``; keyword arguments are forwarded to the policy constructor.
+    """
+    policies = {
+        "every_frame": EveryFramePolicy,
+        "interval": IntervalKeyframePolicy,
+        "pose_distance": PoseDistanceKeyframePolicy,
+        "photometric": PhotometricKeyframePolicy,
+    }
+    if spec not in policies:
+        raise ValueError(f"unknown keyframe policy '{spec}'; options: {sorted(policies)}")
+    return policies[spec](**kwargs)

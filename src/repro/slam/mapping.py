@@ -1,0 +1,208 @@
+"""SLAM mapping: keyframe-driven optimisation of the Gaussian map.
+
+Mapping runs only on keyframes (except for SplaTAM-style pipelines that map
+every frame): it densifies the cloud with new Gaussians where the current
+render under-covers the observation, then optimises Gaussian parameters
+against a small window of recent keyframes with Adam.  The per-iteration
+workload snapshots it emits feed the same profiling and hardware models as
+tracking, since the paper accelerates both stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.backward import render_backward
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.rasterizer import rasterize
+from repro.slam.frame import Frame
+from repro.slam.losses import photometric_geometric_loss
+from repro.slam.optimizer import Adam
+from repro.slam.records import WorkloadSnapshot
+
+
+@dataclass
+class MappingConfig:
+    """Hyper-parameters of the mapper."""
+
+    n_iterations: int = 15
+    position_learning_rate: float = 2e-3
+    color_learning_rate: float = 5e-2
+    opacity_learning_rate: float = 5e-2
+    scale_learning_rate: float = 5e-3
+    lambda_photometric: float = 0.6
+    use_depth: bool = True
+    keyframe_window: int = 3
+    densify_stride: int = 6
+    densify_alpha_threshold: float = 0.5
+    densify_depth_error: float = 0.15
+    opacity_prune_threshold: float = 0.02
+    max_gaussians: int = 60000
+    record_workloads: bool = True
+
+
+@dataclass
+class MappingResult:
+    """Outcome of mapping one keyframe."""
+
+    losses: list[float]
+    n_added: int
+    n_pruned: int
+    snapshots: list[WorkloadSnapshot] = field(default_factory=list)
+
+
+class Mapper:
+    """Keyframe mapper: densification + windowed Gaussian optimisation."""
+
+    def __init__(self, config: MappingConfig | None = None):
+        self.config = config or MappingConfig()
+        self._optimizer = Adam()
+
+    def initialize_map(self, cloud: GaussianCloud, frame: Frame, stride: int = 4) -> int:
+        """Seed the map from the first frame's RGB-D observation; returns Gaussians added."""
+        pose = frame.estimated_pose_cw or frame.gt_pose_cw
+        if pose is None:
+            raise ValueError("frame must carry a pose to initialise the map")
+        seeded = GaussianCloud.from_rgbd(frame.image, frame.depth, frame.camera, pose, stride=stride)
+        cloud.extend(seeded)
+        return len(seeded)
+
+    def map(
+        self,
+        cloud: GaussianCloud,
+        keyframes: list[Frame],
+        map_every_frame: bool = False,
+    ) -> MappingResult:
+        """Densify from the newest keyframe and optimise over the keyframe window."""
+        if not keyframes:
+            return MappingResult(losses=[], n_added=0, n_pruned=0)
+        config = self.config
+        newest = keyframes[-1]
+        n_added = self._densify(cloud, newest)
+        window = keyframes[-config.keyframe_window :]
+
+        losses: list[float] = []
+        snapshots: list[WorkloadSnapshot] = []
+        for iteration in range(config.n_iterations):
+            frame = window[iteration % len(window)]
+            pose = frame.estimated_pose_cw or frame.gt_pose_cw
+            render = rasterize(cloud, frame.camera, pose)
+            loss = photometric_geometric_loss(
+                render,
+                frame,
+                lambda_photometric=config.lambda_photometric,
+                use_depth=config.use_depth,
+            )
+            gradients = render_backward(
+                render, cloud, loss.dL_dimage, loss.dL_ddepth, compute_pose_gradient=False
+            )
+            losses.append(loss.total)
+            if config.record_workloads:
+                snapshots.append(
+                    WorkloadSnapshot.from_iteration(
+                        render,
+                        gradients,
+                        stage="mapping",
+                        frame_index=newest.index,
+                        iteration=iteration,
+                        is_keyframe=True,
+                        loss=loss.total,
+                        n_gaussians_total=cloud.n_total,
+                        n_gaussians_active=cloud.n_active,
+                        resolution_fraction=frame.resolution_fraction,
+                    )
+                )
+            self._apply_updates(cloud, gradients)
+
+        n_pruned = self._prune_transparent(cloud)
+        return MappingResult(
+            losses=losses, n_added=n_added, n_pruned=n_pruned, snapshots=snapshots
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _apply_updates(self, cloud: GaussianCloud, gradients) -> None:
+        """Adam steps on all Gaussian parameter blocks, frozen for masked Gaussians."""
+        config = self.config
+        inactive = ~cloud.active
+        updates = {
+            "positions": self._optimizer.step(
+                "positions", gradients.positions, config.position_learning_rate
+            ),
+            "log_scales": self._optimizer.step(
+                "log_scales", gradients.log_scales, config.scale_learning_rate
+            ),
+            "opacity_logits": self._optimizer.step(
+                "opacity_logits", gradients.opacity_logits, config.opacity_learning_rate
+            ),
+            "colors": self._optimizer.step(
+                "colors", gradients.colors, config.color_learning_rate
+            ),
+        }
+        for name, update in updates.items():
+            if np.any(inactive):
+                update[inactive] = 0.0
+        cloud.apply_parameter_step(
+            d_positions=updates["positions"],
+            d_log_scales=updates["log_scales"],
+            d_opacity_logits=updates["opacity_logits"],
+            d_colors=updates["colors"],
+        )
+
+    def _densify(self, cloud: GaussianCloud, frame: Frame) -> int:
+        """Insert Gaussians where the current render misses coverage or depth."""
+        config = self.config
+        if cloud.n_total >= config.max_gaussians:
+            return 0
+        pose = frame.estimated_pose_cw or frame.gt_pose_cw
+        if cloud.n_total == 0:
+            return self.initialize_map(cloud, frame, stride=config.densify_stride)
+
+        render = rasterize(cloud, frame.camera, pose)
+        stride = config.densify_stride
+        alpha = render.alpha[::stride, ::stride]
+        depth_err = np.abs(render.depth - frame.depth)[::stride, ::stride]
+        observed = frame.depth[::stride, ::stride] > 0.15
+        needs_coverage = (alpha < config.densify_alpha_threshold) & observed
+        needs_geometry = (depth_err > config.densify_depth_error) & observed
+        mask = needs_coverage | needs_geometry
+        if not np.any(mask):
+            return 0
+
+        vs, us = np.nonzero(mask)
+        pixels = np.stack([us * stride + 0.5, vs * stride + 0.5], axis=1)
+        depths = frame.depth[vs * stride, us * stride]
+        colors = frame.image[vs * stride, us * stride]
+        points_cam = frame.camera.unproject(pixels, depths)
+        points_world = pose.inverse().apply(points_cam)
+        scales = depths / frame.camera.fx * stride * 0.7
+        budget = config.max_gaussians - cloud.n_total
+        if len(points_world) > budget:
+            keep = np.linspace(0, len(points_world) - 1, budget).astype(int)
+            points_world, colors, scales = points_world[keep], colors[keep], scales[keep]
+        new_cloud = GaussianCloud.from_points(points_world, colors, scale=scales, opacity=0.7)
+        before = cloud.n_total
+        cloud.extend(new_cloud)
+        self._resize_optimizer(cloud)
+        return cloud.n_total - before
+
+    def _prune_transparent(self, cloud: GaussianCloud) -> int:
+        """Remove Gaussians whose opacity collapsed below the prune threshold."""
+        opacities = cloud.opacities()
+        keep = opacities >= self.config.opacity_prune_threshold
+        n_pruned = int(np.count_nonzero(~keep))
+        if n_pruned:
+            for name in ("positions", "log_scales", "opacity_logits", "colors"):
+                self._optimizer.keep_rows(name, keep)
+            cloud.keep_only(keep)
+        return n_pruned
+
+    def _resize_optimizer(self, cloud: GaussianCloud) -> None:
+        for name in ("positions", "log_scales", "opacity_logits", "colors"):
+            self._optimizer.resize(name, cloud.n_total)
+
+    def notify_removed(self, keep_mask: np.ndarray) -> None:
+        """Keep optimiser state aligned when an external pruner removes Gaussians."""
+        for name in ("positions", "log_scales", "opacity_logits", "colors"):
+            self._optimizer.keep_rows(name, keep_mask)

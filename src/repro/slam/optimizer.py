@@ -1,0 +1,72 @@
+"""A small Adam optimiser for pose twists and Gaussian parameter blocks.
+
+The SLAM pipelines in the paper optimise camera poses and Gaussian parameters
+with Adam; this standalone implementation keeps per-parameter first/second
+moment state keyed by block name and supports dynamically growing blocks
+(Gaussian counts change when mapping densifies or pruning removes points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam with per-block state and support for resizing parameter blocks."""
+
+    def __init__(self, beta1: float = 0.9, beta2: float = 0.999, epsilon: float = 1e-8):
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t: dict[str, int] = {}
+
+    def reset(self, name: str | None = None) -> None:
+        """Clear state for one block, or all blocks when ``name`` is None."""
+        if name is None:
+            self._m.clear()
+            self._v.clear()
+            self._t.clear()
+        else:
+            self._m.pop(name, None)
+            self._v.pop(name, None)
+            self._t.pop(name, None)
+
+    def resize(self, name: str, new_length: int) -> None:
+        """Adjust the leading dimension of a block's state (densify / prune)."""
+        for store in (self._m, self._v):
+            if name in store:
+                old = store[name]
+                if old.shape[0] == new_length:
+                    continue
+                resized = np.zeros((new_length,) + old.shape[1:])
+                keep = min(old.shape[0], new_length)
+                resized[:keep] = old[:keep]
+                store[name] = resized
+
+    def keep_rows(self, name: str, keep_mask: np.ndarray) -> None:
+        """Drop state rows for removed Gaussians (keeps optimiser statistics aligned)."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        for store in (self._m, self._v):
+            if name in store and store[name].shape[0] == keep_mask.shape[0]:
+                store[name] = store[name][keep_mask]
+
+    def step(self, name: str, gradient: np.ndarray, learning_rate: float) -> np.ndarray:
+        """Return the parameter *update* (to be added to the parameters) for ``gradient``.
+
+        The returned update already includes the negative sign, i.e. callers do
+        ``params += update``.
+        """
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if name not in self._m or self._m[name].shape != gradient.shape:
+            self._m[name] = np.zeros_like(gradient)
+            self._v[name] = np.zeros_like(gradient)
+            self._t[name] = 0
+        self._t[name] += 1
+        t = self._t[name]
+        self._m[name] = self.beta1 * self._m[name] + (1.0 - self.beta1) * gradient
+        self._v[name] = self.beta2 * self._v[name] + (1.0 - self.beta2) * gradient**2
+        m_hat = self._m[name] / (1.0 - self.beta1**t)
+        v_hat = self._v[name] / (1.0 - self.beta2**t)
+        return -learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,270 @@
+"""The end-to-end 3DGS-SLAM pipeline: tracking + keyframe mapping.
+
+The pipeline reproduces the structure shared by the paper's base algorithms
+(Sec. 2.2): every frame is tracked; keyframes additionally update the Gaussian
+map.  RTGS plugs in through two optional collaborators:
+
+* a *tracking hook* (``repro.core.pruning.AdaptiveGaussianPruner``) that
+  observes the gradients tracking already computes and masks/removes
+  redundant Gaussians, and
+* a *resolution policy* (``repro.core.downsampling.DynamicDownsampler``) that
+  chooses each non-keyframe's pixel fraction by reusing the keyframe
+  decision.
+
+Neither collaborator is required; with both set to ``None`` the pipeline runs
+the unmodified base algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.datasets.rgbd import RGBDSequence
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.rasterizer import rasterize
+from repro.gaussians.se3 import SE3
+from repro.metrics.image import psnr as psnr_metric
+from repro.metrics.trajectory import ate_rmse, cumulative_ate
+from repro.slam.algorithms import SLAMConfig
+from repro.slam.frame import Frame, downsample_frame
+from repro.slam.keyframes import make_keyframe_policy
+from repro.slam.mapping import Mapper
+from repro.slam.records import FrameRecord, WorkloadSnapshot
+from repro.slam.tracking import GeometricTracker, GradientTracker, TrackingHook
+
+
+class ResolutionPolicy(Protocol):
+    """Chooses the pixel fraction for each frame (RTGS dynamic downsampling)."""
+
+    def resolution_fraction(
+        self, frame_index: int, is_keyframe: bool, last_keyframe_index: int | None
+    ) -> float:
+        """Return the fraction of full-resolution pixels to process."""
+        ...
+
+
+@dataclass
+class SLAMResult:
+    """Everything produced by one SLAM run."""
+
+    config_name: str
+    estimated_trajectory: list[SE3]
+    gt_trajectory: list[SE3]
+    keyframe_indices: list[int]
+    frame_records: list[FrameRecord]
+    cloud: GaussianCloud
+    peak_gaussian_count: int
+
+    # -- metrics ---------------------------------------------------------------
+    def ate(self) -> float:
+        """Absolute Trajectory Error RMSE in centimetres."""
+        return ate_rmse(self.estimated_trajectory, self.gt_trajectory)
+
+    def drift_curve(self) -> np.ndarray:
+        """Per-frame cumulative ATE (Fig. 13(b))."""
+        return cumulative_ate(self.estimated_trajectory, self.gt_trajectory)
+
+    def all_snapshots(self) -> list[WorkloadSnapshot]:
+        """All workload snapshots in execution order."""
+        return [s for record in self.frame_records for s in record.snapshots]
+
+    def tracking_snapshots(self) -> list[WorkloadSnapshot]:
+        return [s for s in self.all_snapshots() if s.stage == "tracking"]
+
+    def mapping_snapshots(self) -> list[WorkloadSnapshot]:
+        return [s for s in self.all_snapshots() if s.stage == "mapping"]
+
+    def evaluate_psnr(self, sequence: RGBDSequence, max_frames: int = 5) -> float:
+        """Mean PSNR of map renders against ground-truth keyframe observations."""
+        indices = self.keyframe_indices[:max_frames] or [0]
+        values = []
+        for index in indices:
+            observation = sequence.frame(index)
+            pose = self.estimated_trajectory[index]
+            render = rasterize(self.cloud, observation.camera, pose)
+            values.append(psnr_metric(render.image, observation.image))
+        finite = [v for v in values if np.isfinite(v)]
+        return float(np.mean(finite)) if finite else float("inf")
+
+    def summary(self) -> dict[str, float]:
+        """Compact numeric summary used by the benchmark tables."""
+        return {
+            "ate_cm": self.ate(),
+            "n_frames": float(len(self.estimated_trajectory)),
+            "n_keyframes": float(len(self.keyframe_indices)),
+            "peak_gaussians": float(self.peak_gaussian_count),
+            "final_gaussians": float(self.cloud.n_total),
+        }
+
+
+@dataclass
+class SLAMPipeline:
+    """Runs a configured 3DGS-SLAM algorithm over an RGB-D sequence."""
+
+    config: SLAMConfig
+    tracking_hook: TrackingHook | None = None
+    resolution_policy: ResolutionPolicy | None = None
+    _mapper: Mapper = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._mapper = Mapper(self.config.mapping)
+        if self.config.tracker == "geometric":
+            self._tracker = GeometricTracker(self.config.geometric_tracking)
+        else:
+            self._tracker = GradientTracker(self.config.tracking)
+        self._keyframe_policy = make_keyframe_policy(
+            self.config.keyframe_policy, **self.config.keyframe_kwargs
+        )
+        # Let the pruner keep the mapper's optimiser state aligned with removals.
+        if self.tracking_hook is not None and hasattr(self.tracking_hook, "add_removal_listener"):
+            self.tracking_hook.add_removal_listener(self._mapper.notify_removed)
+
+    def run(self, sequence: RGBDSequence, n_frames: int | None = None) -> SLAMResult:
+        """Run SLAM over the first ``n_frames`` of ``sequence`` (all frames by default)."""
+        total_frames = len(sequence) if n_frames is None else min(n_frames, len(sequence))
+        if total_frames == 0:
+            raise ValueError("sequence has no frames")
+        if isinstance(self._tracker, GeometricTracker):
+            self._tracker.reset()
+        self._keyframe_policy.reset()
+
+        cloud = GaussianCloud.empty()
+        estimated: list[SE3] = []
+        keyframe_indices: list[int] = []
+        keyframes: list[Frame] = []
+        frame_records: list[FrameRecord] = []
+        peak_gaussians = 0
+        last_keyframe: Frame | None = None
+
+        for frame_index in range(total_frames):
+            observation = sequence.frame(frame_index)
+            frame = Frame.from_rgbd(observation)
+            snapshots: list[WorkloadSnapshot] = []
+
+            if frame_index == 0:
+                # Bootstrap: anchor the first pose and seed the map from it.
+                pose = observation.gt_pose_cw
+                frame = frame.with_pose(pose)
+                frame.is_keyframe = True
+                self._mapper.initialize_map(cloud, frame, stride=self.config.init_stride)
+                mapping_result = self._mapper.map(cloud, [frame])
+                snapshots.extend(mapping_result.snapshots)
+                estimated.append(pose)
+                keyframe_indices.append(0)
+                keyframes.append(frame)
+                last_keyframe = frame
+                peak_gaussians = max(peak_gaussians, cloud.n_total)
+                frame_records.append(
+                    FrameRecord(
+                        frame_index=0,
+                        is_keyframe=True,
+                        resolution_fraction=1.0,
+                        n_gaussians_after=cloud.n_total,
+                        tracking_loss=0.0,
+                        tracking_iterations=0,
+                        mapping_iterations=len(mapping_result.losses),
+                        snapshots=snapshots,
+                    )
+                )
+                continue
+
+            initial_pose = self._predict_pose(estimated)
+            probe = frame.with_pose(initial_pose)
+            is_keyframe = self.config.map_every_frame or self._keyframe_policy.is_keyframe(
+                probe, last_keyframe
+            )
+
+            fraction = 1.0
+            if self.resolution_policy is not None and not is_keyframe:
+                fraction = self.resolution_policy.resolution_fraction(
+                    frame_index,
+                    is_keyframe,
+                    last_keyframe.index if last_keyframe is not None else None,
+                )
+            tracked_frame = downsample_frame(frame, fraction) if fraction < 1.0 else frame
+
+            tracker_kwargs = {}
+            if frame_index == 1 and isinstance(self._tracker, GradientTracker):
+                # No motion-model prediction exists yet for the first tracked
+                # frame, so it starts further from the optimum than later ones.
+                tracker_kwargs = {"iteration_scale": 1.5}
+            tracking = self._tracker.track(
+                cloud,
+                tracked_frame,
+                initial_pose,
+                hook=self.tracking_hook,
+                is_keyframe=is_keyframe,
+                **tracker_kwargs,
+            )
+            snapshots.extend(tracking.snapshots)
+            pose = tracking.pose_cw
+            frame = frame.with_pose(pose)
+            frame.is_keyframe = is_keyframe
+            estimated.append(pose)
+
+            mapping_iterations = 0
+            if is_keyframe:
+                keyframes.append(frame)
+                keyframe_indices.append(frame_index)
+                last_keyframe = frame
+                mapping_result = self._mapper.map(
+                    cloud, keyframes, map_every_frame=self.config.map_every_frame
+                )
+                snapshots.extend(mapping_result.snapshots)
+                mapping_iterations = len(mapping_result.losses)
+
+            peak_gaussians = max(peak_gaussians, cloud.n_total)
+            frame_records.append(
+                FrameRecord(
+                    frame_index=frame_index,
+                    is_keyframe=is_keyframe,
+                    resolution_fraction=fraction,
+                    n_gaussians_after=cloud.n_total,
+                    tracking_loss=tracking.losses[-1] if tracking.losses else 0.0,
+                    tracking_iterations=tracking.iterations_run,
+                    mapping_iterations=mapping_iterations,
+                    snapshots=snapshots,
+                )
+            )
+
+        gt_trajectory = [sequence.frame(i).gt_pose_cw for i in range(total_frames)]
+        return self._build_result(estimated, gt_trajectory, keyframe_indices, frame_records, cloud, peak_gaussians)
+
+    @staticmethod
+    def _predict_pose(estimated: list[SE3]) -> SE3:
+        """Constant-velocity motion model: extrapolate the last relative motion.
+
+        Implausibly large inter-frame motions (which indicate a tracking
+        failure on the previous frame) are not extrapolated; the previous pose
+        is reused instead so a single bad frame cannot launch the prediction
+        far outside the mapped region.
+        """
+        if len(estimated) < 2:
+            return estimated[-1]
+        delta = estimated[-1] @ estimated[-2].inverse()
+        twist = delta.log()
+        if np.linalg.norm(twist[:3]) > 0.3 or np.linalg.norm(twist[3:]) > 0.3:
+            return estimated[-1]
+        return delta @ estimated[-1]
+
+    def _build_result(
+        self,
+        estimated: list[SE3],
+        gt_trajectory: list[SE3],
+        keyframe_indices: list[int],
+        frame_records: list[FrameRecord],
+        cloud: GaussianCloud,
+        peak_gaussians: int,
+    ) -> SLAMResult:
+        return SLAMResult(
+            config_name=self.config.name,
+            estimated_trajectory=estimated,
+            gt_trajectory=gt_trajectory,
+            keyframe_indices=keyframe_indices,
+            frame_records=frame_records,
+            cloud=cloud,
+            peak_gaussian_count=peak_gaussians,
+        )

@@ -1,0 +1,300 @@
+"""SLAM tracking: per-frame camera pose optimisation.
+
+Two trackers are provided, matching the base algorithms of the paper:
+
+* :class:`GradientTracker` - the fully differentiable tracking used by
+  GS-SLAM, MonoGS and SplaTAM: render, compute the photometric + geometric
+  loss, backpropagate to a camera-pose twist gradient, and take Adam steps
+  for a fixed number of iterations.
+* :class:`GeometricTracker` - Photo-SLAM-style tracking that aligns the
+  back-projected depth of the current frame against the previous frame with a
+  closed-form rigid fit and therefore needs no rendering backpropagation.
+
+Both accept a :class:`TrackingHook`, the integration point through which
+RTGS's adaptive Gaussian pruning observes the gradients that tracking already
+computes (Sec. 4.1: importance evaluation reuses existing gradients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.backward import CloudGradients, render_backward
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.rasterizer import RenderResult, rasterize
+from repro.gaussians.se3 import SE3
+from repro.slam.frame import Frame
+from repro.slam.losses import photometric_geometric_loss
+from repro.slam.optimizer import Adam
+from repro.slam.records import WorkloadSnapshot
+
+
+@dataclass
+class TrackingConfig:
+    """Hyper-parameters of gradient-based tracking."""
+
+    n_iterations: int = 15
+    pose_learning_rate: float = 2e-3
+    lambda_photometric: float = 0.6
+    use_depth: bool = True
+    convergence_threshold: float = 1e-7
+    record_workloads: bool = True
+
+
+class TrackingHook:
+    """No-op hook; RTGS's pruner subclasses this to reuse tracking gradients."""
+
+    def begin_frame(self, cloud: GaussianCloud, frame: Frame) -> None:
+        """Called once before the first tracking iteration of a frame."""
+
+    def after_backward(
+        self,
+        cloud: GaussianCloud,
+        gradients: CloudGradients,
+        render: RenderResult,
+        iteration: int,
+    ) -> None:
+        """Called after every backward pass with the freshly computed gradients."""
+
+    def end_frame(self, cloud: GaussianCloud, is_keyframe: bool) -> None:
+        """Called once after the last tracking iteration of a frame."""
+
+
+@dataclass
+class TrackingResult:
+    """Outcome of tracking one frame."""
+
+    pose_cw: SE3
+    losses: list[float]
+    snapshots: list[WorkloadSnapshot] = field(default_factory=list)
+    iterations_run: int = 0
+    converged: bool = False
+
+
+class GradientTracker:
+    """Differentiable tracking via rendering + backpropagation (MonoGS-style)."""
+
+    def __init__(self, config: TrackingConfig | None = None):
+        self.config = config or TrackingConfig()
+
+    def track(
+        self,
+        cloud: GaussianCloud,
+        frame: Frame,
+        initial_pose: SE3,
+        hook: TrackingHook | None = None,
+        is_keyframe: bool = False,
+        learning_rate_scale: float = 1.0,
+        iteration_scale: float = 1.0,
+    ) -> TrackingResult:
+        """Optimise the camera pose of ``frame`` starting from ``initial_pose``.
+
+        ``learning_rate_scale`` and ``iteration_scale`` let the pipeline boost
+        the very first tracked frame, which has no motion-model prediction yet
+        and therefore starts from a larger pose error than later frames.
+        """
+        config = self.config
+        hook = hook or TrackingHook()
+        optimizer = Adam()
+        pose = initial_pose
+        n_iterations = max(1, int(round(config.n_iterations * iteration_scale)))
+        learning_rate = config.pose_learning_rate * learning_rate_scale
+        losses: list[float] = []
+        snapshots: list[WorkloadSnapshot] = []
+        converged = False
+        hook.begin_frame(cloud, frame)
+
+        iteration = 0
+        for iteration in range(n_iterations):
+            render = rasterize(cloud, frame.camera, pose)
+            loss = photometric_geometric_loss(
+                render,
+                frame,
+                lambda_photometric=config.lambda_photometric,
+                use_depth=config.use_depth,
+            )
+            gradients = render_backward(
+                render,
+                cloud,
+                loss.dL_dimage,
+                loss.dL_ddepth,
+                compute_pose_gradient=True,
+            )
+            hook.after_backward(cloud, gradients, render, iteration)
+            losses.append(loss.total)
+            if config.record_workloads:
+                snapshots.append(
+                    WorkloadSnapshot.from_iteration(
+                        render,
+                        gradients,
+                        stage="tracking",
+                        frame_index=frame.index,
+                        iteration=iteration,
+                        is_keyframe=is_keyframe,
+                        loss=loss.total,
+                        n_gaussians_total=cloud.n_total,
+                        n_gaussians_active=cloud.n_active,
+                        resolution_fraction=frame.resolution_fraction,
+                    )
+                )
+
+            step = optimizer.step("pose", gradients.pose_twist, learning_rate)
+            pose = pose.retract(step)
+
+            if len(losses) >= 2 and abs(losses[-2] - losses[-1]) < config.convergence_threshold:
+                converged = True
+                break
+
+        hook.end_frame(cloud, is_keyframe)
+        return TrackingResult(
+            pose_cw=pose,
+            losses=losses,
+            snapshots=snapshots,
+            iterations_run=iteration + 1,
+            converged=converged,
+        )
+
+
+@dataclass
+class GeometricTrackingConfig:
+    """Hyper-parameters of Photo-SLAM-style geometric tracking."""
+
+    depth_stride: int = 2
+    min_valid_points: int = 20
+    icp_iterations: int = 3
+    record_workloads: bool = True
+
+
+class GeometricTracker:
+    """Photo-SLAM-style tracking: closed-form rigid alignment of depth maps.
+
+    The current frame's back-projected points are aligned to the previous
+    frame's points (same pixel lattice) with a Umeyama fit, producing the
+    relative camera motion; no rendering backpropagation is needed, which is
+    why Photo-SLAM's tracking is fast in Tab. 2.
+    """
+
+    def __init__(self, config: GeometricTrackingConfig | None = None):
+        self.config = config or GeometricTrackingConfig()
+        self._previous_frame: Frame | None = None
+
+    def reset(self) -> None:
+        self._previous_frame = None
+
+    def track(
+        self,
+        cloud: GaussianCloud,
+        frame: Frame,
+        initial_pose: SE3,
+        hook: TrackingHook | None = None,
+        is_keyframe: bool = False,
+    ) -> TrackingResult:
+        """Estimate the pose of ``frame`` from depth alignment with the previous frame."""
+        config = self.config
+        previous = self._previous_frame
+        pose = initial_pose
+        if previous is not None and previous.estimated_pose_cw is not None:
+            relative = self._relative_motion(previous, frame)
+            if relative is not None:
+                # T_cw(current) = T_rel @ T_cw(previous).
+                pose = relative @ previous.estimated_pose_cw
+
+        snapshots: list[WorkloadSnapshot] = []
+        losses: list[float] = []
+        if config.record_workloads:
+            render = rasterize(cloud, frame.camera, pose)
+            loss = photometric_geometric_loss(render, frame)
+            losses.append(loss.total)
+            snapshots.append(
+                WorkloadSnapshot.from_iteration(
+                    render,
+                    None,
+                    stage="tracking",
+                    frame_index=frame.index,
+                    iteration=0,
+                    is_keyframe=is_keyframe,
+                    loss=loss.total,
+                    n_gaussians_total=cloud.n_total,
+                    n_gaussians_active=cloud.n_active,
+                    resolution_fraction=frame.resolution_fraction,
+                )
+            )
+
+        self._previous_frame = frame.with_pose(pose)
+        return TrackingResult(
+            pose_cw=pose,
+            losses=losses,
+            snapshots=snapshots,
+            iterations_run=1,
+            converged=True,
+        )
+
+    def _relative_motion(self, previous: Frame, current: Frame) -> SE3 | None:
+        """Projective ICP estimating the previous-to-current camera transform.
+
+        Previous-frame depth pixels are back-projected, transformed by the
+        current motion estimate, projected into the current frame, and matched
+        against the current depth at the landing pixel.  A closed-form rigid
+        fit refines the estimate; a few such iterations suffice for the small
+        inter-frame motions of a 30 FPS sequence.
+        """
+        if previous.image.shape != current.image.shape:
+            return None
+        stride = self.config.depth_stride
+        camera = current.camera
+        depth_prev = previous.depth
+        vs = np.arange(0, camera.height, stride)
+        us = np.arange(0, camera.width, stride)
+        grid_u, grid_v = np.meshgrid(us, vs)
+        flat_u, flat_v = grid_u.ravel(), grid_v.ravel()
+        d_prev = depth_prev[flat_v, flat_u]
+        valid_prev = d_prev > 1e-6
+        if int(valid_prev.sum()) < self.config.min_valid_points:
+            return None
+        pixels_prev = np.stack([flat_u[valid_prev] + 0.5, flat_v[valid_prev] + 0.5], axis=1)
+        points_prev = camera.unproject(pixels_prev, d_prev[valid_prev])
+
+        relative = SE3.identity()
+        for _ in range(self.config.icp_iterations):
+            transformed = relative.apply(points_prev)
+            in_front = transformed[:, 2] > 1e-3
+            projected = camera.project(transformed)
+            u_idx = np.round(projected[:, 0] - 0.5).astype(int)
+            v_idx = np.round(projected[:, 1] - 0.5).astype(int)
+            in_bounds = (
+                in_front
+                & (u_idx >= 0)
+                & (u_idx < camera.width)
+                & (v_idx >= 0)
+                & (v_idx < camera.height)
+            )
+            if int(in_bounds.sum()) < self.config.min_valid_points:
+                return None
+            d_curr = np.zeros(len(points_prev))
+            d_curr[in_bounds] = current.depth[v_idx[in_bounds], u_idx[in_bounds]]
+            matched = in_bounds & (d_curr > 1e-6)
+            if int(matched.sum()) < self.config.min_valid_points:
+                return None
+            pixels_curr = np.stack(
+                [u_idx[matched] + 0.5, v_idx[matched] + 0.5], axis=1
+            )
+            points_curr = camera.unproject(pixels_curr, d_curr[matched])
+            rotation, translation = _umeyama_rigid(points_prev[matched], points_curr)
+            relative = SE3(rotation, translation)
+        return relative
+
+
+def _umeyama_rigid(source: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares rigid transform mapping ``source`` points onto ``target``."""
+    mu_source = source.mean(axis=0)
+    mu_target = target.mean(axis=0)
+    source_c = source - mu_source
+    target_c = target - mu_target
+    covariance = target_c.T @ source_c / source.shape[0]
+    u, _, vt = np.linalg.svd(covariance)
+    sign = np.sign(np.linalg.det(u @ vt))
+    rotation = u @ np.diag([1.0, 1.0, sign]) @ vt
+    translation = mu_target - rotation @ mu_source
+    return rotation, translation

@@ -1,0 +1,20 @@
+"""Small shared utilities: seeding, validation, and numeric helpers."""
+
+from repro.utils.random import default_rng, derive_rng
+from repro.utils.validation import (
+    check_array,
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "default_rng",
+    "derive_rng",
+    "check_array",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

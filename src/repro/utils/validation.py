@@ -1,0 +1,57 @@
+"""Input validation helpers used across the library.
+
+All public entry points validate their inputs eagerly so that shape or value
+errors surface at the API boundary with a readable message instead of deep
+inside vectorised numpy code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_array(value, name: str, dtype=np.float64) -> np.ndarray:
+    """Convert ``value`` to a contiguous ndarray of ``dtype``."""
+    arr = np.asarray(value, dtype=dtype)
+    return np.ascontiguousarray(arr)
+
+
+def check_shape(arr: np.ndarray, shape: Sequence[int | None], name: str) -> np.ndarray:
+    """Validate that ``arr`` matches ``shape`` where ``None`` means "any size"."""
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr.shape}"
+        )
+    for axis, expected in enumerate(shape):
+        if expected is not None and arr.shape[axis] != expected:
+            raise ValueError(
+                f"{name} must have size {expected} on axis {axis}, got shape {arr.shape}"
+            )
+    return arr
+
+
+def check_finite(arr: np.ndarray, name: str) -> np.ndarray:
+    """Raise if ``arr`` contains NaN or infinity."""
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate a scalar is positive (strictly by default)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate a scalar lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value

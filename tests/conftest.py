@@ -1,0 +1,49 @@
+"""Shared fixtures: tiny scenes, cameras and cached SLAM runs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sequence
+from repro.gaussians import Camera, GaussianCloud, SE3
+from repro.slam import SLAMPipeline, mono_gs
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_camera() -> Camera:
+    return Camera.from_fov(48, 32, fov_x_degrees=70.0)
+
+
+@pytest.fixture(scope="session")
+def simple_pose() -> SE3:
+    return SE3.look_at(np.array([0.0, 0.0, -2.0]), np.array([0.0, 0.0, 0.0]), up=(0, 1, 0))
+
+
+@pytest.fixture(scope="session")
+def small_cloud() -> GaussianCloud:
+    generator = np.random.default_rng(7)
+    points = generator.uniform(-0.5, 0.5, size=(60, 3))
+    points[:, 2] *= 0.4
+    colors = generator.uniform(0.1, 0.9, size=(60, 3))
+    return GaussianCloud.from_points(points, colors, scale=0.12, opacity=0.65)
+
+
+@pytest.fixture(scope="session")
+def tiny_sequence():
+    """A very small synthetic sequence shared across integration tests."""
+    return make_sequence("tum", n_frames=6, resolution_scale=0.7)
+
+
+@pytest.fixture(scope="session")
+def tiny_slam_result(tiny_sequence):
+    """One cached SLAM run reused by pipeline / profiling / hardware tests."""
+    config = mono_gs(fast=True)
+    config.tracking.n_iterations = 4
+    config.mapping.n_iterations = 4
+    return SLAMPipeline(config).run(tiny_sequence, n_frames=5)

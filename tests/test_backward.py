@@ -1,0 +1,127 @@
+"""Gradient correctness tests: analytic backward vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import GaussianCloud, SE3, rasterize, render_backward
+from repro.gaussians.backward import rasterize_backward
+
+
+@pytest.fixture(scope="module")
+def scene(small_camera):
+    rng = np.random.default_rng(11)
+    n = 25
+    points = rng.uniform(-0.35, 0.35, (n, 3))
+    points[:, 2] *= 0.4
+    colors = rng.uniform(0.2, 0.9, (n, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.13, opacity=0.6)
+    cloud.log_scales += rng.uniform(-0.4, 0.4, (n, 3))
+    quats = rng.normal(size=(n, 4))
+    cloud.rotations = quats / np.linalg.norm(quats, axis=1, keepdims=True)
+    pose = SE3.look_at(np.array([0.1, -0.15, -2.0]), np.zeros(3), up=(0, 1, 0))
+    target_image = rng.uniform(0, 1, (small_camera.height, small_camera.width, 3))
+    target_depth = rng.uniform(0.5, 3.0, (small_camera.height, small_camera.width))
+    return cloud, pose, target_image, target_depth
+
+
+def _loss(cloud, camera, pose, target_image, target_depth):
+    result = rasterize(cloud, camera, pose)
+    return 0.5 * np.sum((result.image - target_image) ** 2) + 0.5 * np.sum(
+        (result.depth - target_depth) ** 2
+    )
+
+
+def _analytic_gradients(cloud, camera, pose, target_image, target_depth):
+    result = rasterize(cloud, camera, pose)
+    return render_backward(
+        result, cloud, result.image - target_image, result.depth - target_depth
+    )
+
+
+@pytest.mark.parametrize(
+    "parameter", ["positions", "colors", "log_scales", "opacity_logits", "rotations"]
+)
+def test_parameter_gradients_match_finite_differences(scene, small_camera, parameter):
+    cloud, pose, target_image, target_depth = scene
+    grads = _analytic_gradients(cloud, small_camera, pose, target_image, target_depth)
+    analytic = getattr(grads, parameter)
+    rng = np.random.default_rng(5)
+    rows = rng.choice(len(cloud), size=3, replace=False)
+    eps = 1e-5
+    max_reference = max(np.abs(analytic).max(), 1e-6)
+    for row in rows:
+        if analytic.ndim == 1:
+            columns = [None]
+        else:
+            columns = range(analytic.shape[1])
+        for column in columns:
+            plus, minus = cloud.copy(), cloud.copy()
+            if column is None:
+                getattr(plus, parameter)[row] += eps
+                getattr(minus, parameter)[row] -= eps
+                value = analytic[row]
+            else:
+                getattr(plus, parameter)[row, column] += eps
+                getattr(minus, parameter)[row, column] -= eps
+                value = analytic[row, column]
+            numeric = (
+                _loss(plus, small_camera, pose, target_image, target_depth)
+                - _loss(minus, small_camera, pose, target_image, target_depth)
+            ) / (2 * eps)
+            assert value == pytest.approx(numeric, abs=max(1e-4 * max_reference, 1e-6))
+
+
+def test_pose_gradient_matches_finite_differences(scene, small_camera):
+    cloud, pose, target_image, target_depth = scene
+    grads = _analytic_gradients(cloud, small_camera, pose, target_image, target_depth)
+    eps = 1e-6
+    numeric = np.zeros(6)
+    for k in range(6):
+        delta = np.zeros(6)
+        delta[k] = eps
+        numeric[k] = (
+            _loss(cloud, small_camera, pose.retract(delta), target_image, target_depth)
+            - _loss(cloud, small_camera, pose.retract(-delta), target_image, target_depth)
+        ) / (2 * eps)
+    scale = max(np.abs(numeric).max(), 1e-9)
+    assert np.allclose(grads.pose_twist, numeric, atol=2e-3 * scale)
+
+
+def test_per_gaussian_pose_contributions_sum_to_total(scene, small_camera):
+    cloud, pose, target_image, target_depth = scene
+    grads = _analytic_gradients(cloud, small_camera, pose, target_image, target_depth)
+    assert np.allclose(grads.per_gaussian_pose.sum(axis=0), grads.pose_twist, atol=1e-9)
+
+
+def test_gradient_trace_counts_consistent(scene, small_camera):
+    cloud, pose, target_image, target_depth = scene
+    result = rasterize(cloud, small_camera, pose)
+    screen = rasterize_backward(result, result.image - target_image)
+    trace = screen.trace
+    assert trace.total_pixel_level_updates > 0
+    assert trace.total_tile_level_updates <= trace.total_pixel_level_updates
+    per_gaussian = trace.gaussian_level_updates(len(cloud))
+    assert per_gaussian.sum() == trace.total_tile_level_updates
+
+
+def test_zero_loss_gives_zero_gradients(scene, small_camera):
+    cloud, pose, _, _ = scene
+    result = rasterize(cloud, small_camera, pose)
+    grads = render_backward(result, cloud, np.zeros_like(result.image), np.zeros_like(result.depth))
+    assert np.allclose(grads.positions, 0.0)
+    assert np.allclose(grads.pose_twist, 0.0)
+
+
+def test_backward_shape_validation(scene, small_camera):
+    cloud, pose, _, _ = scene
+    result = rasterize(cloud, small_camera, pose)
+    with pytest.raises(ValueError):
+        rasterize_backward(result, np.zeros((3, 3, 3)))
+
+
+def test_importance_inputs_nonnegative(scene, small_camera):
+    cloud, pose, target_image, target_depth = scene
+    grads = _analytic_gradients(cloud, small_camera, pose, target_image, target_depth)
+    mu_norm, sigma_norm = grads.importance_inputs()
+    assert np.all(mu_norm >= 0) and np.all(sigma_norm >= 0)
+    assert mu_norm.shape == (len(cloud),)

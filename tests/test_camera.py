@@ -1,0 +1,65 @@
+"""Tests for the pinhole camera model and resolution scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import Camera
+
+
+def test_from_fov_principal_point_centred():
+    camera = Camera.from_fov(64, 48, fov_x_degrees=90.0)
+    assert camera.cx == pytest.approx(32.0)
+    assert camera.cy == pytest.approx(24.0)
+    # 90 degree horizontal FOV: fx = width / 2.
+    assert camera.fx == pytest.approx(32.0)
+
+
+def test_project_unproject_roundtrip():
+    camera = Camera.from_fov(64, 48)
+    points = np.array([[0.2, -0.1, 2.0], [-0.4, 0.3, 1.5], [0.0, 0.0, 3.0]])
+    pixels = camera.project(points)
+    recovered = camera.unproject(pixels, points[:, 2])
+    assert np.allclose(recovered, points, atol=1e-9)
+
+
+def test_pixel_grid_shape_and_centres():
+    camera = Camera.from_fov(8, 6)
+    grid = camera.pixel_grid()
+    assert grid.shape == (6, 8, 2)
+    assert grid[0, 0, 0] == pytest.approx(0.5)
+    assert grid[5, 7, 1] == pytest.approx(5.5)
+
+
+def test_downscale_reduces_pixel_count_by_factor():
+    camera = Camera.from_fov(64, 48)
+    reduced = camera.downscale(16.0)
+    assert reduced.n_pixels == pytest.approx(camera.n_pixels / 16.0, rel=0.2)
+    # The field of view is preserved: fx scales with width.
+    assert reduced.fx / reduced.width == pytest.approx(camera.fx / camera.width, rel=0.05)
+
+
+def test_downscale_validates_factor():
+    camera = Camera.from_fov(64, 48)
+    with pytest.raises(ValueError):
+        camera.downscale(0.5)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        Camera(0, 10, 5.0, 5.0, 0.0, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(0.1, 3.0, allow_nan=False),
+    st.floats(-1.0, 1.0, allow_nan=False),
+    st.floats(-1.0, 1.0, allow_nan=False),
+)
+def test_projection_depth_consistency(depth, x, y):
+    camera = Camera.from_fov(60, 40)
+    point = np.array([[x, y, depth + 0.2]])
+    pixel = camera.project(point)
+    recovered = camera.unproject(pixel, point[:, 2])
+    assert np.allclose(recovered, point, atol=1e-8)

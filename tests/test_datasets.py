@@ -1,0 +1,122 @@
+"""Tests for scenes, trajectories, RGB-D sequences and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_REGISTRY,
+    SceneConfig,
+    SyntheticScene,
+    TrajectoryConfig,
+    available_datasets,
+    dataset_scenes,
+    generate_trajectory,
+    make_sequence,
+)
+from repro.datasets.trajectory import pose_velocity
+
+
+class TestScene:
+    def test_generation_is_deterministic(self):
+        a = SyntheticScene.generate(SceneConfig(seed=5))
+        b = SyntheticScene.generate(SceneConfig(seed=5))
+        assert np.allclose(a.cloud.positions, b.cloud.positions)
+        assert np.allclose(a.cloud.colors, b.cloud.colors)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticScene.generate(SceneConfig(seed=1))
+        b = SyntheticScene.generate(SceneConfig(seed=2))
+        assert len(a.cloud) != len(b.cloud) or not np.allclose(
+            a.cloud.positions[: min(len(a.cloud), len(b.cloud))],
+            b.cloud.positions[: min(len(a.cloud), len(b.cloud))],
+        )
+
+    def test_points_inside_room(self):
+        config = SceneConfig(room_size=(4.0, 3.0, 2.5), seed=3)
+        scene = SyntheticScene.generate(config)
+        half = np.asarray(config.room_size) / 2.0
+        assert np.all(np.abs(scene.cloud.positions) <= half + 0.7)
+
+    def test_objects_stay_off_the_camera_orbit(self):
+        config = SceneConfig(room_size=(4.0, 3.0, 2.5), seed=9, n_objects=8)
+        scene = SyntheticScene.generate(config)
+        lateral = np.linalg.norm(scene.object_centres[:, :2], axis=1)
+        # Orbit radii used by the registry are >= 0.75 * min(half extents) ~ 1.1.
+        assert np.all(lateral < 0.9)
+
+    def test_colors_in_unit_range(self):
+        scene = SyntheticScene.generate(SceneConfig(seed=4))
+        assert np.all(scene.cloud.colors >= 0.0) and np.all(scene.cloud.colors <= 1.0)
+
+
+class TestTrajectory:
+    def test_length_and_smoothness(self):
+        config = TrajectoryConfig(n_frames=30, seed=2)
+        poses = generate_trajectory(config)
+        assert len(poses) == 30
+        velocity = pose_velocity(poses)
+        assert velocity.shape == (29, 2)
+        # Per-frame motion should be small and consistent (smooth trajectory).
+        assert velocity[:, 0].max() < 0.3
+        assert velocity[:, 1].max() < 0.2
+
+    def test_constant_per_frame_motion_regardless_of_length(self):
+        short = generate_trajectory(TrajectoryConfig(n_frames=5, seed=1))
+        long = generate_trajectory(TrajectoryConfig(n_frames=40, seed=1))
+        v_short = pose_velocity(short)[:, 1].mean()
+        v_long = pose_velocity(long)[:4, 1].mean()
+        assert v_short == pytest.approx(v_long, rel=0.2)
+
+    def test_invalid_frame_count(self):
+        with pytest.raises(ValueError):
+            generate_trajectory(TrajectoryConfig(n_frames=0))
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert set(available_datasets()) == {"tum", "replica", "scannet", "scannetpp"}
+
+    def test_scene_lists_match_paper_table(self):
+        assert len(dataset_scenes("replica")) == 7
+        assert len(dataset_scenes("tum")) == 3
+        assert len(dataset_scenes("scannetpp")) == 2
+
+    def test_resolution_ordering_matches_paper(self):
+        pixels = {
+            name: np.prod(config.resolution) for name, config in DATASET_REGISTRY.items()
+        }
+        assert pixels["tum"] < pixels["replica"] < pixels["scannet"] < pixels["scannetpp"]
+
+    def test_unknown_dataset_and_scene_raise(self):
+        with pytest.raises(ValueError):
+            make_sequence("kitti")
+        with pytest.raises(ValueError):
+            make_sequence("tum", scene="does_not_exist")
+
+
+class TestSequence:
+    def test_frames_render_and_cache(self, tiny_sequence):
+        frame = tiny_sequence.frame(0)
+        assert frame.image.shape[2] == 3
+        assert frame.depth.shape == frame.image.shape[:2]
+        assert tiny_sequence.frame(0) is frame  # cached
+        tiny_sequence.clear_cache()
+        assert tiny_sequence.frame(0) is not frame
+
+    def test_depth_range_is_room_scale(self, tiny_sequence):
+        depth = tiny_sequence.frame(1).depth
+        valid = depth[depth > 0]
+        assert valid.min() > 0.2
+        assert valid.max() < 6.0
+
+    def test_consecutive_frames_similar(self, tiny_sequence):
+        a = tiny_sequence.frame(0).image
+        b = tiny_sequence.frame(1).image
+        assert np.mean(np.abs(a - b)) < 0.15
+
+    def test_out_of_range_index(self, tiny_sequence):
+        with pytest.raises(IndexError):
+            tiny_sequence.frame(len(tiny_sequence))
+
+    def test_ground_truth_poses_length(self, tiny_sequence):
+        assert len(tiny_sequence.ground_truth_poses()) == len(tiny_sequence)

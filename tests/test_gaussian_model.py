@@ -1,0 +1,121 @@
+"""Tests for the GaussianCloud scene representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians import BYTES_PER_GAUSSIAN, GaussianCloud
+
+
+def _cloud(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return GaussianCloud.from_points(
+        rng.uniform(-1, 1, (n, 3)), rng.uniform(0, 1, (n, 3)), scale=0.1, opacity=0.6
+    )
+
+
+def test_from_points_shapes_and_defaults():
+    cloud = _cloud(12)
+    assert len(cloud) == 12
+    assert cloud.n_active == 12
+    assert cloud.opacities() == pytest.approx(np.full(12, 0.6), abs=1e-6)
+    assert np.allclose(cloud.scales(), 0.1)
+
+
+def test_covariances_are_symmetric_positive_definite():
+    cloud = _cloud(8, seed=3)
+    rng = np.random.default_rng(5)
+    cloud.log_scales += rng.uniform(-0.5, 0.5, cloud.log_scales.shape)
+    quats = rng.normal(size=cloud.rotations.shape)
+    cloud.rotations = quats / np.linalg.norm(quats, axis=1, keepdims=True)
+    covariances = cloud.covariances()
+    assert np.allclose(covariances, np.transpose(covariances, (0, 2, 1)))
+    eigenvalues = np.linalg.eigvalsh(covariances)
+    assert np.all(eigenvalues > 0)
+
+
+def test_mask_and_remove_inactive():
+    cloud = _cloud(10)
+    cloud.mask(np.array([0, 3, 7]))
+    assert cloud.n_active == 7
+    assert cloud.n_total == 10
+    removed = cloud.remove_inactive()
+    assert removed == 3
+    assert cloud.n_total == 7
+    assert cloud.n_active == 7
+
+
+def test_extend_concatenates():
+    a, b = _cloud(5, 1), _cloud(7, 2)
+    a.extend(b)
+    assert len(a) == 12
+
+
+def test_memory_accounting():
+    cloud = _cloud(100)
+    assert cloud.memory_bytes() == 100 * BYTES_PER_GAUSSIAN
+    cloud.mask(np.arange(50))
+    assert cloud.memory_bytes(include_inactive=False) == 50 * BYTES_PER_GAUSSIAN
+
+
+def test_keep_only_preserves_order():
+    cloud = _cloud(6)
+    original = cloud.positions.copy()
+    keep = np.array([True, False, True, True, False, True])
+    cloud.keep_only(keep)
+    assert np.allclose(cloud.positions, original[keep])
+
+
+def test_apply_parameter_step_respects_clipping():
+    cloud = _cloud(4)
+    cloud.apply_parameter_step(d_colors=np.full((4, 3), 10.0))
+    assert np.all(cloud.colors <= 1.0)
+    cloud.apply_parameter_step(d_opacity_logits=np.full(4, 100.0))
+    assert np.all(cloud.opacity_logits <= 12.0)
+
+
+def test_from_rgbd_backprojects_to_world(small_camera, simple_pose):
+    depth = np.full((small_camera.height, small_camera.width), 2.0)
+    image = np.full((small_camera.height, small_camera.width, 3), 0.5)
+    cloud = GaussianCloud.from_rgbd(image, depth, small_camera, simple_pose, stride=8)
+    assert len(cloud) > 0
+    # All points must lie at depth 2 in front of the camera.
+    cam_points = simple_pose.apply(cloud.positions)
+    assert np.allclose(cam_points[:, 2], 2.0, atol=1e-6)
+
+
+def test_from_rgbd_rejects_mismatched_shapes(small_camera, simple_pose):
+    with pytest.raises(ValueError):
+        GaussianCloud.from_rgbd(
+            np.zeros((10, 10, 3)), np.zeros((12, 12)), small_camera, simple_pose
+        )
+
+
+def test_empty_cloud_operations():
+    cloud = GaussianCloud.empty()
+    assert len(cloud) == 0
+    assert cloud.covariances().shape == (0, 3, 3)
+    assert cloud.memory_bytes() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 40), st.floats(0.05, 0.95, allow_nan=False))
+def test_opacity_sigmoid_inverse_property(n, opacity):
+    rng = np.random.default_rng(n)
+    cloud = GaussianCloud.from_points(
+        rng.uniform(-1, 1, (n, 3)), rng.uniform(0, 1, (n, 3)), opacity=opacity
+    )
+    assert cloud.opacities() == pytest.approx(np.full(n, opacity), abs=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 30))
+def test_mask_then_remove_matches_direct_removal(n):
+    cloud_a = _cloud(n, seed=n)
+    cloud_b = cloud_a.copy()
+    indices = np.arange(0, n, 2)
+    cloud_a.mask(indices)
+    cloud_a.remove_inactive()
+    cloud_b.remove(indices)
+    assert np.allclose(cloud_a.positions, cloud_b.positions)

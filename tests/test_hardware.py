@@ -1,0 +1,337 @@
+"""Tests for the hardware models: devices, energy, GPU baseline, RE/WSU/GMU/PE, plug-in."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    DEVICE_SPECS,
+    AtomicAddModel,
+    BenesNetwork,
+    DISTWARModel,
+    EdgeGPUModel,
+    EnergyModel,
+    EnergyParameters,
+    GauSPUModel,
+    GradientMergingUnit,
+    PreprocessingEngine,
+    RBBuffer,
+    RTGSArchitectureConfig,
+    RTGSFeatureFlags,
+    RTGSInterface,
+    RTGSPlugin,
+    RTGSStatus,
+    RenderingEngine,
+    SchedulingMode,
+    WorkloadSchedulingUnit,
+    aggregation_reduction,
+    energy_efficiency_improvement,
+    evaluate_configurations,
+    scale_device,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return RTGSArchitectureConfig()
+
+
+@pytest.fixture(scope="module")
+def tracking_snapshot(tiny_slam_result):
+    return tiny_slam_result.tracking_snapshots()[1]
+
+
+class TestConfig:
+    def test_paper_device_table(self):
+        assert DEVICE_SPECS["rtgs"].area_mm2 == pytest.approx(28.41)
+        assert DEVICE_SPECS["rtgs"].power_w == pytest.approx(8.11)
+        assert DEVICE_SPECS["onx"].n_cores == 512
+        assert DEVICE_SPECS["gauspu"].technology_nm == 12
+
+    def test_total_sram_matches_table4(self, arch):
+        assert arch.total_sram_kb == pytest.approx(197.0)
+
+    def test_technology_scaling_reproduces_table5_rows(self):
+        scaled_12 = scale_device(DEVICE_SPECS["rtgs"], 12)
+        scaled_8 = scale_device(DEVICE_SPECS["rtgs"], 8)
+        assert scaled_12.area_mm2 == pytest.approx(DEVICE_SPECS["rtgs-12nm"].area_mm2, rel=1e-6)
+        assert scaled_8.power_w == pytest.approx(DEVICE_SPECS["rtgs-8nm"].power_w, rel=1e-6)
+        with pytest.raises(ValueError):
+            scale_device(DEVICE_SPECS["rtgs"], 5)
+
+    def test_rb_buffer_latency_table(self, arch):
+        assert arch.alpha_grad_cycles_baseline == 20
+        assert arch.alpha_grad_cycles_reuse == 4
+
+
+class TestEnergy:
+    def test_energy_breakdown_sums(self):
+        model = EnergyModel(EnergyParameters(), static_power_w=10.0)
+        breakdown = model.energy(1e6, 1e5, 1e4, 1e3, latency_s=0.01)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.compute_j
+            + breakdown.sram_j
+            + breakdown.l2_j
+            + breakdown.dram_j
+            + breakdown.static_j
+        )
+        assert breakdown.static_j == pytest.approx(0.1)
+
+    def test_dram_dominates_sram_per_access(self):
+        params = EnergyParameters()
+        assert params.dram_access_energy > params.l2_access_energy > params.sram_access_energy
+
+    def test_efficiency_improvement(self):
+        assert energy_efficiency_improvement(10.0, 2.0) == pytest.approx(5.0)
+
+
+class TestGPUBaseline:
+    def test_rendering_stages_dominate(self, tracking_snapshot):
+        model = EdgeGPUModel("onx")
+        latency = model.iteration_latency(tracking_snapshot)
+        dominant = latency.rendering + latency.rendering_bp
+        assert dominant / latency.total > 0.6  # Observation 2
+
+    def test_rtx3090_faster_than_onx(self, tracking_snapshot):
+        onx = EdgeGPUModel("onx").iteration_latency(tracking_snapshot).total
+        rtx = EdgeGPUModel("rtx3090").iteration_latency(tracking_snapshot).total
+        assert rtx < onx
+
+    def test_distwar_reduces_rendering_bp(self, tracking_snapshot):
+        baseline = EdgeGPUModel("onx").iteration_latency(tracking_snapshot)
+        distwar = EdgeGPUModel("onx", use_distwar=True).iteration_latency(tracking_snapshot)
+        assert distwar.rendering_bp <= baseline.rendering_bp
+        assert distwar.rendering == pytest.approx(baseline.rendering)
+
+    def test_workload_scale_scales_latency(self, tracking_snapshot):
+        small = EdgeGPUModel("onx", workload_scale=1.0).iteration_latency(tracking_snapshot).total
+        large = EdgeGPUModel("onx", workload_scale=10.0).iteration_latency(tracking_snapshot).total
+        assert large > 5 * small
+
+    def test_energy_positive(self, tracking_snapshot):
+        energy = EdgeGPUModel("onx").iteration_energy(tracking_snapshot)
+        assert energy.total_j > 0
+
+
+class TestAggregationModels:
+    def test_gmu_beats_distwar_beats_atomic(self, tracking_snapshot):
+        comparison = aggregation_reduction(tracking_snapshot)
+        assert comparison["atomic"] >= comparison["distwar"]
+        assert comparison["distwar"] >= comparison["gmu"]
+        assert comparison["gmu_reduction"] > 0.3  # paper reports ~68%
+
+    def test_empty_snapshot_zero_cycles(self, tracking_snapshot):
+        import copy
+
+        empty = copy.copy(tracking_snapshot)
+        empty.per_tile_update_counts = []
+        empty.per_tile_gaussian_ids = []
+        assert AtomicAddModel().aggregation_cycles(empty) == 0.0
+        assert DISTWARModel().aggregation_cycles(empty) == 0.0
+
+
+class TestRenderingEngine:
+    def test_forward_cycles_scale_with_fragments(self, arch):
+        engine = RenderingEngine(arch)
+        light = engine.forward_cycles(np.full(16, 5))
+        heavy = engine.forward_cycles(np.full(16, 50))
+        assert heavy > light
+
+    def test_rb_buffer_reduces_backward_cycles(self, arch):
+        fragments = np.full(16, 40)
+        with_rb = RenderingEngine(arch, use_rb_buffer=True).backward_cycles(fragments)
+        without_rb = RenderingEngine(arch, use_rb_buffer=False).backward_cycles(fragments)
+        assert with_rb < without_rb
+
+    def test_pipeline_balancing_reduces_cycles(self, arch):
+        fragments = np.full(16, 40)
+        balanced = RenderingEngine(arch, use_pipeline_balancing=True).subtile_cycles(fragments)
+        unbalanced = RenderingEngine(arch, use_pipeline_balancing=False).subtile_cycles(fragments)
+        assert balanced < unbalanced
+
+    def test_pairing_reduces_imbalanced_subtile_cycles(self, arch):
+        engine = RenderingEngine(arch)
+        fragments = np.zeros(16, dtype=int)
+        fragments[:8] = 100  # heavy half
+        fragments[8:] = 2  # light half
+        naive = engine.forward_cycles(fragments, pairing=np.arange(16).reshape(-1, 2))
+        order = np.argsort(fragments)
+        paired = np.stack([order[:8], order[::-1][:8]], axis=1)
+        scheduled = engine.forward_cycles(fragments, pairing=paired)
+        assert scheduled < naive
+
+    def test_empty_subtile_zero_cycles(self, arch):
+        engine = RenderingEngine(arch)
+        assert engine.subtile_cycles(np.zeros(16, dtype=int)) == 0
+
+    def test_rb_buffer_capacity_check(self, arch):
+        assert RBBuffer(capacity_kb=16.0).supports_reuse(16)
+        assert not RBBuffer(capacity_kb=0.001).supports_reuse(16)
+
+
+class TestWSU:
+    def _subtiles(self, rng, n=64, heavy_fraction=0.2):
+        subtiles = []
+        for index in range(n):
+            base = 60 if rng.random() < heavy_fraction else 8
+            subtiles.append(rng.integers(0, base + 1, size=16))
+        return subtiles
+
+    def test_streaming_and_pairing_reduce_cycles(self, arch):
+        rng = np.random.default_rng(3)
+        subtiles = self._subtiles(rng)
+        wsu = WorkloadSchedulingUnit(arch)
+        results = {
+            mode: wsu.schedule(subtiles, mode).total_cycles
+            for mode in (
+                SchedulingMode.NONE,
+                SchedulingMode.STREAMING,
+                SchedulingMode.BOTH,
+                SchedulingMode.IDEAL,
+            )
+        }
+        assert results[SchedulingMode.STREAMING] <= results[SchedulingMode.NONE]
+        assert results[SchedulingMode.BOTH] <= results[SchedulingMode.STREAMING]
+        assert results[SchedulingMode.IDEAL] <= results[SchedulingMode.BOTH]
+
+    def test_imbalance_metric_decreases(self, arch):
+        rng = np.random.default_rng(5)
+        subtiles = self._subtiles(rng)
+        wsu = WorkloadSchedulingUnit(arch)
+        none = wsu.schedule(subtiles, SchedulingMode.NONE)
+        both = wsu.schedule(subtiles, SchedulingMode.BOTH)
+        assert both.imbalance <= none.imbalance + 1e-9
+
+    def test_pairing_uses_previous_iteration(self, arch):
+        wsu = WorkloadSchedulingUnit(arch)
+        first = [np.arange(16)]
+        second = [np.arange(16)[::-1]]
+        wsu.schedule(first, SchedulingMode.PAIRING)
+        result = wsu.schedule(second, SchedulingMode.PAIRING)
+        assert result.total_cycles > 0
+        wsu.reset()
+        assert wsu._previous_fragments is None
+
+    def test_empty_iteration(self, arch):
+        wsu = WorkloadSchedulingUnit(arch)
+        result = wsu.schedule([], SchedulingMode.BOTH)
+        assert result.total_cycles == 0
+
+
+class TestGMU:
+    def test_benes_structure(self):
+        network = BenesNetwork(16)
+        assert network.n_stages == 7
+        assert network.n_switches == 7 * 8
+        assert network.is_routable()
+        with pytest.raises(ValueError):
+            BenesNetwork(10)
+
+    def test_merging_cycles_below_atomic(self, tracking_snapshot):
+        gmu = GradientMergingUnit()
+        atomic = AtomicAddModel().aggregation_cycles(tracking_snapshot)
+        assert gmu.merging_cycles(tracking_snapshot) < atomic
+
+    def test_tile_merging_scales_with_updates(self):
+        gmu = GradientMergingUnit()
+        small = gmu.tile_merging_cycles(np.array([1, 2, 3]))
+        large = gmu.tile_merging_cycles(np.array([10, 20, 30]))
+        assert large > small
+        assert gmu.tile_merging_cycles(np.array([])) == 0.0
+
+
+class TestPreprocessingEngine:
+    def test_tracking_adds_pose_merge(self, tracking_snapshot, tiny_slam_result):
+        pe = PreprocessingEngine()
+        mapping_snapshot = tiny_slam_result.mapping_snapshots()[0]
+        tracking_cycles = pe.preprocessing_bp_cycles(tracking_snapshot)
+        assert tracking_cycles > 0
+        assert pe.pose_merge_cycles(0) == 0.0
+        assert pe.pose_merge_cycles(1000) > 0
+        assert pe.preprocessing_bp_cycles(mapping_snapshot) > 0
+
+
+class TestRTGSPlugin:
+    def test_plugin_faster_than_gpu_baseline(self, tiny_slam_result):
+        snapshots = tiny_slam_result.tracking_snapshots()
+        baseline = EdgeGPUModel("onx").frame_latency(snapshots).total
+        plugin = RTGSPlugin(host_device="onx").frame_latency(snapshots).total
+        assert plugin < baseline
+
+    def test_feature_flags_ablation_ordering(self, tiny_slam_result):
+        snapshots = tiny_slam_result.tracking_snapshots()[:4]
+        full = RTGSPlugin(features=RTGSFeatureFlags()).frame_latency(snapshots).total
+        no_rb = RTGSPlugin(
+            features=RTGSFeatureFlags(use_rb_buffer=False)
+        ).frame_latency(snapshots).total
+        no_gmu = RTGSPlugin(
+            features=RTGSFeatureFlags(use_gmu=False)
+        ).frame_latency(snapshots).total
+        assert full <= no_rb
+        assert full <= no_gmu
+
+    def test_evaluate_configurations_shapes(self, tiny_slam_result):
+        evaluations = evaluate_configurations(tiny_slam_result.all_snapshots(), "onx")
+        assert set(evaluations) == {"baseline", "distwar", "rtgs_tracking_only", "rtgs"}
+        assert evaluations["rtgs"].overall_fps > evaluations["baseline"].overall_fps
+        assert evaluations["rtgs"].energy_per_frame_j < evaluations["baseline"].energy_per_frame_j
+        assert (
+            evaluations["rtgs"].overall_fps >= evaluations["rtgs_tracking_only"].overall_fps
+        )
+
+    def test_rtgs_beats_gauspu_and_rtx3090_baseline(self, tiny_slam_result):
+        # Tab. 7 / Fig. 16 ordering: RTGS > GauSPU for tracking throughput on
+        # the RTX 3090 host.  (GauSPU's wide RE array is under-filled by the
+        # tiny test workloads, so we only assert the RTGS orderings here; the
+        # benchmark harness evaluates the full-scale comparison.)
+        snapshots = tiny_slam_result.tracking_snapshots()
+        baseline = EdgeGPUModel("rtx3090").frame_latency(snapshots).total
+        gauspu = GauSPUModel(host_device="rtx3090").frame_latency(snapshots).total
+        rtgs = RTGSPlugin(host_device="rtx3090").frame_latency(snapshots).total
+        assert rtgs < gauspu
+        assert rtgs < baseline
+
+
+class TestInterface:
+    def test_keyframe_and_nonkeyframe_protocol(self):
+        interface = RTGSInterface()
+        interface.notify_preprocessing_done()
+        keyframe = interface.RTGS_execute(0, is_keyframe=True)
+        assert keyframe.status == RTGSStatus.IDLE
+        assert keyframe.gaussians_updated and not keyframe.pose_written_back
+
+        interface.notify_preprocessing_done()
+        tracked = interface.RTGS_execute(1, is_keyframe=False)
+        assert tracked.status == RTGSStatus.WAIT_PRUNING
+        assert interface.RTGS_check_status(1) == RTGSStatus.WAIT_PRUNING
+        assert interface.RTGS_check_status(1, blocking=True) == RTGSStatus.IDLE
+        assert interface.transactions[1].pose_written_back
+
+    def test_execute_requires_preprocessing(self):
+        interface = RTGSInterface()
+        with pytest.raises(RuntimeError):
+            interface.RTGS_execute(0, is_keyframe=False)
+
+    def test_busy_rejects_new_frame(self):
+        interface = RTGSInterface()
+        interface.notify_preprocessing_done()
+        interface.RTGS_execute(0, is_keyframe=False)
+        interface.notify_preprocessing_done()
+        with pytest.raises(RuntimeError):
+            interface.RTGS_execute(1, is_keyframe=False)
+
+    def test_unknown_frame_is_idle(self):
+        assert RTGSInterface().RTGS_check_status(99) == RTGSStatus.IDLE
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 80), min_size=16, max_size=16))
+def test_wsu_pairing_never_worse_than_adjacent(pixel_loads):
+    arch = RTGSArchitectureConfig()
+    engine = RenderingEngine(arch)
+    wsu = WorkloadSchedulingUnit(arch, engine=engine)
+    fragments = np.asarray(pixel_loads)
+    adjacent = engine.forward_cycles(fragments, pairing=np.arange(16).reshape(-1, 2))
+    paired = engine.forward_cycles(fragments, pairing=wsu.pairing_for(fragments))
+    assert paired <= adjacent

@@ -1,0 +1,106 @@
+"""Integration tests: RTGS algorithm + hardware model on a real (tiny) SLAM run.
+
+These tests exercise the headline claims of the paper end to end on a small
+synthetic sequence: pruning reduces the map and the rendering workload while
+keeping accuracy in the same ballpark; dynamic downsampling reduces the
+non-keyframe pixel count; and the modelled RTGS hardware is faster and more
+energy-efficient than the modelled edge-GPU baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveGaussianPruner,
+    FixedRatioPruner,
+    PruningConfig,
+    RTGSAlgorithmConfig,
+    build_pipeline,
+)
+from repro.hardware import EdgeGPUModel, RTGSPlugin, evaluate_configurations
+from repro.slam import mono_gs
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    config = mono_gs(fast=True)
+    config.tracking.n_iterations = 4
+    config.mapping.n_iterations = 4
+    return config
+
+
+@pytest.fixture(scope="module")
+def baseline_run(tiny_sequence, fast_config):
+    return build_pipeline(fast_config).run(tiny_sequence, n_frames=5)
+
+
+@pytest.fixture(scope="module")
+def rtgs_run(tiny_sequence, fast_config):
+    rtgs = RTGSAlgorithmConfig(
+        pruning=PruningConfig(initial_interval=2, prune_fraction_per_window=0.15)
+    )
+    return build_pipeline(fast_config, rtgs).run(tiny_sequence, n_frames=5)
+
+
+def test_pruning_reduces_map_size(baseline_run, rtgs_run):
+    assert rtgs_run.cloud.n_total < baseline_run.cloud.n_total
+
+
+def test_rtgs_reduces_rendering_workload(baseline_run, rtgs_run):
+    base_fragments = sum(s.total_fragments for s in baseline_run.tracking_snapshots())
+    ours_fragments = sum(s.total_fragments for s in rtgs_run.tracking_snapshots())
+    assert ours_fragments < base_fragments
+
+
+def test_downsampling_reduces_nonkeyframe_resolution(rtgs_run):
+    fractions = [
+        record.resolution_fraction
+        for record in rtgs_run.frame_records
+        if not record.is_keyframe
+    ]
+    assert fractions and max(fractions) <= 0.25 + 1e-9
+
+
+def test_accuracy_stays_in_the_same_ballpark(baseline_run, rtgs_run):
+    # The paper reports <5% ATE degradation at full scale; on a 5-frame toy
+    # sequence we only assert the RTGS run does not blow up.
+    assert np.isfinite(rtgs_run.ate())
+    assert rtgs_run.ate() < max(3.0 * baseline_run.ate(), baseline_run.ate() + 5.0)
+
+
+def test_aggressive_pruning_degrades_accuracy_more(tiny_sequence, fast_config, baseline_run):
+    aggressive = build_pipeline(
+        fast_config, pruner=FixedRatioPruner(prune_ratio=0.8)
+    ).run(tiny_sequence, n_frames=5)
+    conservative = build_pipeline(
+        fast_config, pruner=FixedRatioPruner(prune_ratio=0.25)
+    ).run(tiny_sequence, n_frames=5)
+    # The 80% pruned map must be much smaller; conservative pruning retains more.
+    assert aggressive.cloud.n_total < conservative.cloud.n_total
+    # And the aggressive run should not be *better* than the conservative one.
+    assert aggressive.ate() >= conservative.ate() * 0.5
+
+
+def test_modeled_hardware_speedup_and_energy(baseline_run):
+    snapshots = baseline_run.all_snapshots()
+    evaluations = evaluate_configurations(snapshots, "onx", workload_scale=50.0)
+    assert evaluations["rtgs"].overall_fps > evaluations["distwar"].overall_fps
+    assert evaluations["rtgs"].overall_fps > 2.0 * evaluations["baseline"].overall_fps
+    improvement = (
+        evaluations["baseline"].energy_per_frame_j / evaluations["rtgs"].energy_per_frame_j
+    )
+    assert improvement > 2.0
+
+
+def test_combined_algorithm_plus_hardware_compounds(baseline_run, rtgs_run):
+    baseline_latency = EdgeGPUModel("onx").frame_latency(baseline_run.all_snapshots()).total
+    rtgs_latency = RTGSPlugin(host_device="onx").frame_latency(rtgs_run.all_snapshots()).total
+    assert baseline_latency / rtgs_latency > 3.0
+
+
+def test_pruner_statistics_recorded(tiny_sequence, fast_config):
+    pruner = AdaptiveGaussianPruner(PruningConfig(initial_interval=2))
+    pipeline = build_pipeline(fast_config, RTGSAlgorithmConfig(), pruner=pruner)
+    pipeline.run(tiny_sequence, n_frames=4)
+    assert pruner.stats.windows_completed >= 1
+    assert pruner.stats.masked_total >= pruner.stats.removed_total >= 0

@@ -1,0 +1,121 @@
+"""Unit and property tests for SE(3) transforms and quaternion conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.se3 import (
+    SE3,
+    hat,
+    quaternion_to_rotation,
+    rotation_to_quaternion,
+    so3_exp,
+    so3_log,
+    vee,
+)
+
+finite_floats = st.floats(-1.5, 1.5, allow_nan=False, allow_infinity=False)
+
+
+def test_identity_roundtrip():
+    pose = SE3.identity()
+    assert np.allclose(pose.matrix(), np.eye(4))
+    assert np.allclose(pose.apply(np.array([1.0, 2.0, 3.0])), [1.0, 2.0, 3.0])
+
+
+def test_hat_vee_inverse():
+    omega = np.array([0.3, -0.2, 0.9])
+    assert np.allclose(vee(hat(omega)), omega)
+
+
+def test_so3_exp_log_roundtrip():
+    omega = np.array([0.4, -0.1, 0.25])
+    rotation = so3_exp(omega)
+    assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-10)
+    assert np.allclose(so3_log(rotation), omega, atol=1e-8)
+
+
+def test_se3_exp_log_roundtrip():
+    twist = np.array([0.1, -0.2, 0.3, 0.05, -0.1, 0.2])
+    pose = SE3.exp(twist)
+    assert np.allclose(pose.log(), twist, atol=1e-8)
+
+
+def test_compose_and_inverse():
+    a = SE3.exp(np.array([0.1, 0.2, -0.1, 0.3, 0.0, -0.2]))
+    b = SE3.exp(np.array([-0.2, 0.1, 0.4, -0.1, 0.2, 0.1]))
+    composed = a @ b
+    point = np.array([0.5, -1.0, 2.0])
+    assert np.allclose(composed.apply(point), a.apply(b.apply(point)))
+    assert (a @ a.inverse()).almost_equal(SE3.identity(), atol=1e-10)
+
+
+def test_retract_is_left_multiplication():
+    pose = SE3.exp(np.array([0.1, 0.0, 0.0, 0.0, 0.2, 0.0]))
+    twist = np.array([0.01, -0.02, 0.03, 0.001, 0.002, -0.003])
+    assert pose.retract(twist).almost_equal(SE3.exp(twist) @ pose)
+
+
+def test_look_at_points_camera_at_target():
+    eye = np.array([1.0, 2.0, 0.5])
+    target = np.array([0.0, 0.0, 0.0])
+    pose = SE3.look_at(eye, target)
+    target_cam = pose.apply(target)
+    # Target must lie on the +z optical axis.
+    assert target_cam[2] > 0
+    assert abs(target_cam[0]) < 1e-9 and abs(target_cam[1]) < 1e-9
+    # The camera centre maps to the origin.
+    assert np.allclose(pose.apply(eye), np.zeros(3), atol=1e-12)
+
+
+def test_look_at_rejects_coincident_points():
+    with pytest.raises(ValueError):
+        SE3.look_at(np.zeros(3), np.zeros(3))
+
+
+def test_distance_translation_and_rotation():
+    pose = SE3.identity()
+    moved = SE3.exp(np.array([0.3, 0.0, 0.0, 0.0, 0.0, 0.0])) @ pose
+    trans, rot = pose.distance(moved)
+    assert trans == pytest.approx(0.3, abs=1e-9)
+    assert rot == pytest.approx(0.0, abs=1e-9)
+
+
+def test_quaternion_rotation_roundtrip():
+    quat = np.array([0.9, 0.1, -0.3, 0.2])
+    rotation = quaternion_to_rotation(quat)
+    assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-10)
+    recovered = rotation_to_quaternion(rotation)
+    expected = quat / np.linalg.norm(quat)
+    assert np.allclose(recovered, expected, atol=1e-8) or np.allclose(
+        recovered, -expected, atol=1e-8
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(finite_floats, min_size=6, max_size=6))
+def test_exp_preserves_rotation_properties(twist_values):
+    pose = SE3.exp(np.asarray(twist_values))
+    rotation = pose.rotation
+    assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-8)
+    assert np.linalg.det(rotation) == pytest.approx(1.0, abs=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(finite_floats, min_size=6, max_size=6), st.lists(finite_floats, min_size=3, max_size=3))
+def test_inverse_undoes_apply(twist_values, point_values):
+    pose = SE3.exp(np.asarray(twist_values))
+    point = np.asarray(point_values)
+    assert np.allclose(pose.inverse().apply(pose.apply(point)), point, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-1, 1, allow_nan=False), min_size=4, max_size=4))
+def test_quaternion_to_rotation_is_orthonormal(quat_values):
+    quat = np.asarray(quat_values)
+    if np.linalg.norm(quat) < 1e-3:
+        quat = np.array([1.0, 0.0, 0.0, 0.0])
+    rotation = quaternion_to_rotation(quat)
+    assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-8)
+    assert np.linalg.det(rotation) == pytest.approx(1.0, abs=1e-6)

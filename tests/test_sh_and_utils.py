@@ -1,0 +1,119 @@
+"""Tests for spherical harmonics and the shared utility helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.sh import (
+    eval_sh,
+    eval_sh_gradient,
+    n_sh_coeffs,
+    rgb_to_sh_dc,
+    sh_basis,
+    sh_dc_to_rgb,
+)
+from repro.utils import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+    default_rng,
+    derive_rng,
+)
+
+
+class TestSphericalHarmonics:
+    def test_coefficient_counts(self):
+        assert n_sh_coeffs(0) == 1
+        assert n_sh_coeffs(1) == 4
+        assert n_sh_coeffs(2) == 9
+        with pytest.raises(ValueError):
+            n_sh_coeffs(3)
+
+    def test_degree0_is_view_independent(self):
+        coeffs = np.zeros((3, 1, 3))
+        coeffs[:, 0, :] = rgb_to_sh_dc(np.array([[0.2, 0.5, 0.8]] * 3))
+        a = eval_sh(coeffs, np.array([[0, 0, 1.0]] * 3), degree=0)
+        b = eval_sh(coeffs, np.array([[1.0, 0, 0]] * 3), degree=0)
+        assert np.allclose(a, b)
+        assert np.allclose(a, [[0.2, 0.5, 0.8]], atol=1e-9)
+
+    def test_degree1_varies_with_direction(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(0, 0.3, (2, 4, 3))
+        a = eval_sh(coeffs, np.array([[0, 0, 1.0]] * 2), degree=1)
+        b = eval_sh(coeffs, np.array([[0, 0, -1.0]] * 2), degree=1)
+        assert not np.allclose(a, b)
+
+    def test_dc_roundtrip(self):
+        rgb = np.array([[0.1, 0.4, 0.9]])
+        assert np.allclose(sh_dc_to_rgb(rgb_to_sh_dc(rgb)), rgb, atol=1e-9)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(0, 0.2, (1, 4, 3))
+        direction = np.array([[0.3, -0.5, 0.8]])
+        dL_dcolour = np.array([[0.7, -0.2, 0.4]])
+        grads = eval_sh_gradient(dL_dcolour, direction, degree=1, n_total_coeffs=4)
+        eps = 1e-6
+        for k in range(4):
+            for c in range(3):
+                plus, minus = coeffs.copy(), coeffs.copy()
+                plus[0, k, c] += eps
+                minus[0, k, c] -= eps
+                # Loss = sum(dL_dcolour * colour); clipping ignored inside range.
+                numeric = (
+                    np.sum(dL_dcolour * eval_sh(plus, direction, 1))
+                    - np.sum(dL_dcolour * eval_sh(minus, direction, 1))
+                ) / (2 * eps)
+                assert grads[0, k, c] == pytest.approx(numeric, abs=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            eval_sh(np.zeros((3, 4)), np.zeros((3, 3)), degree=1)
+        with pytest.raises(ValueError):
+            eval_sh(np.zeros((3, 1, 3)), np.zeros((3, 3)), degree=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-1, 1, allow_nan=False), min_size=3, max_size=3))
+    def test_basis_is_bounded(self, direction):
+        direction = np.asarray(direction)
+        if np.linalg.norm(direction) < 1e-3:
+            direction = np.array([0.0, 0.0, 1.0])
+        basis = sh_basis(direction, degree=2)
+        assert np.all(np.abs(basis) < 1.2)
+
+
+class TestUtils:
+    def test_default_rng_deterministic(self):
+        assert default_rng(3).integers(0, 1000) == default_rng(3).integers(0, 1000)
+
+    def test_derive_rng_decorrelated_streams(self):
+        parent_a, parent_b = default_rng(3), default_rng(3)
+        child_a = derive_rng(parent_a, "frame", 0)
+        child_b = derive_rng(parent_b, "frame", 1)
+        assert child_a.integers(0, 10**6) != child_b.integers(0, 10**6)
+
+    def test_check_shape(self):
+        arr = np.zeros((3, 2))
+        assert check_shape(arr, (3, 2), "arr") is arr
+        assert check_shape(arr, (None, 2), "arr") is arr
+        with pytest.raises(ValueError):
+            check_shape(arr, (2, 3), "arr")
+        with pytest.raises(ValueError):
+            check_shape(arr, (3,), "arr")
+
+    def test_check_finite(self):
+        with pytest.raises(ValueError):
+            check_finite(np.array([1.0, np.nan]), "arr")
+        check_finite(np.array([1.0, 2.0]), "arr")
+
+    def test_check_positive_and_probability(self):
+        assert check_positive(2.5, "x") == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        check_positive(0.0, "x", strict=False)
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
