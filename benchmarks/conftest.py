@@ -16,6 +16,7 @@ import pytest
 
 from repro.core import FixedRatioPruner, RTGSAlgorithmConfig, build_pipeline, make_pruner
 from repro.datasets import make_sequence
+from repro.metrics import format_db  # noqa: F401  (re-exported for benchmark tables)
 from repro.slam import make_algorithm
 
 # Keep the benchmark matrix affordable on a laptop-class machine.

@@ -6,7 +6,7 @@ Expected shape: Photo-SLAM fastest (geometric tracking), SplaTAM slowest
 (mapping every frame), all far below 30 FPS on the baseline GPU.
 """
 
-from benchmarks.conftest import WORKLOAD_SCALE, get_run, get_sequence, print_table
+from benchmarks.conftest import WORKLOAD_SCALE, format_db, get_run, get_sequence, print_table
 from repro.hardware import EdgeGPUModel, evaluate_system
 from repro.metrics import gaussian_memory_gb
 
@@ -33,7 +33,7 @@ def test_table2_rows(benchmark):
             [
                 name,
                 f"{run.ate():.2f}",
-                f"{run.evaluate_psnr(sequence, 3):.2f}",
+                format_db(run.evaluate_psnr(sequence, 3)),
                 f"{evaluation.tracking_fps:.2f}",
                 f"{evaluation.overall_fps:.2f}",
                 f"{gaussian_memory_gb(run.peak_gaussian_count * WORKLOAD_SCALE):.1f}",

@@ -10,7 +10,7 @@ default sweep uses the two extremes (tum-like and replica-like) - add more
 dataset names to ``DATASETS`` to widen it.
 """
 
-from benchmarks.conftest import WORKLOAD_SCALE, get_run, get_sequence, print_table
+from benchmarks.conftest import WORKLOAD_SCALE, format_db, get_run, get_sequence, print_table
 from repro.hardware import EdgeGPUModel, evaluate_system
 from repro.metrics import gaussian_memory_gb
 
@@ -44,7 +44,7 @@ def test_table6_main_results(benchmark):
                 dataset,
                 f"{algorithm}+{variant}",
                 f"{run.ate():.2f}",
-                f"{run.evaluate_psnr(sequence, 2):.2f}",
+                format_db(run.evaluate_psnr(sequence, 2)),
                 f"{evaluation.overall_fps:.2f}",
                 f"{gaussian_memory_gb(run.peak_gaussian_count * WORKLOAD_SCALE):.2f}",
             ]

@@ -5,7 +5,7 @@ should beat the GauSPU-style plug-in on tracking FPS while using less Gaussian
 memory, with comparable quality.
 """
 
-from benchmarks.conftest import WORKLOAD_SCALE, get_run, get_sequence, print_table
+from benchmarks.conftest import WORKLOAD_SCALE, format_db, get_run, get_sequence, print_table
 from repro.hardware import EdgeGPUModel, GauSPUModel, RTGSPlugin, evaluate_system
 from repro.metrics import gaussian_memory_gb
 
@@ -44,7 +44,7 @@ def test_table7_gauspu_comparison(benchmark):
             [
                 name,
                 f"{run.ate():.2f}",
-                f"{run.evaluate_psnr(sequence, 2):.2f}",
+                format_db(run.evaluate_psnr(sequence, 2)),
                 f"{evaluation.tracking_fps:.2f}",
                 f"{evaluation.overall_fps:.2f}",
                 f"{gaussian_memory_gb(run.peak_gaussian_count * WORKLOAD_SCALE):.2f}",

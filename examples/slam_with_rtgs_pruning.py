@@ -10,6 +10,7 @@ Run with:  python examples/slam_with_rtgs_pruning.py
 
 from repro.core import PruningConfig, RTGSAlgorithmConfig, build_pipeline
 from repro.datasets import make_sequence
+from repro.metrics import format_db
 from repro.slam import mono_gs
 
 
@@ -18,8 +19,9 @@ def run_variant(name: str, rtgs_config, sequence, n_frames: int) -> None:
     result = pipeline.run(sequence, n_frames=n_frames)
     fragments = sum(s.total_fragments for s in result.all_snapshots())
     fractions = [record.resolution_fraction for record in result.frame_records]
+    psnr_text = format_db(result.evaluate_psnr(sequence, 3))
     print(
-        f"{name:>12}: ATE {result.ate():6.2f} cm | PSNR {result.evaluate_psnr(sequence, 3):5.2f} dB "
+        f"{name:>12}: ATE {result.ate():6.2f} cm | PSNR {psnr_text} dB "
         f"| Gaussians {result.cloud.n_total:5d} | fragments {fragments / 1e6:6.2f} M "
         f"| mean pixel fraction {sum(fractions) / len(fractions):.2f}"
     )

@@ -15,6 +15,8 @@ Reduction.  The package provides:
   GauSPU and the RTGS plug-in (RE, WSU, R&B Buffer, GMU, PE)
 * ``repro.profiling`` and ``repro.metrics`` - the measurements behind the
   paper's profiling and evaluation sections
+* ``repro.testing`` - differential and golden verification harness pinning
+  the rasterizer backends against each other and against committed fixtures
 """
 
 __version__ = "0.1.0"
@@ -27,5 +29,6 @@ __all__ = [
     "metrics",
     "profiling",
     "slam",
+    "testing",
     "utils",
 ]

@@ -18,9 +18,23 @@ from repro.gaussians.backward import (
     render_backward,
 )
 from repro.gaussians.camera import Camera
+from repro.gaussians.fast_raster import (
+    FlatFragments,
+    build_flat_fragments,
+    rasterize_flat,
+    segmented_exclusive_cumprod,
+)
 from repro.gaussians.gaussian_model import BYTES_PER_GAUSSIAN, GaussianCloud
 from repro.gaussians.projection import ProjectedGaussians, project_gaussians
-from repro.gaussians.rasterizer import RenderResult, TileRenderCache, rasterize
+from repro.gaussians.rasterizer import (
+    BACKENDS,
+    RenderResult,
+    TileRenderCache,
+    get_default_backend,
+    rasterize,
+    set_default_backend,
+    use_backend,
+)
 from repro.gaussians.se3 import SE3, quaternion_to_rotation, rotation_to_quaternion
 from repro.gaussians.sorting import (
     TileIntersections,
@@ -30,9 +44,11 @@ from repro.gaussians.sorting import (
 from repro.gaussians.tiling import TileGrid, assign_tiles
 
 __all__ = [
+    "BACKENDS",
     "BYTES_PER_GAUSSIAN",
     "Camera",
     "CloudGradients",
+    "FlatFragments",
     "GaussianCloud",
     "GradientTrace",
     "ProjectedGaussians",
@@ -43,13 +59,19 @@ __all__ = [
     "TileIntersections",
     "TileRenderCache",
     "assign_tiles",
+    "build_flat_fragments",
     "build_tile_lists",
+    "get_default_backend",
     "intersection_change_ratio",
     "preprocess_backward",
     "project_gaussians",
     "quaternion_to_rotation",
     "rasterize",
     "rasterize_backward",
+    "rasterize_flat",
     "render_backward",
     "rotation_to_quaternion",
+    "segmented_exclusive_cumprod",
+    "set_default_backend",
+    "use_backend",
 ]

@@ -109,8 +109,27 @@ def rasterize_backward(
     result: RenderResult,
     dL_dimage: np.ndarray,
     dL_ddepth: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> ScreenSpaceGradients:
-    """Step 4 Rendering BP: pixel losses -> screen-space Gaussian gradients."""
+    """Step 4 Rendering BP: pixel losses -> screen-space Gaussian gradients.
+
+    ``backend=None`` follows the backend that produced ``result``: flat
+    renders take the restructured fast path in
+    :func:`repro.gaussians.fast_raster.rasterize_backward_flat`, tile renders
+    take the reference implementation below.  Passing ``"tile"`` or ``"flat"``
+    explicitly overrides this (both consume the same cache layout; the
+    differential harness relies on the override to cross-check them).
+    """
+    if backend is None:
+        backend = getattr(result, "backend", "tile")
+    if backend not in ("tile", "flat"):
+        raise ValueError(
+            f"unknown rasterizer backend {backend!r}; expected one of ('tile', 'flat')"
+        )
+    if backend == "flat":
+        from repro.gaussians.fast_raster import rasterize_backward_flat
+
+        return rasterize_backward_flat(result, dL_dimage, dL_ddepth)
     projected = result.projected
     n_visible = projected.n_visible
     grads_colors = np.zeros((n_visible, 3))
@@ -347,9 +366,10 @@ def render_backward(
     dL_dimage: np.ndarray,
     dL_ddepth: np.ndarray | None = None,
     compute_pose_gradient: bool = True,
+    backend: str | None = None,
 ) -> CloudGradients:
     """Convenience wrapper running Steps 4 and 5 back to back."""
-    screen = rasterize_backward(result, dL_dimage, dL_ddepth)
+    screen = rasterize_backward(result, dL_dimage, dL_ddepth, backend=backend)
     return preprocess_backward(screen, cloud, compute_pose_gradient=compute_pose_gradient)
 
 

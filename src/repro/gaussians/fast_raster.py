@@ -1,0 +1,461 @@
+"""Flat fragment-list fast path for Step 3 *Rendering* and Step 4 *Rendering BP*.
+
+The reference rasterizer (:mod:`repro.gaussians.rasterizer`) materialises a
+fresh dense ``(P, M)`` fragment grid per tile — every intermediate is a new
+temporary, ``trans_before`` needs an extra concatenate, and the backward pass
+re-materialises ``(P, M, 3)`` suffix-colour stacks and a ``(P, M, 2, 2)``
+outer-product tensor per tile.  For the hot SLAM loop this memory traffic is
+the wall-clock, not the flops.
+
+This module keeps the same mathematical pipeline but restructures it around a
+single flat fragment arena for the whole image:
+
+* all tile intersections are flattened into one ``(n_fragments,)`` fragment
+  list (Gaussian row, linear pixel id, tile id, depth rank) —
+  :class:`FlatFragments`;
+* every forward intermediate (deltas, Gaussian values, alphas, transmittance,
+  weights, processed/clamp masks) lives in one preallocated flat arena;
+  per-tile compute writes *into* contiguous views of it (in-place ufuncs, an
+  exclusive ``cumprod`` with an ``out=`` target, no concatenates), so the
+  per-tile caches the backward pass / hardware model / profiling consume are
+  free reshaped views of the arena rather than per-tile copies;
+* the segmented exclusive cumulative product over per-pixel fragment
+  segments is computed blockwise (segments of one tile share their length, so
+  each tile block is one ``np.cumprod`` call — bit-identical to the reference
+  backend); :func:`segmented_exclusive_cumprod` provides the general
+  Hillis-Steele doubling scan for arbitrary segment layouts and is pinned to
+  the blocked variant by the property tests;
+* the flat backward pass (:func:`rasterize_backward_flat`) folds the colour
+  and depth suffix terms into one ``(P, 3) @ (3, M)`` BLAS product and a
+  single suffix scan over a ``(P, M)`` matrix, computes the conic gradient
+  component-wise instead of materialising the ``(P, M, 2, 2)`` outer tensor,
+  and scatters with unique-index fancy assignment instead of ``np.add.at``.
+
+Numerically the forward pass is bit-compatible with the tile backend except
+for per-pixel accumulation order; the backward factorisation regroups sums
+and stays well below the 1e-8 differential-test tolerance.  The differential
+harness in :mod:`repro.testing` pins both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.projection import ProjectedGaussians, project_gaussians
+from repro.gaussians.rasterizer import (
+    ALPHA_CLAMP,
+    ALPHA_CUTOFF,
+    TRANSMITTANCE_EPS,
+    RenderResult,
+    TileRenderCache,
+)
+from repro.gaussians.se3 import SE3
+from repro.gaussians.sorting import TileIntersections, build_tile_lists
+from repro.gaussians.tiling import TileGrid
+
+
+@dataclass
+class FlatFragments:
+    """The flattened (pixel, Gaussian) intersection list of one render.
+
+    Fragments are pixel-major: all fragments of one pixel are contiguous and
+    front-to-back depth ordered, pixels of one tile are contiguous, tiles
+    appear in ascending tile id.  The per-fragment index arrays are built
+    lazily (the forward pass only needs the block layout); accessing
+    ``rows`` / ``pixel_ids`` / ``tile_ids`` / ``pos_in_pixel`` materialises
+    them once and caches the result.
+    """
+
+    width: int
+    tile_slices: list[tuple[int, int, int]]  # (tile_id, start, stop) fragment ranges
+    tile_rows: list[np.ndarray]  # per non-empty tile: (M,) projected rows
+    tile_pixel_lin: list[np.ndarray]  # per non-empty tile: (P,) linear pixel ids
+    n_fragments: int
+    max_per_pixel: int  # longest per-pixel segment (bounds the scan depth)
+    _rows: np.ndarray | None = field(default=None, repr=False)
+    _pixel_ids: np.ndarray | None = field(default=None, repr=False)
+    _tile_ids: np.ndarray | None = field(default=None, repr=False)
+    _pos_in_pixel: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """(F,) projected-Gaussian row of each fragment."""
+        if self._rows is None:
+            self._rows = _concat_or_empty(
+                [np.tile(rows, lin.shape[0]) for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)]
+            )
+        return self._rows
+
+    @property
+    def pixel_ids(self) -> np.ndarray:
+        """(F,) linear pixel id (``v * width + u``) of each fragment."""
+        if self._pixel_ids is None:
+            self._pixel_ids = _concat_or_empty(
+                [np.repeat(lin, rows.shape[0]) for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)]
+            )
+        return self._pixel_ids
+
+    @property
+    def tile_ids(self) -> np.ndarray:
+        """(F,) tile id of each fragment."""
+        if self._tile_ids is None:
+            self._tile_ids = _concat_or_empty(
+                [
+                    np.full(stop - start, tile_id, dtype=np.int64)
+                    for tile_id, start, stop in self.tile_slices
+                ]
+            )
+        return self._tile_ids
+
+    @property
+    def pos_in_pixel(self) -> np.ndarray:
+        """(F,) depth rank of each fragment within its pixel's segment."""
+        if self._pos_in_pixel is None:
+            self._pos_in_pixel = _concat_or_empty(
+                [
+                    np.tile(np.arange(rows.shape[0], dtype=np.int64), lin.shape[0])
+                    for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)
+                ]
+            )
+        return self._pos_in_pixel
+
+
+def _concat_or_empty(parts: list[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def build_flat_fragments(intersections: TileIntersections) -> FlatFragments:
+    """Flatten the per-tile depth-sorted lists into one fragment layout."""
+    grid = intersections.grid
+    width = grid.width
+    tile_slices: list[tuple[int, int, int]] = []
+    tile_rows: list[np.ndarray] = []
+    tile_pixel_lin: list[np.ndarray] = []
+    offset = 0
+    max_per_pixel = 0
+
+    for tile_id, rows in enumerate(intersections.per_tile):
+        m_count = int(rows.size)
+        if m_count == 0:
+            continue
+        x0, y0, x1, y1 = grid.tile_bounds(tile_id)
+        pixel_lin = (
+            np.arange(y0, y1)[:, None] * width + np.arange(x0, x1)[None, :]
+        ).ravel()
+        n_frag = pixel_lin.shape[0] * m_count
+        tile_slices.append((tile_id, offset, offset + n_frag))
+        tile_rows.append(rows)
+        tile_pixel_lin.append(pixel_lin)
+        offset += n_frag
+        max_per_pixel = max(max_per_pixel, m_count)
+
+    return FlatFragments(
+        width=width,
+        tile_slices=tile_slices,
+        tile_rows=tile_rows,
+        tile_pixel_lin=tile_pixel_lin,
+        n_fragments=offset,
+        max_per_pixel=max_per_pixel,
+    )
+
+
+def segmented_exclusive_cumprod(
+    values: np.ndarray, pos_in_segment: np.ndarray, max_segment: int
+) -> np.ndarray:
+    """Exclusive cumulative product within contiguous segments.
+
+    ``pos_in_segment`` gives each element's rank inside its segment; segments
+    must be contiguous.  Uses Hillis-Steele doubling: ``ceil(log2(max_segment))``
+    fully vectorised passes over the array instead of one sequential
+    ``np.cumprod`` per segment.  The production forward pass uses the
+    bit-exact blocked variant (per-tile ``cumprod`` on arena views, possible
+    because segments of one tile share their length); this general scan
+    handles arbitrary segment layouts and cross-checks the blocked one in the
+    property tests.
+    """
+    n = values.shape[0]
+    if n == 0:
+        return values.copy()
+    inclusive = values.copy()
+    shift = 1
+    while shift < max_segment:
+        shifted = np.empty_like(inclusive)
+        shifted[:shift] = 1.0
+        shifted[shift:] = inclusive[:-shift]
+        # Elements fewer than `shift` steps into their segment would read
+        # across the segment boundary; multiply by the identity instead.
+        np.copyto(shifted, 1.0, where=pos_in_segment < shift)
+        inclusive = inclusive * shifted
+        shift <<= 1
+    exclusive = np.empty_like(inclusive)
+    exclusive[0] = 1.0
+    exclusive[1:] = inclusive[:-1]
+    exclusive[pos_in_segment == 0] = 1.0
+    return exclusive
+
+
+def rasterize_flat(
+    cloud: GaussianCloud,
+    camera: Camera,
+    pose_cw: SE3,
+    background: np.ndarray | None = None,
+    tile_size: int = 16,
+    subtile_size: int = 4,
+    active_only: bool = True,
+    precomputed: tuple[ProjectedGaussians, TileIntersections] | None = None,
+) -> RenderResult:
+    """Flat-arena render; drop-in equivalent of ``rasterize(backend="tile")``."""
+    if background is None:
+        background = np.zeros(3)
+    background = np.asarray(background, dtype=np.float64).reshape(3)
+
+    if precomputed is not None:
+        projected, intersections = precomputed
+        grid = intersections.grid
+    else:
+        projected = project_gaussians(cloud, camera, pose_cw, active_only=active_only)
+        grid = TileGrid(camera.width, camera.height, tile_size, subtile_size)
+        intersections = build_tile_lists(projected, grid)
+
+    height, width = camera.height, camera.width
+    fragments = build_flat_fragments(intersections)
+    n_frag = fragments.n_fragments
+
+    image = np.tile(background, (height, width, 1))
+    depth = np.zeros((height, width))
+    alpha_map = np.zeros((height, width))
+    frag_counts = np.zeros((height, width), dtype=int)
+
+    # One flat arena per forward intermediate; per-tile compute below writes
+    # into contiguous views, so the TileRenderCache entries are free views.
+    deltas_flat = np.empty((n_frag, 2))
+    gauss_flat = np.empty(n_frag)
+    alphas_flat = np.empty(n_frag)
+    trans_flat = np.empty(n_frag)
+    weights_flat = np.empty(n_frag)
+    processed_flat = np.empty(n_frag, dtype=bool)
+    clamp_flat = np.empty(n_frag, dtype=bool)
+
+    means2d = projected.means2d
+    conics = projected.conics
+    opacities = projected.opacities
+    colors = projected.colors
+    depths = projected.depths
+    tile_caches: list[TileRenderCache] = []
+
+    for (tile_id, start, stop), rows, pixel_lin in zip(
+        fragments.tile_slices, fragments.tile_rows, fragments.tile_pixel_lin
+    ):
+        p_count = pixel_lin.shape[0]
+        m_count = rows.shape[0]
+        shape = (p_count, m_count)
+        pixel_coords = grid.tile_pixel_coordinates(tile_id)
+
+        deltas = deltas_flat[start:stop].reshape(p_count, m_count, 2)
+        dx = deltas[:, :, 0]
+        dy = deltas[:, :, 1]
+        gauss = gauss_flat[start:stop].reshape(shape)
+        alphas = alphas_flat[start:stop].reshape(shape)
+        trans_before = trans_flat[start:stop].reshape(shape)
+        weights = weights_flat[start:stop].reshape(shape)
+        processed = processed_flat[start:stop].reshape(shape)
+        clamp_mask = clamp_flat[start:stop].reshape(shape)
+
+        # Step 3-1 Alpha computing (in-place into the arena views).  The
+        # association order matches the tile backend exactly.
+        np.subtract(pixel_coords[:, :1], means2d[rows, 0][None, :], out=dx)
+        np.subtract(pixel_coords[:, 1:], means2d[rows, 1][None, :], out=dy)
+        conic = conics[rows]
+        np.multiply(conic[:, 0, 0][None, :], np.square(dx), out=gauss)
+        cross = (2.0 * conic[:, 0, 1])[None, :] * dx
+        cross *= dy
+        gauss += cross
+        tail = conic[:, 1, 1][None, :] * np.square(dy)
+        gauss += tail
+        gauss *= -0.5
+        np.minimum(gauss, 0.0, out=gauss)
+        np.exp(gauss, out=gauss)
+
+        np.multiply(opacities[rows][None, :], gauss, out=alphas)
+        np.greater(alphas, ALPHA_CLAMP, out=clamp_mask)
+        np.minimum(alphas, ALPHA_CLAMP, out=alphas)
+        alphas[alphas < ALPHA_CUTOFF] = 0.0
+
+        # Step 3-2 Alpha blending: exclusive cumprod written straight into the
+        # arena (no concatenate), then termination masking.
+        one_minus = 1.0 - alphas
+        trans_before[:, 0] = 1.0
+        if m_count > 1:
+            np.cumprod(one_minus[:, :-1], axis=1, out=trans_before[:, 1:])
+        np.greater_equal(trans_before, TRANSMITTANCE_EPS, out=processed)
+        np.multiply(trans_before, alphas, out=weights)
+        weights *= processed
+
+        # Per-pixel accumulation (small BLAS products per tile).
+        pixel_color = weights @ colors[rows]
+        pixel_depth = weights @ depths[rows]
+        pixel_alpha = weights.sum(axis=1)
+        v_idx, u_idx = pixel_lin // width, pixel_lin % width
+        image[v_idx, u_idx] = pixel_color + (1.0 - pixel_alpha)[:, None] * background
+        depth[v_idx, u_idx] = pixel_depth
+        alpha_map[v_idx, u_idx] = pixel_alpha
+        frag_counts[v_idx, u_idx] = processed.sum(axis=1)
+
+        tile_caches.append(
+            TileRenderCache(
+                tile_id=tile_id,
+                rows=rows,
+                pixel_coords=pixel_coords,
+                pixel_indices=(v_idx, u_idx),
+                deltas=deltas,
+                gauss_values=gauss,
+                alphas=alphas,
+                transmittance_before=trans_before,
+                weights=weights,
+                processed=processed,
+                clamp_mask=clamp_mask,
+            )
+        )
+
+    return RenderResult(
+        image=np.clip(image, 0.0, 1.0),
+        depth=depth,
+        alpha=alpha_map,
+        fragments_per_pixel=frag_counts,
+        projected=projected,
+        intersections=intersections,
+        tile_caches=tile_caches,
+        camera=camera,
+        pose_cw=pose_cw,
+        background=background,
+        backend="flat",
+    )
+
+
+def rasterize_backward_flat(
+    result: RenderResult,
+    dL_dimage: np.ndarray,
+    dL_ddepth: np.ndarray | None = None,
+):
+    """Step 4 Rendering BP, restructured for memory traffic.
+
+    Produces the same :class:`~repro.gaussians.backward.ScreenSpaceGradients`
+    as the reference ``rasterize_backward`` (the differential harness pins
+    agreement to 1e-8) while avoiding its large temporaries:
+
+    * the colour *and* depth suffix terms are folded into one per-tile
+      ``(P, M)`` matrix ``B[p, k] = dL/dC_p . c_k + dL/dD_p * d_k`` computed
+      with a single BLAS product, so ``dL/dalpha = T * B - suffix(w * B) /
+      (1 - alpha)`` needs one suffix scan over a 2D matrix instead of a
+      ``(P, M, 3)`` stack;
+    * the conic gradient is reduced component-wise (three ``einsum``
+      contractions) instead of materialising the ``(P, M, 2, 2)`` outer
+      tensor;
+    * per-tile Gaussian rows are unique, so scatters use fancy-indexed
+      ``+=`` rather than ``np.add.at``.
+    """
+    from repro.gaussians.backward import GradientTrace, ScreenSpaceGradients
+
+    projected = result.projected
+    n_visible = projected.n_visible
+    grads_colors = np.zeros((n_visible, 3))
+    grads_opacity = np.zeros(n_visible)
+    grads_means2d = np.zeros((n_visible, 2))
+    grads_conics = np.zeros((n_visible, 2, 2))
+    grads_depths = np.zeros(n_visible)
+    trace = GradientTrace(fragments_per_pixel=result.fragments_per_pixel.copy())
+
+    dL_dimage = np.asarray(dL_dimage, dtype=np.float64)
+    if dL_dimage.shape != result.image.shape:
+        raise ValueError(
+            f"dL_dimage shape {dL_dimage.shape} does not match image {result.image.shape}"
+        )
+    if dL_ddepth is not None:
+        dL_ddepth = np.asarray(dL_ddepth, dtype=np.float64)
+        if dL_ddepth.shape != result.depth.shape:
+            raise ValueError(
+                f"dL_ddepth shape {dL_ddepth.shape} does not match depth {result.depth.shape}"
+            )
+
+    for cache in result.tile_caches:
+        rows = cache.rows
+        v_idx, u_idx = cache.pixel_indices
+        pixel_color_grad = dL_dimage[v_idx, u_idx]  # (P, 3)
+
+        colors = projected.colors[rows]  # (M, 3)
+        depths = projected.depths[rows]  # (M,)
+        opacities = projected.opacities[rows]  # (M,)
+        conic = projected.conics[rows]  # (M, 2, 2)
+
+        weights = cache.weights  # (P, M)
+        alphas = cache.alphas
+        gauss = cache.gauss_values
+        trans_before = cache.transmittance_before
+        deltas = cache.deltas
+
+        # Direct colour / depth gradients: dL/dc_k = w_k * dL/dC_P.
+        grads_colors[rows] += weights.T @ pixel_color_grad
+        if dL_ddepth is not None:
+            pixel_depth_grad = dL_ddepth[v_idx, u_idx]  # (P,)
+            grads_depths[rows] += weights.T @ pixel_depth_grad
+            # Fold colour and depth into one per-fragment blend gradient.
+            blend = pixel_color_grad @ colors.T + pixel_depth_grad[:, None] * depths[None, :]
+        else:
+            blend = pixel_color_grad @ colors.T  # (P, M)
+
+        # dL/dalpha_k = T_k * B_k - (sum_{n>k} w_n B_n) / (1 - alpha_k).
+        weighted_blend = weights * blend
+        suffix = np.cumsum(weighted_blend[:, ::-1], axis=1)[:, ::-1] - weighted_blend
+        one_minus_alpha = np.maximum(1.0 - alphas, 1.0 - 0.995)
+        dL_dalpha = trans_before * blend
+        dL_dalpha -= suffix / one_minus_alpha
+
+        valid = cache.processed & (alphas > 0.0) & (~cache.clamp_mask)
+        dL_dalpha *= valid
+
+        # alpha = opacity * G  ->  opacity and Gaussian-value chains.
+        grads_opacity[rows] += np.einsum("pm,pm->m", gauss, dL_dalpha)
+        common = dL_dalpha * gauss
+        common *= opacities[None, :]  # == dL/dG * G
+
+        # G = exp(-0.5 d^T A d): dG/dmu = G * (A d), dG/dA = -0.5 * G * d d^T.
+        dx = deltas[:, :, 0]
+        dy = deltas[:, :, 1]
+        a = conic[:, 0, 0][None, :]
+        b = conic[:, 0, 1][None, :]
+        c = conic[:, 1, 1][None, :]
+        a_dx0 = a * dx + b * dy
+        a_dx1 = b * dx + c * dy
+        grads_means2d[rows, 0] += np.einsum("pm,pm->m", common, a_dx0)
+        grads_means2d[rows, 1] += np.einsum("pm,pm->m", common, a_dx1)
+        gxx = -0.5 * np.einsum("pm,pm,pm->m", common, dx, dx)
+        gxy = -0.5 * np.einsum("pm,pm,pm->m", common, dx, dy)
+        gyy = -0.5 * np.einsum("pm,pm,pm->m", common, dy, dy)
+        grads_conics[rows, 0, 0] += gxx
+        grads_conics[rows, 0, 1] += gxy
+        grads_conics[rows, 1, 0] += gxy
+        grads_conics[rows, 1, 1] += gyy
+
+        # Trace of pixel-level contributions for the hardware model.
+        contributions = (weights > 0.0).sum(axis=0)
+        has_grad = contributions > 0
+        if np.any(has_grad):
+            trace.tile_ids.append(cache.tile_id)
+            trace.per_tile_source_indices.append(projected.indices[rows[has_grad]])
+            trace.per_tile_pixel_counts.append(contributions[has_grad].astype(int))
+
+    return ScreenSpaceGradients(
+        projected=projected,
+        colors=grads_colors,
+        opacities=grads_opacity,
+        means2d=grads_means2d,
+        conics=grads_conics,
+        depths=grads_depths,
+        trace=trace,
+    )

@@ -18,7 +18,10 @@ Two aspects matter for the rest of the reproduction:
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -36,6 +39,53 @@ ALPHA_CUTOFF = 1.0 / 255.0
 ALPHA_CLAMP = 0.99
 # Early termination: stop compositing a pixel once transmittance drops below this.
 TRANSMITTANCE_EPS = 1e-4
+
+# Available rasterizer implementations: "tile" is the reference per-tile loop,
+# "flat" is the flat fragment-list fast path (repro.gaussians.fast_raster).
+BACKENDS = ("tile", "flat")
+
+
+def _initial_backend() -> str:
+    value = os.environ.get("REPRO_RASTER_BACKEND", "tile")
+    if value not in BACKENDS:
+        raise ValueError(
+            f"REPRO_RASTER_BACKEND={value!r} is not a valid rasterizer backend; "
+            f"expected one of {BACKENDS}"
+        )
+    return value
+
+
+_default_backend = _initial_backend()
+
+
+def get_default_backend() -> str:
+    """Return the backend used when ``rasterize(backend=None)`` is called."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one.
+
+    Lets whole-pipeline callers (SLAM runs, benchmarks) opt into the flat
+    fast path without threading an argument through every call site.  The
+    ``REPRO_RASTER_BACKEND`` environment variable seeds the initial default.
+    """
+    global _default_backend
+    if name not in BACKENDS:
+        raise ValueError(f"unknown rasterizer backend {name!r}; expected one of {BACKENDS}")
+    previous = _default_backend
+    _default_backend = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Context manager scoping :func:`set_default_backend` to a block."""
+    previous = set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 
 @dataclass
@@ -83,6 +133,7 @@ class RenderResult:
     camera: Camera
     pose_cw: SE3
     background: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    backend: str = "tile"  # which rasterizer implementation produced this result
 
     @property
     def grid(self) -> TileGrid:
@@ -117,6 +168,7 @@ def rasterize(
     subtile_size: int = 4,
     active_only: bool = True,
     precomputed: tuple[ProjectedGaussians, TileIntersections] | None = None,
+    backend: str | None = None,
 ) -> RenderResult:
     """Render the Gaussian cloud from ``pose_cw`` (world-to-camera).
 
@@ -126,7 +178,29 @@ def rasterize(
         Optional ``(projected, intersections)`` pair.  RTGS reuses the Step 1-2
         results across the iterations of a pruning window (Sec. 4.1); passing
         them here skips projection, tile intersection and sorting.
+    backend:
+        ``"tile"`` (reference per-tile loop), ``"flat"`` (flat fragment-list
+        fast path) or ``None`` to use :func:`get_default_backend`.  Both
+        produce equivalent :class:`RenderResult` structures; the differential
+        harness in :mod:`repro.testing` pins their agreement.
     """
+    if backend is None:
+        backend = _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown rasterizer backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "flat":
+        from repro.gaussians.fast_raster import rasterize_flat
+
+        return rasterize_flat(
+            cloud,
+            camera,
+            pose_cw,
+            background=background,
+            tile_size=tile_size,
+            subtile_size=subtile_size,
+            active_only=active_only,
+            precomputed=precomputed,
+        )
     if background is None:
         background = np.zeros(3)
     background = np.asarray(background, dtype=np.float64).reshape(3)

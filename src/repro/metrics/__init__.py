@@ -1,6 +1,6 @@
 """Evaluation metrics used throughout the paper's tables and figures."""
 
-from repro.metrics.image import psnr, rmse, ssim
+from repro.metrics.image import format_db, psnr, rmse, ssim
 from repro.metrics.performance import FPSMeter, gaussian_memory_gb, model_size_report
 from repro.metrics.trajectory import align_trajectories, ate_rmse, cumulative_ate
 
@@ -9,6 +9,7 @@ __all__ = [
     "align_trajectories",
     "ate_rmse",
     "cumulative_ate",
+    "format_db",
     "gaussian_memory_gb",
     "model_size_report",
     "psnr",

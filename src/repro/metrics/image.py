@@ -26,6 +26,17 @@ def rmse(image_a: np.ndarray, image_b: np.ndarray) -> float:
     return float(np.sqrt(np.mean((a - b) ** 2)))
 
 
+def format_db(value: float, width: int = 5) -> str:
+    """Format a dB metric for display; ``nan`` (no data) renders as ``n/a``.
+
+    ``SLAMResult.evaluate_psnr`` returns ``nan`` when no finite PSNR exists —
+    an empty or degenerate render must show up as missing data, never as a
+    perfect score.  ``width`` right-pads so tabular columns stay aligned.
+    """
+    text = "n/a" if np.isnan(value) else f"{value:.2f}"
+    return text.rjust(width)
+
+
 def psnr(image_a: np.ndarray, image_b: np.ndarray, data_range: float = 1.0) -> float:
     """Peak signal-to-noise ratio in dB (higher is better).
 

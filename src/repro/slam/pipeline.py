@@ -78,7 +78,12 @@ class SLAMResult:
         return [s for s in self.all_snapshots() if s.stage == "mapping"]
 
     def evaluate_psnr(self, sequence: RGBDSequence, max_frames: int = 5) -> float:
-        """Mean PSNR of map renders against ground-truth keyframe observations."""
+        """Mean PSNR of map renders against ground-truth keyframe observations.
+
+        Returns ``nan`` when no finite PSNR value exists (e.g. an empty or
+        fully degenerate map), so a broken render can never rank as perfect
+        quality; callers are expected to treat ``nan`` as "no data".
+        """
         indices = self.keyframe_indices[:max_frames] or [0]
         values = []
         for index in indices:
@@ -87,7 +92,7 @@ class SLAMResult:
             render = rasterize(self.cloud, observation.camera, pose)
             values.append(psnr_metric(render.image, observation.image))
         finite = [v for v in values if np.isfinite(v)]
-        return float(np.mean(finite)) if finite else float("inf")
+        return float(np.mean(finite)) if finite else float("nan")
 
     def summary(self) -> dict[str, float]:
         """Compact numeric summary used by the benchmark tables."""

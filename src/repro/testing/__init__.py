@@ -1,0 +1,47 @@
+"""Differential and golden verification harness for the rendering pipeline.
+
+This package is the repo's testing subsystem: deterministic render scenarios
+(:mod:`repro.testing.scenarios`), a differential runner that proves the flat
+fragment-list rasterizer equivalent to the reference per-tile backend
+(:mod:`repro.testing.differential`), and golden ``.npz`` fixtures pinning the
+reference outputs (:mod:`repro.testing.golden`, regenerated via
+``python -m repro.testing.regold``).
+"""
+
+from repro.testing.differential import (
+    GRADIENT_FIELDS,
+    DifferentialRunner,
+    ScenarioReport,
+)
+from repro.testing.golden import (
+    GOLDEN_ATOL,
+    GOLDEN_DIR,
+    compare_to_golden,
+    golden_path,
+    load_golden,
+    render_reference,
+    save_golden,
+)
+from repro.testing.scenarios import (
+    DEFAULT_LIBRARY,
+    Scenario,
+    ScenarioLibrary,
+    SceneSpec,
+)
+
+__all__ = [
+    "DEFAULT_LIBRARY",
+    "DifferentialRunner",
+    "GOLDEN_ATOL",
+    "GOLDEN_DIR",
+    "GRADIENT_FIELDS",
+    "Scenario",
+    "ScenarioLibrary",
+    "ScenarioReport",
+    "SceneSpec",
+    "compare_to_golden",
+    "golden_path",
+    "load_golden",
+    "render_reference",
+    "save_golden",
+]

@@ -1,0 +1,196 @@
+"""Differential verification: render every scenario through two backends.
+
+The :class:`DifferentialRunner` renders each scenario through a *reference*
+backend (the per-tile loop) and a *candidate* backend (the flat fragment-list
+fast path), runs the full backward pass on both renders with a deterministic
+loss, and reports the worst observed disagreement for every quantity the rest
+of the system consumes: image, depth, accumulated alpha, per-pixel fragment
+counts, per-subtile fragment counts, and all cloud/pose gradients.
+
+Forward outputs must agree to ``forward_tol`` (default 1e-10; in practice the
+flat backend is bit-identical), gradients to ``grad_tol`` (default 1e-8; the
+flat backward pass regroups reductions, so tiny rounding drift is expected).
+Fragment counts must match exactly — they define the hardware model's
+workload and are integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.backward import CloudGradients, render_backward
+from repro.gaussians.rasterizer import RenderResult, rasterize
+from repro.testing.scenarios import DEFAULT_LIBRARY, Scenario, ScenarioLibrary, SceneSpec
+
+GRADIENT_FIELDS = (
+    "positions",
+    "log_scales",
+    "rotations",
+    "opacity_logits",
+    "colors",
+    "cov3d",
+    "pose_twist",
+    "per_gaussian_pose",
+)
+
+
+def _max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    if a.shape != b.shape:
+        return float("inf")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+@dataclass
+class ScenarioReport:
+    """Worst-case disagreements observed for one scenario."""
+
+    name: str
+    n_fragments: int
+    image_diff: float
+    depth_diff: float
+    alpha_diff: float
+    fragments_equal: bool
+    subtile_fragments_equal: bool
+    gradient_diffs: dict[str, float]
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def max_gradient_diff(self) -> float:
+        return max(self.gradient_diffs.values()) if self.gradient_diffs else 0.0
+
+    def summary(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.name}: fragments={self.n_fragments} "
+            f"image={self.image_diff:.3e} depth={self.depth_diff:.3e} "
+            f"alpha={self.alpha_diff:.3e} grad={self.max_gradient_diff:.3e}"
+        )
+
+
+@dataclass
+class DifferentialRunner:
+    """Renders scenarios through two backends and asserts agreement.
+
+    Parameters
+    ----------
+    forward_tol:
+        Maximum allowed absolute difference on image / depth / alpha.
+    grad_tol:
+        Maximum allowed absolute difference on any backward gradient field.
+    reference_backend, candidate_backend:
+        Names accepted by ``rasterize(backend=...)``.  The backward pass of
+        each side is forced to the matching backend, so the comparison covers
+        the full forward + backward pipeline of each implementation.
+    """
+
+    forward_tol: float = 1e-10
+    grad_tol: float = 1e-8
+    reference_backend: str = "tile"
+    candidate_backend: str = "flat"
+
+    def render_pair(self, spec: SceneSpec) -> tuple[RenderResult, RenderResult]:
+        """Render ``spec`` through both backends."""
+        kwargs = dict(
+            background=spec.background,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+        reference = rasterize(
+            spec.cloud, spec.camera, spec.pose_cw, backend=self.reference_backend, **kwargs
+        )
+        candidate = rasterize(
+            spec.cloud, spec.camera, spec.pose_cw, backend=self.candidate_backend, **kwargs
+        )
+        return reference, candidate
+
+    def backward_pair(
+        self, spec: SceneSpec, reference: RenderResult, candidate: RenderResult
+    ) -> tuple[CloudGradients, CloudGradients]:
+        """Run the full backward pass on both renders with a deterministic loss."""
+        rng = np.random.default_rng(abs(hash((spec.camera.width, spec.camera.height))) % (2**32))
+        dL_dimage = rng.uniform(-1.0, 1.0, size=reference.image.shape)
+        dL_ddepth = rng.uniform(-1.0, 1.0, size=reference.depth.shape)
+        grads_ref = render_backward(
+            reference, spec.cloud, dL_dimage, dL_ddepth, backend=self.reference_backend
+        )
+        grads_cand = render_backward(
+            candidate, spec.cloud, dL_dimage, dL_ddepth, backend=self.candidate_backend
+        )
+        return grads_ref, grads_cand
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioReport:
+        """Render + backprop ``scenario`` through both backends and compare."""
+        spec = scenario.build()
+        reference, candidate = self.render_pair(spec)
+        grads_ref, grads_cand = self.backward_pair(spec, reference, candidate)
+
+        image_diff = _max_abs_diff(reference.image, candidate.image)
+        depth_diff = _max_abs_diff(reference.depth, candidate.depth)
+        alpha_diff = _max_abs_diff(reference.alpha, candidate.alpha)
+        fragments_equal = np.array_equal(
+            reference.fragments_per_pixel, candidate.fragments_per_pixel
+        )
+        subtile_equal = np.array_equal(
+            reference.fragments_per_subtile(), candidate.fragments_per_subtile()
+        )
+        gradient_diffs = {
+            name: _max_abs_diff(
+                np.asarray(getattr(grads_ref, name)), np.asarray(getattr(grads_cand, name))
+            )
+            for name in GRADIENT_FIELDS
+        }
+
+        failures: list[str] = []
+        for label, value in (("image", image_diff), ("depth", depth_diff), ("alpha", alpha_diff)):
+            if not value <= self.forward_tol:
+                failures.append(
+                    f"{label} diff {value:.3e} exceeds forward tolerance {self.forward_tol:.1e}"
+                )
+        if not fragments_equal:
+            failures.append("per-pixel fragment counts differ")
+        if not subtile_equal:
+            failures.append("per-subtile fragment counts differ")
+        for name, value in gradient_diffs.items():
+            if not value <= self.grad_tol:
+                failures.append(
+                    f"gradient {name} diff {value:.3e} exceeds tolerance {self.grad_tol:.1e}"
+                )
+        if reference.n_fragments != candidate.n_fragments:
+            failures.append(
+                f"total fragment count differs: {reference.n_fragments} vs {candidate.n_fragments}"
+            )
+
+        return ScenarioReport(
+            name=scenario.name,
+            n_fragments=reference.n_fragments,
+            image_diff=image_diff,
+            depth_diff=depth_diff,
+            alpha_diff=alpha_diff,
+            fragments_equal=fragments_equal,
+            subtile_fragments_equal=subtile_equal,
+            gradient_diffs=gradient_diffs,
+            failures=failures,
+        )
+
+    def run_all(self, library: ScenarioLibrary | None = None) -> list[ScenarioReport]:
+        """Run every scenario of ``library`` (the default library if ``None``)."""
+        return [self.run_scenario(s) for s in (library or DEFAULT_LIBRARY)]
+
+    def assert_all(self, library: ScenarioLibrary | None = None) -> list[ScenarioReport]:
+        """Like :meth:`run_all`, but raises ``AssertionError`` on any failure."""
+        reports = self.run_all(library)
+        failed = [r for r in reports if not r.passed]
+        if failed:
+            lines = [f"{r.name}: {'; '.join(r.failures)}" for r in failed]
+            raise AssertionError(
+                "differential verification failed:\n  " + "\n  ".join(lines)
+            )
+        return reports

@@ -1,0 +1,57 @@
+"""Regenerate the golden rasterizer fixtures.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.testing.regold            # all scenarios
+    PYTHONPATH=src python -m repro.testing.regold -s dense_random -s alpha_clamp
+
+Renders each scenario with the reference (tile) backend and rewrites the
+``.npz`` fixture under ``src/repro/testing/goldens/``.  Only run this after an
+intentional change to rendering behaviour, and commit the fixtures together
+with that change.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.testing.golden import GOLDEN_DIR, save_golden
+from repro.testing.scenarios import DEFAULT_LIBRARY
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.regold", description=__doc__
+    )
+    parser.add_argument(
+        "-s",
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="regenerate only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in DEFAULT_LIBRARY:
+            print(f"{scenario.name:20s} {scenario.description}")
+        return 0
+
+    names = args.scenarios or DEFAULT_LIBRARY.names()
+    try:
+        scenarios = [DEFAULT_LIBRARY.get(name) for name in names]
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+    for scenario in scenarios:
+        path = save_golden(scenario)
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent.parent.parent)}")
+    print(f"{len(names)} golden fixture(s) regenerated under {GOLDEN_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

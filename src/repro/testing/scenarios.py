@@ -1,0 +1,271 @@
+"""Deterministic render scenarios for differential and golden testing.
+
+Every scenario is a fully reproducible scene (cloud + camera + pose +
+background + tiling): building the same scenario twice yields bitwise
+identical inputs, so renders are comparable across backends, across runs and
+against committed golden fixtures.  The default :class:`ScenarioLibrary`
+covers the rasterizer's behavioural corners:
+
+* empty / all-culled clouds (no fragments at all),
+* a single splat (the minimal compositing case),
+* stacked opaque splats that trigger early termination,
+* near-saturated opacities that hit the 0.99 alpha clamp,
+* off-screen and behind-camera culling,
+* dense random scenes (the realistic workload),
+* degenerate tilings (single-tile image, 1x1-pixel image / 1x1 tiles,
+  ragged tiles where the image is not a multiple of the tile size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.se3 import SE3
+
+
+def _look_at_origin(distance: float = 2.0) -> SE3:
+    return SE3.look_at(
+        np.array([0.0, 0.0, -distance]), np.array([0.0, 0.0, 0.0]), up=(0, 1, 0)
+    )
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Everything :func:`repro.gaussians.rasterize` needs for one render."""
+
+    cloud: GaussianCloud
+    camera: Camera
+    pose_cw: SE3
+    background: np.ndarray
+    tile_size: int = 16
+    subtile_size: int = 4
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic scene builder."""
+
+    name: str
+    description: str
+    builder: Callable[[], SceneSpec]
+
+    def build(self) -> SceneSpec:
+        return self.builder()
+
+
+class ScenarioLibrary:
+    """Ordered registry of scenarios, addressable by name."""
+
+    def __init__(self, scenarios: list[Scenario] | None = None):
+        self._scenarios: dict[str, Scenario] = {}
+        for scenario in scenarios or []:
+            self.register(scenario)
+
+    def register(self, scenario: Scenario) -> Scenario:
+        if scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def add(self, name: str, description: str):
+        """Decorator form of :meth:`register` for builder functions."""
+
+        def wrap(builder: Callable[[], SceneSpec]) -> Scenario:
+            return self.register(Scenario(name=name, description=description, builder=builder))
+
+        return wrap
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._scenarios)
+
+    def __iter__(self):
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+DEFAULT_LIBRARY = ScenarioLibrary()
+
+
+@DEFAULT_LIBRARY.add("empty_cloud", "zero Gaussians: background-only render, no fragments")
+def _empty_cloud() -> SceneSpec:
+    return SceneSpec(
+        cloud=GaussianCloud.empty(),
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.2, 0.1, 0.3]),
+    )
+
+
+@DEFAULT_LIBRARY.add("single_gaussian", "one splat at the image centre")
+def _single_gaussian() -> SceneSpec:
+    cloud = GaussianCloud.from_points(
+        np.array([[0.0, 0.0, 0.0]]),
+        np.array([[0.9, 0.4, 0.2]]),
+        scale=0.15,
+        opacity=0.8,
+    )
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.zeros(3),
+    )
+
+
+@DEFAULT_LIBRARY.add(
+    "overlapping_opaque",
+    "opaque splats stacked in depth: transmittance collapses, early termination",
+)
+def _overlapping_opaque() -> SceneSpec:
+    n = 8
+    points = np.zeros((n, 3))
+    points[:, 2] = np.linspace(-0.3, 0.4, n)  # stacked along the view axis
+    rng = np.random.default_rng(11)
+    colors = rng.uniform(0.1, 0.9, size=(n, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.25, opacity=0.98)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.05, 0.05, 0.05]),
+    )
+
+
+@DEFAULT_LIBRARY.add(
+    "alpha_clamp", "near-saturated opacity: raw alpha exceeds the 0.99 clamp"
+)
+def _alpha_clamp() -> SceneSpec:
+    cloud = GaussianCloud.from_points(
+        np.array([[0.0, 0.0, 0.0], [0.05, 0.02, 0.1]]),
+        np.array([[0.8, 0.8, 0.2], [0.2, 0.6, 0.9]]),
+        scale=0.3,
+        opacity=0.9995,
+    )
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.zeros(3),
+    )
+
+
+@DEFAULT_LIBRARY.add(
+    "offscreen_culling",
+    "mixture of visible, off-screen and behind-camera splats exercising culling",
+)
+def _offscreen_culling() -> SceneSpec:
+    points = np.array(
+        [
+            [0.0, 0.0, 0.0],  # visible
+            [0.3, -0.2, 0.1],  # visible
+            [50.0, 0.0, 0.0],  # far off-screen laterally
+            [0.0, 80.0, 0.0],  # far off-screen vertically
+            [0.0, 0.0, -10.0],  # behind the camera
+            [0.0, 0.0, -5.0],  # behind the camera
+        ]
+    )
+    colors = np.linspace(0.1, 0.9, points.shape[0] * 3).reshape(-1, 3)
+    cloud = GaussianCloud.from_points(points, colors, scale=0.12, opacity=0.7)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.0, 0.1, 0.0]),
+    )
+
+
+@DEFAULT_LIBRARY.add("all_culled", "every Gaussian behind the camera: nothing projects")
+def _all_culled() -> SceneSpec:
+    points = np.array([[0.0, 0.0, -8.0], [0.5, 0.2, -6.0], [-0.4, 0.1, -12.0]])
+    colors = np.full((3, 3), 0.5)
+    cloud = GaussianCloud.from_points(points, colors, scale=0.1, opacity=0.7)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.3, 0.3, 0.3]),
+    )
+
+
+@DEFAULT_LIBRARY.add("dense_random", "dense random cloud: the realistic mixed workload")
+def _dense_random() -> SceneSpec:
+    rng = np.random.default_rng(42)
+    points = rng.uniform(-0.6, 0.6, size=(150, 3))
+    points[:, 2] *= 0.4
+    colors = rng.uniform(0.05, 0.95, size=(150, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.1, opacity=0.65)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(64, 48, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.1, 0.2, 0.3]),
+    )
+
+
+@DEFAULT_LIBRARY.add("single_tile", "image exactly one tile wide and tall")
+def _single_tile() -> SceneSpec:
+    rng = np.random.default_rng(5)
+    points = rng.uniform(-0.3, 0.3, size=(12, 3))
+    points[:, 2] *= 0.3
+    colors = rng.uniform(0.1, 0.9, size=(12, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.12, opacity=0.7)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(16, 16, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.zeros(3),
+        tile_size=16,
+        subtile_size=4,
+    )
+
+
+@DEFAULT_LIBRARY.add("one_pixel", "1x1-pixel image with 1x1 tiles: the smallest grid")
+def _one_pixel() -> SceneSpec:
+    cloud = GaussianCloud.from_points(
+        np.array([[0.0, 0.0, 0.0], [0.01, 0.01, 0.2]]),
+        np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]),
+        scale=0.2,
+        opacity=0.8,
+    )
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(1, 1, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.5, 0.5, 0.5]),
+        tile_size=1,
+        subtile_size=1,
+    )
+
+
+@DEFAULT_LIBRARY.add(
+    "ragged_tiles", "image size not a multiple of the tile size: partial edge tiles"
+)
+def _ragged_tiles() -> SceneSpec:
+    rng = np.random.default_rng(23)
+    points = rng.uniform(-0.5, 0.5, size=(40, 3))
+    points[:, 2] *= 0.3
+    colors = rng.uniform(0.1, 0.9, size=(40, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.13, opacity=0.6)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(21, 13, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.0, 0.0, 0.2]),
+        tile_size=8,
+        subtile_size=4,
+    )

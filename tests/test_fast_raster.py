@@ -1,0 +1,247 @@
+"""Unit tests for the flat fragment-list rasterizer backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians import (
+    Camera,
+    GaussianCloud,
+    SE3,
+    build_flat_fragments,
+    get_default_backend,
+    rasterize,
+    render_backward,
+    segmented_exclusive_cumprod,
+    set_default_backend,
+    use_backend,
+)
+from repro.gaussians.fast_raster import rasterize_flat
+
+
+@pytest.fixture()
+def scene(small_cloud, small_camera, simple_pose):
+    return small_cloud, small_camera, simple_pose
+
+
+class TestBackendSelection:
+    def test_default_backend_is_tile(self):
+        assert get_default_backend() == "tile"
+
+    def test_backend_argument_selects_implementation(self, scene):
+        cloud, camera, pose = scene
+        assert rasterize(cloud, camera, pose, backend="tile").backend == "tile"
+        assert rasterize(cloud, camera, pose, backend="flat").backend == "flat"
+
+    def test_unknown_backend_rejected(self, scene):
+        cloud, camera, pose = scene
+        with pytest.raises(ValueError, match="unknown rasterizer backend"):
+            rasterize(cloud, camera, pose, backend="cuda")
+        with pytest.raises(ValueError, match="unknown rasterizer backend"):
+            set_default_backend("cuda")
+
+    def test_use_backend_scopes_the_default(self, scene):
+        cloud, camera, pose = scene
+        with use_backend("flat"):
+            assert get_default_backend() == "flat"
+            assert rasterize(cloud, camera, pose).backend == "flat"
+        assert get_default_backend() == "tile"
+
+    def test_set_default_backend_returns_previous(self):
+        previous = set_default_backend("flat")
+        try:
+            assert previous == "tile"
+            assert get_default_backend() == "flat"
+        finally:
+            set_default_backend(previous)
+
+
+class TestFlatMatchesTile:
+    def test_forward_outputs_match(self, scene):
+        cloud, camera, pose = scene
+        bg = np.array([0.1, 0.2, 0.3])
+        tile = rasterize(cloud, camera, pose, background=bg, backend="tile")
+        flat = rasterize(cloud, camera, pose, background=bg, backend="flat")
+        np.testing.assert_allclose(flat.image, tile.image, atol=1e-10)
+        np.testing.assert_allclose(flat.depth, tile.depth, atol=1e-10)
+        np.testing.assert_allclose(flat.alpha, tile.alpha, atol=1e-10)
+        assert np.array_equal(flat.fragments_per_pixel, tile.fragments_per_pixel)
+        assert flat.n_fragments == tile.n_fragments
+
+    def test_tile_caches_match(self, scene):
+        cloud, camera, pose = scene
+        tile = rasterize(cloud, camera, pose, backend="tile")
+        flat = rasterize(cloud, camera, pose, backend="flat")
+        assert len(flat.tile_caches) == len(tile.tile_caches)
+        for ct, cf in zip(tile.tile_caches, flat.tile_caches):
+            assert ct.tile_id == cf.tile_id
+            assert np.array_equal(ct.rows, cf.rows)
+            np.testing.assert_allclose(cf.deltas, ct.deltas, atol=1e-12)
+            np.testing.assert_allclose(cf.alphas, ct.alphas, atol=1e-12)
+            np.testing.assert_allclose(
+                cf.transmittance_before, ct.transmittance_before, atol=1e-12
+            )
+            np.testing.assert_allclose(cf.weights, ct.weights, atol=1e-12)
+            assert np.array_equal(cf.processed, ct.processed)
+            assert np.array_equal(cf.clamp_mask, ct.clamp_mask)
+
+    def test_backward_dispatches_on_result_backend(self, scene):
+        cloud, camera, pose = scene
+        flat = rasterize(cloud, camera, pose, backend="flat")
+        tile = rasterize(cloud, camera, pose, backend="tile")
+        rng = np.random.default_rng(3)
+        dL = rng.uniform(-1, 1, size=tile.image.shape)
+        grads_tile = render_backward(tile, cloud, dL)
+        grads_flat = render_backward(flat, cloud, dL)  # auto-selects flat BP
+        np.testing.assert_allclose(grads_flat.positions, grads_tile.positions, atol=1e-8)
+        np.testing.assert_allclose(grads_flat.pose_twist, grads_tile.pose_twist, atol=1e-8)
+
+    def test_precomputed_projection_reuse(self, scene):
+        cloud, camera, pose = scene
+        tile = rasterize(cloud, camera, pose, backend="tile")
+        flat = rasterize(
+            cloud,
+            camera,
+            pose,
+            backend="flat",
+            precomputed=(tile.projected, tile.intersections),
+        )
+        np.testing.assert_allclose(flat.image, tile.image, atol=1e-10)
+        assert flat.projected is tile.projected
+
+
+class TestDegenerateInputs:
+    """Zero-Gaussian, all-culled and minimal-grid inputs must render cleanly."""
+
+    @pytest.mark.parametrize("backend", ["tile", "flat"])
+    def test_zero_gaussian_cloud(self, backend):
+        camera = Camera.from_fov(20, 12, fov_x_degrees=70.0)
+        pose = SE3.identity()
+        bg = np.array([0.2, 0.4, 0.6])
+        result = rasterize(GaussianCloud.empty(), camera, pose, background=bg, backend=backend)
+        assert result.n_fragments == 0
+        assert result.tile_caches == []
+        np.testing.assert_allclose(result.image, np.tile(bg, (12, 20, 1)))
+        assert not result.depth.any()
+        assert not result.alpha.any()
+        assert result.fragments_per_subtile().sum() == 0
+
+    @pytest.mark.parametrize("backend", ["tile", "flat"])
+    def test_all_culled_cloud(self, backend):
+        # Every Gaussian sits behind the camera.
+        points = np.array([[0.0, 0.0, -5.0], [0.2, -0.1, -3.0], [1.0, 1.0, -9.0]])
+        cloud = GaussianCloud.from_points(points, np.full((3, 3), 0.5), scale=0.1)
+        camera = Camera.from_fov(20, 12, fov_x_degrees=70.0)
+        result = rasterize(cloud, camera, SE3.identity(), backend=backend)
+        assert result.projected.n_visible == 0
+        assert result.n_fragments == 0
+        assert result.tile_caches == []
+
+    @pytest.mark.parametrize("backend", ["tile", "flat"])
+    def test_one_by_one_tile_image(self, backend):
+        # A 1x1-pixel image with 1x1 tiles: the smallest possible grid.
+        cloud = GaussianCloud.from_points(
+            np.array([[0.0, 0.0, 1.0]]), np.array([[0.9, 0.1, 0.1]]), scale=0.3, opacity=0.8
+        )
+        camera = Camera.from_fov(1, 1, fov_x_degrees=70.0)
+        result = rasterize(
+            cloud, camera, SE3.identity(), tile_size=1, subtile_size=1, backend=backend
+        )
+        assert result.image.shape == (1, 1, 3)
+        assert result.grid.n_tiles == 1
+        assert result.fragments_per_subtile().shape == (1, 1)
+        assert result.n_fragments == result.fragments_per_pixel.sum()
+        assert result.alpha[0, 0] > 0.0
+
+    @pytest.mark.parametrize("backend", ["tile", "flat"])
+    def test_single_tile_image(self, backend):
+        cloud = GaussianCloud.from_points(
+            np.array([[0.0, 0.0, 1.5]]), np.array([[0.2, 0.9, 0.3]]), scale=0.2
+        )
+        camera = Camera.from_fov(16, 16, fov_x_degrees=70.0)
+        result = rasterize(cloud, camera, SE3.identity(), backend=backend)
+        assert result.grid.n_tiles == 1
+        assert len(result.tile_caches) == 1
+
+    def test_empty_cloud_backward(self):
+        camera = Camera.from_fov(8, 8, fov_x_degrees=70.0)
+        result = rasterize(GaussianCloud.empty(), camera, SE3.identity(), backend="flat")
+        grads = render_backward(result, GaussianCloud.empty(), np.zeros((8, 8, 3)))
+        assert grads.positions.shape == (0, 3)
+        np.testing.assert_array_equal(grads.pose_twist, np.zeros(6))
+
+
+class TestFlatFragments:
+    def test_layout_covers_all_intersections(self, scene):
+        cloud, camera, pose = scene
+        result = rasterize(cloud, camera, pose, backend="flat")
+        fragments = build_flat_fragments(result.intersections)
+        # Dense fragment count = sum over tiles of P_t * M_t.
+        expected = sum(
+            c.n_pixels * c.n_gaussians for c in result.tile_caches
+        )
+        assert fragments.n_fragments == expected
+        assert fragments.rows.shape == (expected,)
+        assert fragments.pixel_ids.shape == (expected,)
+        assert fragments.tile_ids.shape == (expected,)
+        # Each pixel's segment is depth-ordered 0..M-1.
+        assert fragments.pos_in_pixel.max() == fragments.max_per_pixel - 1
+        # Every fragment's pixel belongs to its tile's pixel rectangle.
+        grid = result.grid
+        for tile_id, start, stop in fragments.tile_slices:
+            x0, y0, x1, y1 = grid.tile_bounds(tile_id)
+            pix = fragments.pixel_ids[start:stop]
+            us, vs = pix % camera.width, pix // camera.width
+            assert us.min() >= x0 and us.max() < x1
+            assert vs.min() >= y0 and vs.max() < y1
+
+    def test_empty_intersections(self):
+        camera = Camera.from_fov(8, 8, fov_x_degrees=70.0)
+        result = rasterize(GaussianCloud.empty(), camera, SE3.identity())
+        fragments = build_flat_fragments(result.intersections)
+        assert fragments.n_fragments == 0
+        assert fragments.rows.size == 0
+        assert fragments.pos_in_pixel.size == 0
+
+
+class TestSegmentedCumprod:
+    def test_matches_per_segment_numpy_cumprod(self):
+        rng = np.random.default_rng(0)
+        lengths = [1, 4, 7, 2, 31, 1, 16]
+        values = rng.uniform(0.1, 1.0, size=sum(lengths))
+        pos = np.concatenate([np.arange(n) for n in lengths])
+        out = segmented_exclusive_cumprod(values, pos, max(lengths))
+        start = 0
+        for n in lengths:
+            seg = values[start : start + n]
+            expected = np.concatenate([[1.0], np.cumprod(seg)[:-1]])
+            np.testing.assert_allclose(out[start : start + n], expected, rtol=1e-12)
+            start += n
+
+    def test_empty_input(self):
+        out = segmented_exclusive_cumprod(np.zeros(0), np.zeros(0, dtype=int), 0)
+        assert out.size == 0
+
+    def test_matches_flat_render_transmittance(self, scene):
+        # The generic scan must agree with the blocked per-tile cumprod the
+        # flat forward pass uses.
+        cloud, camera, pose = scene
+        result = rasterize(cloud, camera, pose, backend="flat")
+        fragments = build_flat_fragments(result.intersections)
+        one_minus_parts = [1.0 - c.alphas.ravel() for c in result.tile_caches]
+        trans_parts = [c.transmittance_before.ravel() for c in result.tile_caches]
+        one_minus = np.concatenate(one_minus_parts)
+        expected = np.concatenate(trans_parts)
+        scanned = segmented_exclusive_cumprod(
+            one_minus, fragments.pos_in_pixel, fragments.max_per_pixel
+        )
+        np.testing.assert_allclose(scanned, expected, rtol=1e-12, atol=1e-15)
+
+
+def test_rasterize_flat_direct_call(scene):
+    cloud, camera, pose = scene
+    result = rasterize_flat(cloud, camera, pose)
+    assert result.backend == "flat"
+    reference = rasterize(cloud, camera, pose)
+    np.testing.assert_allclose(result.image, reference.image, atol=1e-10)

@@ -239,6 +239,39 @@ class TestAlgorithmsAndPipeline:
         psnr_value = tiny_slam_result.evaluate_psnr(tiny_sequence, max_frames=2)
         assert psnr_value > 10.0
 
+    def test_psnr_without_finite_values_is_nan_not_perfect(self, tiny_sequence):
+        """An empty map whose render happens to match the observation exactly
+        produces only infinite PSNR values; the aggregate must be nan ("no
+        data"), never inf ("perfect quality")."""
+        from dataclasses import replace
+
+        from repro.slam.pipeline import SLAMResult
+
+        observation = tiny_sequence.frame(0)
+        black = replace(
+            observation,
+            image=np.zeros_like(observation.image),
+            depth=observation.depth.copy(),
+        )
+
+        class BlackSequence:
+            def frame(self, index):
+                assert index == 0
+                return black
+
+        result = SLAMResult(
+            config_name="empty",
+            estimated_trajectory=[observation.gt_pose_cw],
+            gt_trajectory=[observation.gt_pose_cw],
+            keyframe_indices=[],
+            frame_records=[],
+            cloud=GaussianCloud.empty(),
+            peak_gaussian_count=0,
+        )
+        value = result.evaluate_psnr(BlackSequence(), max_frames=1)
+        assert np.isnan(value)
+        assert not np.isinf(value)
+
     def test_splatam_maps_every_frame(self, tiny_sequence):
         config = splatam(fast=True)
         config.tracking.n_iterations = 2
