@@ -1,0 +1,91 @@
+"""Committed performance baselines and the CI perf-regression gate.
+
+The fast paths this repository ships (the flat rasterizer backend, the
+batched mapping scheduler) are pinned by committed *speedup ratios* under
+``benchmarks/baselines/*.json``.  Ratios of two timings measured back-to-back
+on the same machine are far more stable across hardware than absolute
+wall-clock, which is what makes them gateable on shared CI runners.
+
+A benchmark measures its ratio and calls :func:`check_speedup`; the measured
+value is always printed, and the assertion fires when the gate is active and
+the ratio regressed more than :data:`MAX_REGRESSION` (20%) below the
+committed baseline.  The gate is active
+
+* locally (a quiet developer machine — same policy as the existing
+  ``STRICT_TIMING`` switch), and
+* in the dedicated CI ``perf`` job, which sets ``REPRO_PERF_STRICT=1``;
+
+on ordinary CI runners (``CI`` set, ``REPRO_PERF_STRICT`` unset) the check is
+advisory so a scheduler hiccup in an unrelated job cannot fail the build.
+
+After an intentional performance change, re-measure and update the baseline
+JSON in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+# A measured speedup may fall this far below its committed baseline before the
+# gate fails the run.
+MAX_REGRESSION = 0.20
+
+
+def perf_gate_active() -> bool:
+    """True when a failed baseline check must fail the test run."""
+    if os.environ.get("REPRO_PERF_STRICT"):
+        return True
+    return not os.environ.get("CI")
+
+
+def load_baselines(name: str) -> dict[str, float]:
+    path = BASELINE_DIR / f"{name}.json"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed perf baseline {path}; add it with the benchmark "
+            "that measures it"
+        )
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_speedup(name: str, key: str, measured: float, minimum: float | None = None) -> None:
+    """Gate ``measured`` (a speedup ratio) against the committed baseline.
+
+    ``minimum`` optionally enforces an absolute floor on top of the relative
+    regression check (e.g. "the batched path must stay >= 1.5x" regardless of
+    what the baseline file says).
+    """
+    baseline = load_baselines(name)[key]
+    floor = baseline * (1.0 - MAX_REGRESSION)
+    if minimum is not None:
+        floor = max(floor, minimum)
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"[perf:{verdict}] {name}.{key}: measured {measured:.2f}x, "
+        f"baseline {baseline:.2f}x, floor {floor:.2f}x"
+    )
+    if perf_gate_active():
+        assert measured >= floor, (
+            f"performance regression on {name}.{key}: measured {measured:.2f}x "
+            f"but the gate floor is {floor:.2f}x (committed baseline "
+            f"{baseline:.2f}x, max regression {MAX_REGRESSION:.0%}"
+            + (f", absolute minimum {minimum:.2f}x" if minimum is not None else "")
+            + "); if the slowdown is intentional, update "
+            f"benchmarks/baselines/{name}.json in the same change"
+        )
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall-clock of ``fn()`` (the standard timing loop here)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

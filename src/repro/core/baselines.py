@@ -23,7 +23,7 @@ their importance-evaluation overhead (RTGS's is zero by construction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -135,7 +135,9 @@ class LightGaussianPruner(_BaselinePruner):
         if self._hit_counts is None or self._hit_counts.shape[0] != cloud.n_total:
             self._hit_counts = np.zeros(cloud.n_total)
 
-    def after_backward(self, cloud, gradients: CloudGradients, render: RenderResult, iteration) -> None:
+    def after_backward(
+        self, cloud, gradients: CloudGradients, render: RenderResult, iteration
+    ) -> None:
         if self._hit_counts is None or self._hit_counts.shape[0] != cloud.n_total:
             self._hit_counts = np.zeros(cloud.n_total)
         counts = np.zeros(cloud.n_total)

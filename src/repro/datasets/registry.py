@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
-
 from repro.datasets.rgbd import RGBDSequence, SensorNoise
 from repro.datasets.scene import SceneConfig, SyntheticScene
 from repro.datasets.trajectory import TrajectoryConfig, generate_trajectory

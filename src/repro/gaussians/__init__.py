@@ -14,20 +14,35 @@ from repro.gaussians.backward import (
     GradientTrace,
     ScreenSpaceGradients,
     preprocess_backward,
+    preprocess_backward_batch,
     rasterize_backward,
     render_backward,
 )
+from repro.gaussians.batch import (
+    BatchGradients,
+    BatchRenderResult,
+    rasterize_batch,
+    render_backward_batch,
+)
 from repro.gaussians.camera import Camera
 from repro.gaussians.fast_raster import (
+    FlatArena,
     FlatFragments,
+    allocate_flat_arena,
     build_flat_fragments,
     rasterize_flat,
     segmented_exclusive_cumprod,
 )
 from repro.gaussians.gaussian_model import BYTES_PER_GAUSSIAN, GaussianCloud
-from repro.gaussians.projection import ProjectedGaussians, project_gaussians
+from repro.gaussians.projection import (
+    ProjectedGaussians,
+    SharedGaussianData,
+    project_gaussians,
+    shared_preprocess,
+)
 from repro.gaussians.rasterizer import (
     BACKENDS,
+    DEFAULT_BACKEND,
     RenderResult,
     TileRenderCache,
     get_default_backend,
@@ -46,8 +61,12 @@ from repro.gaussians.tiling import TileGrid, assign_tiles
 __all__ = [
     "BACKENDS",
     "BYTES_PER_GAUSSIAN",
+    "BatchGradients",
+    "BatchRenderResult",
     "Camera",
     "CloudGradients",
+    "DEFAULT_BACKEND",
+    "FlatArena",
     "FlatFragments",
     "GaussianCloud",
     "GradientTrace",
@@ -55,23 +74,29 @@ __all__ = [
     "RenderResult",
     "SE3",
     "ScreenSpaceGradients",
+    "SharedGaussianData",
     "TileGrid",
     "TileIntersections",
     "TileRenderCache",
+    "allocate_flat_arena",
     "assign_tiles",
     "build_flat_fragments",
     "build_tile_lists",
     "get_default_backend",
     "intersection_change_ratio",
     "preprocess_backward",
+    "preprocess_backward_batch",
     "project_gaussians",
     "quaternion_to_rotation",
     "rasterize",
     "rasterize_backward",
+    "rasterize_batch",
     "rasterize_flat",
     "render_backward",
+    "render_backward_batch",
     "rotation_to_quaternion",
     "segmented_exclusive_cumprod",
     "set_default_backend",
+    "shared_preprocess",
     "use_backend",
 ]

@@ -241,12 +241,41 @@ def preprocess_backward(
     cloud: GaussianCloud,
     compute_pose_gradient: bool = True,
 ) -> CloudGradients:
-    """Step 5 Preprocessing BP: 2D gradients -> 3D Gaussian and pose gradients."""
-    projected = screen_grads.projected
-    n_total = len(cloud)
-    indices = projected.indices
-    m_count = projected.n_visible
+    """Step 5 Preprocessing BP: 2D gradients -> 3D Gaussian and pose gradients.
 
+    Thin wrapper over the fused multi-view implementation
+    (:func:`preprocess_backward_batch` with a batch of one): there is exactly
+    one copy of the Step 5 gradient chain, and the single-view path keeps its
+    original trace object (the batch path builds a merged trace).
+    """
+    cloud_grads, _ = preprocess_backward_batch(
+        [screen_grads], cloud, compute_pose_gradient=compute_pose_gradient
+    )
+    cloud_grads.trace = screen_grads.trace
+    return cloud_grads
+
+
+def preprocess_backward_batch(
+    screen_grads_list: list[ScreenSpaceGradients],
+    cloud: GaussianCloud,
+    compute_pose_gradient: bool = False,
+) -> tuple[CloudGradients, np.ndarray]:
+    """Fused Step 5 over a batch of views: one pass, summed cloud gradients.
+
+    Concatenates every view's screen-space gradients into one row set (with
+    per-row camera rotations and intrinsics, since views differ in pose and
+    possibly camera) and runs the Step 5 chain *once* over the whole batch.
+    Row-wise arithmetic is identical to :func:`preprocess_backward`, and the
+    scatter accumulates contributions in the same view-major order a
+    sequential loop would, so the fused result matches the per-view sum to
+    floating-point regrouping error (pinned at 1e-8 by the differential
+    harness).
+
+    Returns the summed :class:`CloudGradients` (its ``pose_twist`` is the sum
+    over views) plus a ``(V, 6)`` array of per-view pose twists.
+    """
+    n_total = len(cloud)
+    n_views = len(screen_grads_list)
     out_positions = np.zeros((n_total, 3))
     out_log_scales = np.zeros((n_total, 3))
     out_rotations = np.zeros((n_total, 4))
@@ -254,62 +283,108 @@ def preprocess_backward(
     out_colors = np.zeros((n_total, 3))
     out_cov3d = np.zeros((n_total, 3, 3))
     per_gaussian_pose = np.zeros((n_total, 6))
-    pose_twist = np.zeros(6)
+    per_view_twists = np.zeros((n_views, 6))
 
-    if m_count == 0:
-        return CloudGradients(
-            positions=out_positions,
-            log_scales=out_log_scales,
-            rotations=out_rotations,
-            opacity_logits=out_opacity_logits,
-            colors=out_colors,
-            cov3d=out_cov3d,
-            pose_twist=pose_twist,
-            per_gaussian_pose=per_gaussian_pose,
-            trace=screen_grads.trace,
+    merged_trace = GradientTrace()
+    for screen in screen_grads_list:
+        merged_trace.tile_ids.extend(screen.trace.tile_ids)
+        merged_trace.per_tile_source_indices.extend(screen.trace.per_tile_source_indices)
+        merged_trace.per_tile_pixel_counts.extend(screen.trace.per_tile_pixel_counts)
+
+    populated = [
+        (view, screen)
+        for view, screen in enumerate(screen_grads_list)
+        if screen.projected.n_visible > 0
+    ]
+    if not populated:
+        return (
+            CloudGradients(
+                positions=out_positions,
+                log_scales=out_log_scales,
+                rotations=out_rotations,
+                opacity_logits=out_opacity_logits,
+                colors=out_colors,
+                cov3d=out_cov3d,
+                pose_twist=np.zeros(6),
+                per_gaussian_pose=per_gaussian_pose,
+                trace=merged_trace,
+            ),
+            per_view_twists,
         )
 
-    camera = projected.camera
-    rotation_cw = projected.rotation_cw
-    points_cam = projected.points_cam
-    jac = projected.jacobians  # (M, 2, 3)
-    cov3d = projected.cov3d  # (M, 3, 3)
-    conics = projected.conics
+    def _concat(getter):
+        # Batch-of-one (every single-view preprocess_backward call) stays
+        # zero-copy: the per-view array is used as-is.
+        arrays = [getter(screen) for _, screen in populated]
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
+
+    indices = _concat(lambda s: s.projected.indices)
+    view_ids = np.concatenate(
+        [np.full(screen.projected.n_visible, view, dtype=int) for view, screen in populated]
+    )
+    points_cam = _concat(lambda s: s.projected.points_cam)
+    jac = _concat(lambda s: s.projected.jacobians)
+    cov3d = _concat(lambda s: s.projected.cov3d)
+    conics = _concat(lambda s: s.projected.conics)
+    opac = _concat(lambda s: s.projected.opacities)
+    g_colors = _concat(lambda s: s.colors)
+    g_opacities = _concat(lambda s: s.opacities)
+    g_means2d = _concat(lambda s: s.means2d)
+    g_conics = _concat(lambda s: s.conics)
+    g_depths = _concat(lambda s: s.depths)
+    # Per-row view-dependent constants: camera rotation and intrinsics.  For
+    # one view the broadcast stays a zero-copy view; only a true multi-view
+    # batch materialises the concatenation.
+    rot_parts = [
+        np.broadcast_to(screen.projected.rotation_cw, (screen.projected.n_visible, 3, 3))
+        for _, screen in populated
+    ]
+    rot_rows = rot_parts[0] if len(rot_parts) == 1 else np.concatenate(rot_parts, axis=0)
+    fx_parts = [
+        np.full(screen.projected.n_visible, screen.projected.camera.fx)
+        for _, screen in populated
+    ]
+    fy_parts = [
+        np.full(screen.projected.n_visible, screen.projected.camera.fy)
+        for _, screen in populated
+    ]
+    fx_rows = fx_parts[0] if len(fx_parts) == 1 else np.concatenate(fx_parts)
+    fy_rows = fy_parts[0] if len(fy_parts) == 1 else np.concatenate(fy_parts)
 
     # conic = inv(cov2d): dL/dcov2d = -conic^T dL/dconic conic^T (conic symmetric).
-    dL_dcov2d = -np.einsum("mij,mjk,mkl->mil", conics, screen_grads.conics, conics)
+    dL_dcov2d = -np.einsum("mij,mjk,mkl->mil", conics, g_conics, conics)
 
     # mean2d chain: dL/dp_cam = J^T dL/dmean2d.
-    dL_dpcam = np.einsum("mij,mi->mj", jac, screen_grads.means2d)
+    dL_dpcam = np.einsum("mij,mi->mj", jac, g_means2d)
 
-    # cov2d = M Sigma M^T with M = J R_cw.
-    m_lin = jac @ rotation_cw  # (M, 2, 3)
+    # cov2d = M Sigma M^T with M = J R_cw (R_cw now varies per row).
+    m_lin = np.einsum("mij,mjk->mik", jac, rot_rows)
     dL_dsigma = np.einsum("mia,mij,mjb->mab", m_lin, dL_dcov2d, m_lin)
     dL_dmlin = 2.0 * np.einsum("mij,mjk,mkl->mil", dL_dcov2d, m_lin, cov3d)
-    dL_djac = dL_dmlin @ rotation_cw.T
-    dL_drot_cw = np.einsum("mki,mkj->mij", jac, dL_dmlin)  # (M, 3, 3) per-Gaussian dL/dW
+    dL_djac = np.einsum("mij,mkj->mik", dL_dmlin, rot_rows)
+    dL_drot_cw = np.einsum("mki,mkj->mij", jac, dL_dmlin)
 
     # J depends on p_cam; add those terms to dL/dp_cam.
     x, y, z = points_cam[:, 0], points_cam[:, 1], points_cam[:, 2]
     inv_z2 = 1.0 / (z * z)
     inv_z3 = inv_z2 / z
-    dL_dpcam[:, 0] += dL_djac[:, 0, 2] * (-camera.fx * inv_z2)
-    dL_dpcam[:, 1] += dL_djac[:, 1, 2] * (-camera.fy * inv_z2)
+    dL_dpcam[:, 0] += dL_djac[:, 0, 2] * (-fx_rows * inv_z2)
+    dL_dpcam[:, 1] += dL_djac[:, 1, 2] * (-fy_rows * inv_z2)
     dL_dpcam[:, 2] += (
-        dL_djac[:, 0, 0] * (-camera.fx * inv_z2)
-        + dL_djac[:, 0, 2] * (2.0 * camera.fx * x * inv_z3)
-        + dL_djac[:, 1, 1] * (-camera.fy * inv_z2)
-        + dL_djac[:, 1, 2] * (2.0 * camera.fy * y * inv_z3)
+        dL_djac[:, 0, 0] * (-fx_rows * inv_z2)
+        + dL_djac[:, 0, 2] * (2.0 * fx_rows * x * inv_z3)
+        + dL_djac[:, 1, 1] * (-fy_rows * inv_z2)
+        + dL_djac[:, 1, 2] * (2.0 * fy_rows * y * inv_z3)
     )
     # Direct depth-render term (rendered depth is the camera-frame z).
-    dL_dpcam[:, 2] += screen_grads.depths
+    dL_dpcam[:, 2] += g_depths
 
     # p_cam = R_cw p_world + t: position gradient in world frame.
-    dL_dpos = dL_dpcam @ rotation_cw
+    dL_dpos = np.einsum("mi,mij->mj", dL_dpcam, rot_rows)
 
     # Sigma_world = A A^T with A = R_q S: scale and rotation gradients.
-    rot_g = cloud.rotation_matrices()[indices]
-    scales = cloud.scales()[indices]
+    rot_g = cloud.rotation_matrices(rows=indices)
+    scales = cloud.scales(rows=indices)
     a_mat = rot_g * scales[:, None, :]
     dL_da = 2.0 * np.einsum("mij,mjk->mik", dL_dsigma, a_mat)
     dL_dscales = np.einsum("mij,mij->mj", dL_da, rot_g)
@@ -318,45 +393,53 @@ def preprocess_backward(
     dL_dquat = _rotation_gradient_to_quaternion(dL_drot_g, cloud.rotations[indices])
 
     # Opacity logit chain through the sigmoid.
-    opac = projected.opacities
-    dL_dlogit = screen_grads.opacities * opac * (1.0 - opac)
+    dL_dlogit = g_opacities * opac * (1.0 - opac)
 
-    # Scatter into full-cloud arrays.
+    # One fused scatter per field over the concatenated (view, Gaussian) rows.
     np.add.at(out_positions, indices, dL_dpos)
     np.add.at(out_log_scales, indices, dL_dlog_scales)
     np.add.at(out_rotations, indices, dL_dquat)
     np.add.at(out_opacity_logits, indices, dL_dlogit)
-    np.add.at(out_colors, indices, screen_grads.colors)
+    np.add.at(out_colors, indices, g_colors)
     np.add.at(out_cov3d, indices, dL_dsigma)
 
+    pose_twist = np.zeros(6)
     if compute_pose_gradient:
-        # Left perturbation T' = exp(xi) T: dp_cam/drho = I, dp_cam/dphi = -[p_cam]_x.
         per_rho = dL_dpcam
         per_phi = np.cross(points_cam, dL_dpcam)
-        # Rotation part of the covariance chain: R' = exp(phi^) R => dR = phi^ R.
         generators = [hat(e) for e in np.eye(3)]
         rot_terms = np.stack(
             [
-                np.einsum("mij,ij->m", dL_drot_cw, gen @ rotation_cw)
+                np.einsum(
+                    "mij,mij->m",
+                    dL_drot_cw,
+                    np.einsum("ij,mjk->mik", gen, rot_rows),
+                )
                 for gen in generators
             ],
             axis=1,
         )
-        per_phi = per_phi + rot_terms
-        per_pose = np.concatenate([per_rho, per_phi], axis=1)
+        per_pose = np.concatenate([per_rho, per_phi + rot_terms], axis=1)
         np.add.at(per_gaussian_pose, indices, per_pose)
-        pose_twist = per_pose.sum(axis=0)
+        for component in range(6):
+            per_view_twists[:, component] = np.bincount(
+                view_ids, weights=per_pose[:, component], minlength=n_views
+            )
+        pose_twist = per_view_twists.sum(axis=0)
 
-    return CloudGradients(
-        positions=out_positions,
-        log_scales=out_log_scales,
-        rotations=out_rotations,
-        opacity_logits=out_opacity_logits,
-        colors=out_colors,
-        cov3d=out_cov3d,
-        pose_twist=pose_twist,
-        per_gaussian_pose=per_gaussian_pose,
-        trace=screen_grads.trace,
+    return (
+        CloudGradients(
+            positions=out_positions,
+            log_scales=out_log_scales,
+            rotations=out_rotations,
+            opacity_logits=out_opacity_logits,
+            colors=out_colors,
+            cov3d=out_cov3d,
+            pose_twist=pose_twist,
+            per_gaussian_pose=per_gaussian_pose,
+            trace=merged_trace,
+        ),
+        per_view_twists,
     )
 
 

@@ -86,7 +86,10 @@ class FlatFragments:
         """(F,) projected-Gaussian row of each fragment."""
         if self._rows is None:
             self._rows = _concat_or_empty(
-                [np.tile(rows, lin.shape[0]) for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)]
+                [
+                    np.tile(rows, lin.shape[0])
+                    for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)
+                ]
             )
         return self._rows
 
@@ -95,7 +98,10 @@ class FlatFragments:
         """(F,) linear pixel id (``v * width + u``) of each fragment."""
         if self._pixel_ids is None:
             self._pixel_ids = _concat_or_empty(
-                [np.repeat(lin, rows.shape[0]) for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)]
+                [
+                    np.repeat(lin, rows.shape[0])
+                    for rows, lin in zip(self.tile_rows, self.tile_pixel_lin)
+                ]
             )
         return self._pixel_ids
 
@@ -200,6 +206,42 @@ def segmented_exclusive_cumprod(
     return exclusive
 
 
+@dataclass
+class FlatArena:
+    """Preallocated flat storage for every per-fragment forward intermediate.
+
+    A single-view render owns an arena sized to its own fragment count; the
+    batched rasterizer (:mod:`repro.gaussians.batch`) allocates one arena for
+    the *sum* of all views' fragments and hands each view a base offset, so
+    the whole multi-view forward pass shares one set of allocations.
+    """
+
+    deltas: np.ndarray  # (F, 2)
+    gauss: np.ndarray  # (F,)
+    alphas: np.ndarray  # (F,)
+    trans: np.ndarray  # (F,)
+    weights: np.ndarray  # (F,)
+    processed: np.ndarray  # (F,) bool
+    clamp: np.ndarray  # (F,) bool
+
+    @property
+    def n_fragments(self) -> int:
+        return int(self.gauss.shape[0])
+
+
+def allocate_flat_arena(n_fragments: int) -> FlatArena:
+    """Allocate an uninitialised arena for ``n_fragments`` fragments."""
+    return FlatArena(
+        deltas=np.empty((n_fragments, 2)),
+        gauss=np.empty(n_fragments),
+        alphas=np.empty(n_fragments),
+        trans=np.empty(n_fragments),
+        weights=np.empty(n_fragments),
+        processed=np.empty(n_fragments, dtype=bool),
+        clamp=np.empty(n_fragments, dtype=bool),
+    )
+
+
 def rasterize_flat(
     cloud: GaussianCloud,
     camera: Camera,
@@ -211,36 +253,59 @@ def rasterize_flat(
     precomputed: tuple[ProjectedGaussians, TileIntersections] | None = None,
 ) -> RenderResult:
     """Flat-arena render; drop-in equivalent of ``rasterize(backend="tile")``."""
-    if background is None:
-        background = np.zeros(3)
-    background = np.asarray(background, dtype=np.float64).reshape(3)
-
     if precomputed is not None:
         projected, intersections = precomputed
-        grid = intersections.grid
     else:
         projected = project_gaussians(cloud, camera, pose_cw, active_only=active_only)
         grid = TileGrid(camera.width, camera.height, tile_size, subtile_size)
         intersections = build_tile_lists(projected, grid)
-
-    height, width = camera.height, camera.width
     fragments = build_flat_fragments(intersections)
-    n_frag = fragments.n_fragments
+    arena = allocate_flat_arena(fragments.n_fragments)
+    return rasterize_flat_into(projected, intersections, fragments, background, arena, base=0)
+
+
+def rasterize_flat_into(
+    projected: ProjectedGaussians,
+    intersections: TileIntersections,
+    fragments: FlatFragments,
+    background: np.ndarray | None,
+    arena: FlatArena,
+    base: int,
+) -> RenderResult:
+    """Run the flat forward pass, writing intermediates into ``arena[base:]``.
+
+    ``fragments`` must describe ``intersections`` (see
+    :func:`build_flat_fragments`) and ``arena`` must have at least
+    ``base + fragments.n_fragments`` rows.  Single-view rendering passes a
+    private arena with ``base=0``; the batch path shares one arena across all
+    views.
+    """
+    if background is None:
+        background = np.zeros(3)
+    background = np.asarray(background, dtype=np.float64).reshape(3)
+    grid = intersections.grid
+    camera = projected.camera
+    height, width = camera.height, camera.width
+    if arena.n_fragments < base + fragments.n_fragments:
+        raise ValueError(
+            f"arena holds {arena.n_fragments} fragments but view needs "
+            f"[{base}, {base + fragments.n_fragments})"
+        )
 
     image = np.tile(background, (height, width, 1))
     depth = np.zeros((height, width))
     alpha_map = np.zeros((height, width))
     frag_counts = np.zeros((height, width), dtype=int)
 
-    # One flat arena per forward intermediate; per-tile compute below writes
-    # into contiguous views, so the TileRenderCache entries are free views.
-    deltas_flat = np.empty((n_frag, 2))
-    gauss_flat = np.empty(n_frag)
-    alphas_flat = np.empty(n_frag)
-    trans_flat = np.empty(n_frag)
-    weights_flat = np.empty(n_frag)
-    processed_flat = np.empty(n_frag, dtype=bool)
-    clamp_flat = np.empty(n_frag, dtype=bool)
+    # Per-tile compute below writes into contiguous views of the arena, so the
+    # TileRenderCache entries are free views rather than per-tile copies.
+    deltas_flat = arena.deltas
+    gauss_flat = arena.gauss
+    alphas_flat = arena.alphas
+    trans_flat = arena.trans
+    weights_flat = arena.weights
+    processed_flat = arena.processed
+    clamp_flat = arena.clamp
 
     means2d = projected.means2d
     conics = projected.conics
@@ -256,16 +321,17 @@ def rasterize_flat(
         m_count = rows.shape[0]
         shape = (p_count, m_count)
         pixel_coords = grid.tile_pixel_coordinates(tile_id)
+        lo, hi = base + start, base + stop
 
-        deltas = deltas_flat[start:stop].reshape(p_count, m_count, 2)
+        deltas = deltas_flat[lo:hi].reshape(p_count, m_count, 2)
         dx = deltas[:, :, 0]
         dy = deltas[:, :, 1]
-        gauss = gauss_flat[start:stop].reshape(shape)
-        alphas = alphas_flat[start:stop].reshape(shape)
-        trans_before = trans_flat[start:stop].reshape(shape)
-        weights = weights_flat[start:stop].reshape(shape)
-        processed = processed_flat[start:stop].reshape(shape)
-        clamp_mask = clamp_flat[start:stop].reshape(shape)
+        gauss = gauss_flat[lo:hi].reshape(shape)
+        alphas = alphas_flat[lo:hi].reshape(shape)
+        trans_before = trans_flat[lo:hi].reshape(shape)
+        weights = weights_flat[lo:hi].reshape(shape)
+        processed = processed_flat[lo:hi].reshape(shape)
+        clamp_mask = clamp_flat[lo:hi].reshape(shape)
 
         # Step 3-1 Alpha computing (in-place into the arena views).  The
         # association order matches the tile backend exactly.
@@ -332,7 +398,7 @@ def rasterize_flat(
         intersections=intersections,
         tile_caches=tile_caches,
         camera=camera,
-        pose_cw=pose_cw,
+        pose_cw=projected.pose_cw,
         background=background,
         backend="flat",
     )

@@ -172,24 +172,32 @@ class GaussianCloud:
         """Number of Gaussians that participate in rendering."""
         return int(np.count_nonzero(self.active))
 
-    def opacities(self) -> np.ndarray:
-        """Return opacities in ``(0, 1)``."""
-        return _sigmoid(self.opacity_logits)
+    def opacities(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Return opacities in ``(0, 1)``, optionally only for ``rows``."""
+        logits = self.opacity_logits if rows is None else self.opacity_logits[rows]
+        return _sigmoid(logits)
 
-    def scales(self) -> np.ndarray:
-        """Return per-axis standard deviations."""
-        return np.exp(self.log_scales)
+    def scales(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Return per-axis standard deviations, optionally only for ``rows``."""
+        log_scales = self.log_scales if rows is None else self.log_scales[rows]
+        return np.exp(log_scales)
 
-    def rotation_matrices(self) -> np.ndarray:
-        """Return ``(N, 3, 3)`` rotation matrices from the stored quaternions."""
-        if len(self) == 0:
+    def rotation_matrices(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Return ``(N, 3, 3)`` rotation matrices from the stored quaternions.
+
+        ``rows`` restricts the computation to a subset (projection and the
+        batched backward only need the visible rows); row-wise results are
+        identical to indexing the full array.
+        """
+        quaternions = self.rotations if rows is None else self.rotations[rows]
+        if quaternions.shape[0] == 0:
             return np.zeros((0, 3, 3))
-        return quaternion_to_rotation(self.rotations)
+        return quaternion_to_rotation(quaternions)
 
-    def covariances(self) -> np.ndarray:
+    def covariances(self, rows: np.ndarray | None = None) -> np.ndarray:
         """Return ``(N, 3, 3)`` world-frame covariance matrices ``R S S^T R^T``."""
-        rot = self.rotation_matrices()
-        scale = self.scales()
+        rot = self.rotation_matrices(rows)
+        scale = self.scales(rows)
         rs = rot * scale[:, None, :]
         return rs @ np.transpose(rs, (0, 2, 1))
 

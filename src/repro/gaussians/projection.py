@@ -61,6 +61,59 @@ class ProjectedGaussians:
         return int(self.indices.shape[0])
 
 
+@dataclass
+class SharedGaussianData:
+    """View-independent per-Gaussian quantities shared across a render batch.
+
+    Projection splits into a view-independent half (which Gaussians are
+    candidates, their world covariances, opacities and colours — the paper's
+    Step 1 per-Gaussian preprocessing plus the SH/colour evaluation) and a
+    view-dependent half (camera transform, culling, EWA linearisation).  The
+    batched rasterizer computes this structure once per mapping iteration and
+    reuses it for every view in the keyframe window; the single-view path
+    builds it on the fly, so both paths run identical per-row arithmetic.
+    """
+
+    indices: np.ndarray  # (K,) candidate rows of the source cloud
+    positions: np.ndarray  # (K, 3) world-frame means
+    cov3d: np.ndarray  # (K, 3, 3) world-frame covariances
+    opacities: np.ndarray  # (K,) post-sigmoid opacities
+    colors: np.ndarray  # (K, 3) evaluated colours (the SH DC term)
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.indices.shape[0])
+
+
+def shared_preprocess(cloud: GaussianCloud, active_only: bool = True) -> SharedGaussianData:
+    """Compute the view-independent half of projection for ``cloud``.
+
+    Only candidate (active) rows are materialised, so a batch of ``V`` views
+    pays for covariance assembly, the opacity sigmoid and colour evaluation
+    once instead of ``V`` times.  Row-wise results are identical to what
+    :func:`project_gaussians` previously derived internally.
+    """
+    if active_only:
+        candidate = cloud.active_indices()
+    else:
+        candidate = np.arange(len(cloud))
+    if candidate.size == 0:
+        return SharedGaussianData(
+            indices=candidate.astype(int),
+            positions=np.zeros((0, 3)),
+            cov3d=np.zeros((0, 3, 3)),
+            opacities=np.zeros(0),
+            colors=np.zeros((0, 3)),
+        )
+    return SharedGaussianData(
+        indices=candidate,
+        positions=cloud.positions[candidate],
+        cov3d=cloud.covariances(rows=candidate),
+        opacities=cloud.opacities(rows=candidate),
+        colors=cloud.colors[candidate],
+    )
+
+
 def perspective_jacobian(points_cam: np.ndarray, camera: Camera) -> np.ndarray:
     """Return the ``(M, 2, 3)`` Jacobian of the pinhole projection at ``points_cam``."""
     points_cam = np.atleast_2d(points_cam)
@@ -80,25 +133,26 @@ def project_gaussians(
     camera: Camera,
     pose_cw: SE3,
     active_only: bool = True,
+    shared: SharedGaussianData | None = None,
 ) -> ProjectedGaussians:
     """Project the Gaussians of ``cloud`` into the image plane of ``camera``.
 
     Gaussians behind the near plane or whose splat falls entirely outside the
     image are culled.  When ``active_only`` is True (the default), Gaussians
     masked by the adaptive pruner are skipped, which is exactly how the
-    mask-prune strategy removes them from the rendering workload.
+    mask-prune strategy removes them from the rendering workload.  Passing a
+    precomputed ``shared`` structure (see :func:`shared_preprocess`) skips the
+    view-independent work; the batched rasterizer amortises it across views.
     """
-    if active_only:
-        candidate = cloud.active_indices()
-    else:
-        candidate = np.arange(len(cloud))
+    if shared is None:
+        shared = shared_preprocess(cloud, active_only=active_only)
+    candidate = shared.indices
 
     if candidate.size == 0:
         return _empty_projection(camera, pose_cw)
 
     rotation_cw = pose_cw.rotation
-    points_world = cloud.positions[candidate]
-    points_cam = points_world @ rotation_cw.T + pose_cw.translation
+    points_cam = shared.positions @ rotation_cw.T + pose_cw.translation
 
     in_front = points_cam[:, 2] > NEAR_PLANE
     # Frustum cull with a generous margin: rejects points nearly in the camera
@@ -119,7 +173,9 @@ def project_gaussians(
     means2d = camera.project(points_cam)
     depths = points_cam[:, 2]
 
-    cov3d = cloud.covariances()[candidate]
+    cov3d = shared.cov3d[keep_mask]
+    colors_candidate = shared.colors[keep_mask]
+    opacities_candidate = shared.opacities[keep_mask]
     jac = perspective_jacobian(points_cam, camera)
     # M = J @ R_cw is the full 2x3 linearisation of world point -> pixel.
     m_lin = jac @ rotation_cw
@@ -155,8 +211,8 @@ def project_gaussians(
         cov2d=cov2d[keep],
         conics=conics[keep],
         radii=radii[keep],
-        colors=cloud.colors[candidate[keep]],
-        opacities=cloud.opacities()[candidate[keep]],
+        colors=colors_candidate[keep],
+        opacities=opacities_candidate[keep],
         points_cam=points_cam[keep],
         jacobians=jac[keep],
         cov3d=cov3d[keep],

@@ -40,13 +40,20 @@ ALPHA_CLAMP = 0.99
 # Early termination: stop compositing a pixel once transmittance drops below this.
 TRANSMITTANCE_EPS = 1e-4
 
-# Available rasterizer implementations: "tile" is the reference per-tile loop,
-# "flat" is the flat fragment-list fast path (repro.gaussians.fast_raster).
+# Available rasterizer implementations: "flat" is the flat fragment-list fast
+# path (repro.gaussians.fast_raster) and the production default; "tile" is the
+# reference per-tile loop, retired to a reference-only role behind the
+# differential harness (repro.testing) and the golden fixtures.
 BACKENDS = ("tile", "flat")
+
+# The flat backend soaked behind DifferentialRunner through PR 1 and is now
+# the process-wide default; REPRO_RASTER_BACKEND=tile is the escape hatch back
+# to the reference loop.
+DEFAULT_BACKEND = "flat"
 
 
 def _initial_backend() -> str:
-    value = os.environ.get("REPRO_RASTER_BACKEND", "tile")
+    value = os.environ.get("REPRO_RASTER_BACKEND", DEFAULT_BACKEND)
     if value not in BACKENDS:
         raise ValueError(
             f"REPRO_RASTER_BACKEND={value!r} is not a valid rasterizer backend; "

@@ -11,7 +11,7 @@ the RTX 3090 by swapping the :class:`~repro.hardware.config.DeviceSpec`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -73,6 +73,12 @@ class GPUCostParameters:
     # Fraction of the nominal core-cycles/second actually sustained by these
     # memory-bound kernels.
     utilization: float = 0.35
+    # Share of Step 1 Preprocessing that is view-independent (covariance
+    # assembly, opacity activation, SH/colour evaluation).  Batched mapping
+    # computes it once per window, so views of a batch are charged that share
+    # at 1/batch_size; the view-dependent remainder (camera transform, EWA
+    # linearisation, culling) is charged in full per view.
+    shared_preprocess_fraction: float = 0.6
 
 
 class EdgeGPUModel:
@@ -114,6 +120,12 @@ class EdgeGPUModel:
         updates = snapshot.total_pixel_level_updates * scale
 
         preprocessing = n_projected * params.preprocess_cycles_per_gaussian
+        if snapshot.batch_size > 1:
+            # Per-view snapshot of a batched mapping window: the
+            # view-independent share of Step 1 was computed once for the
+            # whole window, so each view carries 1/batch_size of it.
+            shared = params.shared_preprocess_fraction
+            preprocessing *= (1.0 - shared) + shared / snapshot.batch_size
         sorting = n_pairs * params.sort_cycles_per_pair * max(np.log2(max(n_pairs, 2)), 1.0)
         rendering = fragments * params.forward_cycles_per_fragment
 

@@ -1,7 +1,11 @@
 """Profiling tools reproducing the Sec. 3 observations (Figs. 3-6, 10)."""
 
 from repro.profiling.gradients import GradientDistribution, gradient_distribution
-from repro.profiling.latency import latency_breakdown, stage_breakdown
+from repro.profiling.latency import (
+    batch_amortization_report,
+    latency_breakdown,
+    stage_breakdown,
+)
 from repro.profiling.similarity import frame_similarity_series
 from repro.profiling.workload import (
     iteration_workload_similarity,
@@ -11,6 +15,7 @@ from repro.profiling.workload import (
 
 __all__ = [
     "GradientDistribution",
+    "batch_amortization_report",
     "frame_similarity_series",
     "gradient_distribution",
     "iteration_workload_similarity",

@@ -8,6 +8,8 @@ versus mapping (Fig. 3(a)) and the per-step breakdown of a single iteration
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.hardware.gpu_model import EdgeGPUModel
@@ -62,6 +64,34 @@ def stage_breakdown(
 def rendering_dominance(shares: dict[str, float]) -> float:
     """Combined share of Step 3 Rendering + Step 4 Rendering BP (Observation 2)."""
     return float(shares.get("rendering", 0.0) + shares.get("rendering_bp", 0.0))
+
+
+def batch_amortization_report(
+    snapshots: list[WorkloadSnapshot], model: EdgeGPUModel | None = None
+) -> dict[str, float]:
+    """Modelled effect of the multi-keyframe mapping batches on mapping latency.
+
+    Compares the mapping iterations as recorded (per-view snapshots carrying
+    their window's ``batch_size``, which the hardware model amortises) against
+    the same workload re-priced as sequential single-view iterations
+    (``batch_size=1``).  The ratio is the modelled preprocessing-amortisation
+    speedup of the batched scheduler; the wall-clock speedup of the software
+    rasterizer is measured separately in ``benchmarks/test_batched_mapping.py``.
+    """
+    model = model or EdgeGPUModel("onx")
+    mapping = [s for s in snapshots if s.stage == "mapping"]
+    batched = sum(model.iteration_latency(s).total for s in mapping)
+    sequential = sum(
+        model.iteration_latency(replace(s, batch_size=1)).total for s in mapping
+    )
+    batch_sizes = [s.batch_size for s in mapping]
+    return {
+        "batched_s": batched,
+        "sequential_s": sequential,
+        "speedup": sequential / batched if batched > 0 else 1.0,
+        "mean_batch_size": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+        "n_mapping_iterations": float(len(mapping)),
+    }
 
 
 def per_frame_latency_series(

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-import numpy as np
-
 from repro.slam.frame import Frame
 from repro.slam.losses import image_difference_metrics
 

@@ -1,11 +1,30 @@
-"""SLAM mapping: keyframe-driven optimisation of the Gaussian map.
+"""SLAM mapping: a multi-keyframe scheduler over the batched rasterizer.
 
 Mapping runs only on keyframes (except for SplaTAM-style pipelines that map
 every frame): it densifies the cloud with new Gaussians where the current
 render under-covers the observation, then optimises Gaussian parameters
-against a small window of recent keyframes with Adam.  The per-iteration
-workload snapshots it emits feed the same profiling and hardware models as
-tracking, since the paper accelerates both stages.
+against a window of keyframes with Adam.
+
+Since the batched-rasterizer rework, each ``map()`` iteration *jointly*
+optimises a window of keyframes — the current keyframe plus its most covisible
+predecessors, as in the paper's joint mapping optimisation — instead of
+round-robining one view per iteration:
+
+* the window is rendered through :func:`repro.gaussians.rasterize_batch`, so
+  per-Gaussian preprocessing is shared and all views' fragments live in one
+  arena;
+* the backward pass is fused (:func:`repro.gaussians.render_backward_batch`):
+  cloud gradients accumulate across views in a single pass and one averaged
+  Adam update is applied per iteration;
+* covisibility is scored from cached per-keyframe visible-Gaussian rows.
+  Those cached rows index the cloud, so *every* removal path — the mapper's
+  own transparency pruning and external pruners reporting through
+  :meth:`StreamingMapper.notify_removed` — must remap them; a batched
+  iteration issued right after a prune would otherwise index stale rows.
+
+The per-view workload snapshots it emits feed the same profiling and hardware
+models as tracking; they carry ``batch_size``/``view_index`` so those
+consumers can amortise the shared preprocessing across the window.
 """
 
 from __future__ import annotations
@@ -15,12 +34,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.gaussians.backward import render_backward
+from repro.gaussians.batch import rasterize_batch, render_backward_batch
 from repro.gaussians.gaussian_model import GaussianCloud
 from repro.gaussians.rasterizer import rasterize
 from repro.slam.frame import Frame
 from repro.slam.losses import photometric_geometric_loss
 from repro.slam.optimizer import Adam
 from repro.slam.records import WorkloadSnapshot
+
+_PARAMETER_BLOCKS = ("positions", "log_scales", "opacity_logits", "colors")
 
 
 @dataclass
@@ -41,6 +63,19 @@ class MappingConfig:
     opacity_prune_threshold: float = 0.02
     max_gaussians: int = 60000
     record_workloads: bool = True
+    # -- multi-keyframe scheduler ------------------------------------------
+    # Keyframe views jointly optimised per fused iteration (current frame +
+    # covisible partners).  None inherits ``keyframe_window``, so widening
+    # the window keeps its pre-scheduler meaning; 1 degenerates to
+    # single-view batches.
+    batch_views: int | None = None
+    # Newest keyframes considered as covisible partners of the current one.
+    covisibility_pool: int = 12
+    # Per-keyframe visible-row caches kept for covisibility scoring.
+    visibility_cache_size: int = 64
+    # Escape hatch back to the pre-scheduler round-robin loop (one view per
+    # iteration, cycling through the trailing window).
+    batched: bool = True
 
 
 @dataclass
@@ -51,21 +86,34 @@ class MappingResult:
     n_added: int
     n_pruned: int
     snapshots: list[WorkloadSnapshot] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)  # window size per iteration
+
+    @property
+    def max_batch_size(self) -> int:
+        return max(self.batch_sizes, default=1)
 
 
-class Mapper:
-    """Keyframe mapper: densification + windowed Gaussian optimisation."""
+class StreamingMapper:
+    """Multi-keyframe mapper: densification + windowed joint optimisation."""
 
     def __init__(self, config: MappingConfig | None = None):
         self.config = config or MappingConfig()
         self._optimizer = Adam()
+        # Cloud rows visible from each mapped keyframe, keyed by frame index.
+        # Drives covisibility-based window selection; remapped on every prune.
+        self._keyframe_visibility: dict[int, np.ndarray] = {}
+        # Fragment arena recycled across fused iterations (each one fully
+        # consumes its batch before the next render overwrites the storage).
+        self._arena = None
 
     def initialize_map(self, cloud: GaussianCloud, frame: Frame, stride: int = 4) -> int:
         """Seed the map from the first frame's RGB-D observation; returns Gaussians added."""
         pose = frame.estimated_pose_cw or frame.gt_pose_cw
         if pose is None:
             raise ValueError("frame must carry a pose to initialise the map")
-        seeded = GaussianCloud.from_rgbd(frame.image, frame.depth, frame.camera, pose, stride=stride)
+        seeded = GaussianCloud.from_rgbd(
+            frame.image, frame.depth, frame.camera, pose, stride=stride
+        )
         cloud.extend(seeded)
         return len(seeded)
 
@@ -75,35 +123,165 @@ class Mapper:
         keyframes: list[Frame],
         map_every_frame: bool = False,
     ) -> MappingResult:
-        """Densify from the newest keyframe and optimise over the keyframe window."""
+        """Densify from the newest keyframe and jointly optimise a keyframe window."""
         if not keyframes:
             return MappingResult(losses=[], n_added=0, n_pruned=0)
         config = self.config
         newest = keyframes[-1]
         n_added = self._densify(cloud, newest)
-        window = keyframes[-config.keyframe_window :]
 
         losses: list[float] = []
         snapshots: list[WorkloadSnapshot] = []
+        batch_sizes: list[int] = []
         for iteration in range(config.n_iterations):
-            frame = window[iteration % len(window)]
-            pose = frame.estimated_pose_cw or frame.gt_pose_cw
-            render = rasterize(cloud, frame.camera, pose)
-            loss = photometric_geometric_loss(
+            if config.batched:
+                window = self._select_window(keyframes)
+                loss = self._fused_iteration(cloud, window, newest, iteration, snapshots)
+            else:
+                trailing = keyframes[-config.keyframe_window :]
+                window = [trailing[iteration % len(trailing)]]
+                loss = self._single_view_iteration(
+                    cloud, window[0], newest, iteration, snapshots
+                )
+            losses.append(loss)
+            batch_sizes.append(len(window))
+
+        n_pruned = self._prune_transparent(cloud)
+        return MappingResult(
+            losses=losses,
+            n_added=n_added,
+            n_pruned=n_pruned,
+            snapshots=snapshots,
+            batch_sizes=batch_sizes,
+        )
+
+    def notify_removed(self, keep_mask: np.ndarray) -> None:
+        """Keep mapper state aligned when an external pruner removes Gaussians.
+
+        Both the optimiser moments *and* the cached per-keyframe visibility
+        rows index the cloud, so both must shrink/remap together: a fused
+        iteration scheduled right after a prune reads the visibility cache
+        for window selection and would otherwise hit stale rows.
+        """
+        for name in _PARAMETER_BLOCKS:
+            self._optimizer.keep_rows(name, keep_mask)
+        self._remap_cached_rows(keep_mask)
+
+    # -- internals -----------------------------------------------------------
+    def _select_window(self, keyframes: list[Frame]) -> list[Frame]:
+        """Pick the newest keyframe plus its most covisible recent partners.
+
+        Covisibility is the overlap between cached visible-Gaussian row sets;
+        keyframes without a cache entry fall back to recency so a fresh run
+        still forms windows.  The window is ordered oldest-first with the
+        newest keyframe last.
+        """
+        config = self.config
+        newest = keyframes[-1]
+        budget = max(1, config.batch_views or config.keyframe_window)
+        if budget == 1 or len(keyframes) == 1:
+            return [newest]
+        pool = keyframes[-(config.covisibility_pool + 1) : -1]
+        newest_visible = self._keyframe_visibility.get(newest.index)
+        scored: list[tuple[int, int, Frame]] = []
+        for frame in pool:
+            visible = self._keyframe_visibility.get(frame.index)
+            if newest_visible is None or visible is None:
+                overlap = -1  # unknown: rank below any measured overlap
+            else:
+                overlap = int(np.intersect1d(visible, newest_visible).size)
+            scored.append((overlap, frame.index, frame))
+        # Highest overlap first; recency breaks ties and orders the unknowns.
+        scored.sort(key=lambda item: (item[0], item[1]), reverse=True)
+        partners = [frame for _, _, frame in scored[: budget - 1]]
+        partners.sort(key=lambda frame: frame.index)
+        return partners + [newest]
+
+    def _single_view_iteration(
+        self,
+        cloud: GaussianCloud,
+        frame: Frame,
+        newest: Frame,
+        iteration: int,
+        snapshots: list[WorkloadSnapshot],
+    ) -> float:
+        """Legacy round-robin iteration: one view through ``rasterize``.
+
+        Unlike the batched path (flat by design — the arena layout *is* the
+        batch), this goes through the regular backend dispatch, so
+        ``REPRO_RASTER_BACKEND=tile`` / ``use_backend("tile")`` gives a full
+        reference-backend mapping stage when combined with ``batched=False``.
+        """
+        config = self.config
+        pose = frame.estimated_pose_cw or frame.gt_pose_cw
+        render = rasterize(cloud, frame.camera, pose)
+        loss = photometric_geometric_loss(
+            render,
+            frame,
+            lambda_photometric=config.lambda_photometric,
+            use_depth=config.use_depth,
+        )
+        gradients = render_backward(
+            render, cloud, loss.dL_dimage, loss.dL_ddepth, compute_pose_gradient=False
+        )
+        self._record_visibility([frame], [render])
+        if config.record_workloads:
+            snapshots.append(
+                WorkloadSnapshot.from_iteration(
+                    render,
+                    gradients,
+                    stage="mapping",
+                    frame_index=newest.index,
+                    iteration=iteration,
+                    is_keyframe=True,
+                    loss=loss.total,
+                    n_gaussians_total=cloud.n_total,
+                    n_gaussians_active=cloud.n_active,
+                    resolution_fraction=frame.resolution_fraction,
+                )
+            )
+        self._apply_updates(cloud, gradients)
+        return loss.total
+
+    def _fused_iteration(
+        self,
+        cloud: GaussianCloud,
+        window: list[Frame],
+        newest: Frame,
+        iteration: int,
+        snapshots: list[WorkloadSnapshot],
+    ) -> float:
+        """Render the window as one batch and apply one fused Adam update."""
+        config = self.config
+        poses = [frame.estimated_pose_cw or frame.gt_pose_cw for frame in window]
+        batch = rasterize_batch(
+            cloud, [frame.camera for frame in window], poses, arena=self._arena
+        )
+        self._arena = batch.arena
+        loss_results = [
+            photometric_geometric_loss(
                 render,
                 frame,
                 lambda_photometric=config.lambda_photometric,
                 use_depth=config.use_depth,
             )
-            gradients = render_backward(
-                render, cloud, loss.dL_dimage, loss.dL_ddepth, compute_pose_gradient=False
-            )
-            losses.append(loss.total)
-            if config.record_workloads:
+            for render, frame in zip(batch.views, window)
+        ]
+        gradients = render_backward_batch(
+            batch,
+            cloud,
+            [loss.dL_dimage for loss in loss_results],
+            [loss.dL_ddepth for loss in loss_results],
+            compute_pose_gradient=False,
+        )
+        self._record_visibility(window, batch.views)
+        if config.record_workloads:
+            traces = gradients.per_view_traces
+            for view_index, (render, loss) in enumerate(zip(batch.views, loss_results)):
                 snapshots.append(
                     WorkloadSnapshot.from_iteration(
                         render,
-                        gradients,
+                        None,
                         stage="mapping",
                         frame_index=newest.index,
                         iteration=iteration,
@@ -111,36 +289,52 @@ class Mapper:
                         loss=loss.total,
                         n_gaussians_total=cloud.n_total,
                         n_gaussians_active=cloud.n_active,
-                        resolution_fraction=frame.resolution_fraction,
+                        resolution_fraction=window[view_index].resolution_fraction,
+                        trace=traces[view_index],
+                        batch_size=len(window),
+                        view_index=view_index,
                     )
                 )
-            self._apply_updates(cloud, gradients)
+        # The fused gradients are summed over views; average them so the
+        # learning rates keep their single-view meaning regardless of window
+        # size.
+        self._apply_updates(cloud, gradients.cloud, scale=1.0 / len(window))
+        return float(np.mean([loss.total for loss in loss_results]))
 
-        n_pruned = self._prune_transparent(cloud)
-        return MappingResult(
-            losses=losses, n_added=n_added, n_pruned=n_pruned, snapshots=snapshots
-        )
+    def _record_visibility(self, window: list[Frame], renders) -> None:
+        for frame, render in zip(window, renders):
+            self._keyframe_visibility[frame.index] = render.projected.indices.copy()
+        limit = max(1, self.config.visibility_cache_size)
+        while len(self._keyframe_visibility) > limit:
+            self._keyframe_visibility.pop(min(self._keyframe_visibility))
 
-    # -- internals -----------------------------------------------------------
-    def _apply_updates(self, cloud: GaussianCloud, gradients) -> None:
+    def _remap_cached_rows(self, keep_mask: np.ndarray) -> None:
+        """Rewrite cached visibility rows after rows ``~keep_mask`` were removed."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        new_row = np.cumsum(keep_mask) - 1
+        n_old = keep_mask.shape[0]
+        for index, rows in list(self._keyframe_visibility.items()):
+            rows = rows[rows < n_old]
+            surviving = rows[keep_mask[rows]]
+            self._keyframe_visibility[index] = new_row[surviving]
+
+    def _apply_updates(self, cloud: GaussianCloud, gradients, scale: float = 1.0) -> None:
         """Adam steps on all Gaussian parameter blocks, frozen for masked Gaussians."""
         config = self.config
         inactive = ~cloud.active
-        updates = {
-            "positions": self._optimizer.step(
-                "positions", gradients.positions, config.position_learning_rate
-            ),
-            "log_scales": self._optimizer.step(
-                "log_scales", gradients.log_scales, config.scale_learning_rate
-            ),
-            "opacity_logits": self._optimizer.step(
-                "opacity_logits", gradients.opacity_logits, config.opacity_learning_rate
-            ),
-            "colors": self._optimizer.step(
-                "colors", gradients.colors, config.color_learning_rate
-            ),
+        learning_rates = {
+            "positions": config.position_learning_rate,
+            "log_scales": config.scale_learning_rate,
+            "opacity_logits": config.opacity_learning_rate,
+            "colors": config.color_learning_rate,
         }
-        for name, update in updates.items():
+        updates = {
+            name: self._optimizer.step(
+                name, scale * np.asarray(getattr(gradients, name)), learning_rates[name]
+            )
+            for name in _PARAMETER_BLOCKS
+        }
+        for update in updates.values():
             if np.any(inactive):
                 update[inactive] = 0.0
         cloud.apply_parameter_step(
@@ -160,6 +354,9 @@ class Mapper:
             return self.initialize_map(cloud, frame, stride=config.densify_stride)
 
         render = rasterize(cloud, frame.camera, pose)
+        # The densify render is the newest keyframe's first visibility sample,
+        # so window selection has an overlap estimate before iteration 0.
+        self._keyframe_visibility[frame.index] = render.projected.indices.copy()
         stride = config.densify_stride
         alpha = render.alpha[::stride, ::stride]
         depth_err = np.abs(render.depth - frame.depth)[::stride, ::stride]
@@ -193,16 +390,16 @@ class Mapper:
         keep = opacities >= self.config.opacity_prune_threshold
         n_pruned = int(np.count_nonzero(~keep))
         if n_pruned:
-            for name in ("positions", "log_scales", "opacity_logits", "colors"):
+            for name in _PARAMETER_BLOCKS:
                 self._optimizer.keep_rows(name, keep)
+            self._remap_cached_rows(keep)
             cloud.keep_only(keep)
         return n_pruned
 
     def _resize_optimizer(self, cloud: GaussianCloud) -> None:
-        for name in ("positions", "log_scales", "opacity_logits", "colors"):
+        for name in _PARAMETER_BLOCKS:
             self._optimizer.resize(name, cloud.n_total)
 
-    def notify_removed(self, keep_mask: np.ndarray) -> None:
-        """Keep optimiser state aligned when an external pruner removes Gaussians."""
-        for name in ("positions", "log_scales", "opacity_logits", "colors"):
-            self._optimizer.keep_rows(name, keep_mask)
+
+# Backwards-compatible alias: the pre-scheduler class name.
+Mapper = StreamingMapper

@@ -46,11 +46,25 @@ class Adam:
                 store[name] = resized
 
     def keep_rows(self, name: str, keep_mask: np.ndarray) -> None:
-        """Drop state rows for removed Gaussians (keeps optimiser statistics aligned)."""
+        """Drop state rows for removed Gaussians (keeps optimiser statistics aligned).
+
+        A mask whose length disagrees with existing state is an upstream
+        bookkeeping bug (a pruner removed rows the optimiser never saw, or a
+        resize was skipped); silently ignoring it used to let the next
+        :meth:`step` discard the momenta wholesale via its shape check, so it
+        now fails loudly instead.
+        """
         keep_mask = np.asarray(keep_mask, dtype=bool)
         for store in (self._m, self._v):
-            if name in store and store[name].shape[0] == keep_mask.shape[0]:
-                store[name] = store[name][keep_mask]
+            if name not in store:
+                continue
+            if store[name].shape[0] != keep_mask.shape[0]:
+                raise ValueError(
+                    f"keep_rows({name!r}): mask has {keep_mask.shape[0]} rows but "
+                    f"optimiser state has {store[name].shape[0]}; state and cloud "
+                    "went out of sync"
+                )
+            store[name] = store[name][keep_mask]
 
     def step(self, name: str, gradient: np.ndarray, learning_rate: float) -> np.ndarray:
         """Return the parameter *update* (to be added to the parameters) for ``gradient``.

@@ -171,6 +171,7 @@ class SLAMPipeline:
                         tracking_loss=0.0,
                         tracking_iterations=0,
                         mapping_iterations=len(mapping_result.losses),
+                        mapping_batch_size=mapping_result.max_batch_size,
                         snapshots=snapshots,
                     )
                 )
@@ -211,6 +212,7 @@ class SLAMPipeline:
             estimated.append(pose)
 
             mapping_iterations = 0
+            mapping_batch_size = 1
             if is_keyframe:
                 keyframes.append(frame)
                 keyframe_indices.append(frame_index)
@@ -220,6 +222,7 @@ class SLAMPipeline:
                 )
                 snapshots.extend(mapping_result.snapshots)
                 mapping_iterations = len(mapping_result.losses)
+                mapping_batch_size = mapping_result.max_batch_size
 
             peak_gaussians = max(peak_gaussians, cloud.n_total)
             frame_records.append(
@@ -231,12 +234,15 @@ class SLAMPipeline:
                     tracking_loss=tracking.losses[-1] if tracking.losses else 0.0,
                     tracking_iterations=tracking.iterations_run,
                     mapping_iterations=mapping_iterations,
+                    mapping_batch_size=mapping_batch_size,
                     snapshots=snapshots,
                 )
             )
 
         gt_trajectory = [sequence.frame(i).gt_pose_cw for i in range(total_frames)]
-        return self._build_result(estimated, gt_trajectory, keyframe_indices, frame_records, cloud, peak_gaussians)
+        return self._build_result(
+            estimated, gt_trajectory, keyframe_indices, frame_records, cloud, peak_gaussians
+        )
 
     @staticmethod
     def _predict_pose(estimated: list[SE3]) -> SE3:

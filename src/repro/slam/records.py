@@ -14,13 +14,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gaussians.backward import CloudGradients
+from repro.gaussians.backward import CloudGradients, GradientTrace
 from repro.gaussians.rasterizer import RenderResult
 
 
 @dataclass
 class WorkloadSnapshot:
-    """All workload statistics of one rendering + backprop iteration."""
+    """All workload statistics of one rendering + backprop iteration.
+
+    Batched mapping emits one snapshot per *view* of each fused iteration;
+    ``batch_size`` and ``view_index`` identify the window so the hardware
+    model can amortise the shared per-Gaussian preprocessing (Step 1) across
+    the views of one batch.  Single-view iterations keep the defaults.
+    """
 
     stage: str  # "tracking" or "mapping"
     frame_index: int
@@ -40,6 +46,8 @@ class WorkloadSnapshot:
     per_tile_gaussian_ids: list[np.ndarray] = field(default_factory=list)
     per_tile_update_counts: list[np.ndarray] = field(default_factory=list)
     includes_backward: bool = True
+    batch_size: int = 1  # views rendered by the fused iteration this belongs to
+    view_index: int = 0  # position of this view within its batch
 
     @staticmethod
     def from_iteration(
@@ -53,11 +61,20 @@ class WorkloadSnapshot:
         n_gaussians_total: int,
         n_gaussians_active: int,
         resolution_fraction: float = 1.0,
+        trace: GradientTrace | None = None,
+        batch_size: int = 1,
+        view_index: int = 0,
     ) -> "WorkloadSnapshot":
-        """Build a snapshot from a render result and (optionally) its gradients."""
+        """Build a snapshot from a render result and (optionally) its gradients.
+
+        ``trace`` overrides the gradient trace; batched mapping passes each
+        view's own trace because the fused gradients only carry the merged
+        one.
+        """
         grid = render.grid
-        if gradients is not None and gradients.trace is not None:
+        if trace is None and gradients is not None:
             trace = gradients.trace
+        if trace is not None:
             gaussian_ids = [ids.copy() for ids in trace.per_tile_source_indices]
             update_counts = [counts.copy() for counts in trace.per_tile_pixel_counts]
             includes_backward = True
@@ -84,6 +101,8 @@ class WorkloadSnapshot:
             per_tile_gaussian_ids=gaussian_ids,
             per_tile_update_counts=update_counts,
             includes_backward=includes_backward,
+            batch_size=batch_size,
+            view_index=view_index,
         )
 
     # -- aggregate statistics -------------------------------------------------
@@ -149,6 +168,7 @@ class FrameRecord:
     tracking_loss: float
     tracking_iterations: int
     mapping_iterations: int
+    mapping_batch_size: int = 1  # keyframe views per fused mapping iteration
     snapshots: list[WorkloadSnapshot] = field(default_factory=list)
 
     def tracking_snapshots(self) -> list[WorkloadSnapshot]:

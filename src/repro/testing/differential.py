@@ -12,6 +12,13 @@ flat backend is bit-identical), gradients to ``grad_tol`` (default 1e-8; the
 flat backward pass regroups reductions, so tiny rounding drift is expected).
 Fragment counts must match exactly — they define the hardware model's
 workload and are integers.
+
+Every scenario additionally pins the batched rasterizer
+(:func:`repro.gaussians.rasterize_batch`): a batch of one view must match a
+single candidate-backend render (images to ``forward_tol``, gradients to
+``grad_tol``, fragment counts exactly), and a 3-view batch over
+:meth:`SceneSpec.view_poses` must match three sequential single-view calls,
+with the fused backward equal to the per-view gradient sum.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.gaussians.backward import CloudGradients, render_backward
+from repro.gaussians.batch import rasterize_batch, render_backward_batch
 from repro.gaussians.rasterizer import RenderResult, rasterize
 from repro.testing.scenarios import DEFAULT_LIBRARY, Scenario, ScenarioLibrary, SceneSpec
 
@@ -56,6 +64,10 @@ class ScenarioReport:
     fragments_equal: bool
     subtile_fragments_equal: bool
     gradient_diffs: dict[str, float]
+    batch1_image_diff: float = 0.0
+    batch1_gradient_diff: float = 0.0
+    batch_image_diff: float = 0.0
+    batch_gradient_diff: float = 0.0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -71,7 +83,9 @@ class ScenarioReport:
         return (
             f"[{status}] {self.name}: fragments={self.n_fragments} "
             f"image={self.image_diff:.3e} depth={self.depth_diff:.3e} "
-            f"alpha={self.alpha_diff:.3e} grad={self.max_gradient_diff:.3e}"
+            f"alpha={self.alpha_diff:.3e} grad={self.max_gradient_diff:.3e} "
+            f"batch={max(self.batch1_image_diff, self.batch_image_diff):.3e}/"
+            f"{max(self.batch1_gradient_diff, self.batch_gradient_diff):.3e}"
         )
 
 
@@ -95,6 +109,7 @@ class DifferentialRunner:
     grad_tol: float = 1e-8
     reference_backend: str = "tile"
     candidate_backend: str = "flat"
+    n_batch_views: int = 3  # views of the multi-view batch-vs-sequential check
 
     def render_pair(self, spec: SceneSpec) -> tuple[RenderResult, RenderResult]:
         """Render ``spec`` through both backends."""
@@ -126,11 +141,152 @@ class DifferentialRunner:
         )
         return grads_ref, grads_cand
 
+    def _loss_arrays(
+        self, spec: SceneSpec, image_shape, depth_shape, salt: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        seed = abs(hash((spec.camera.width, spec.camera.height, salt))) % (2**32)
+        rng = np.random.default_rng(seed)
+        return (
+            rng.uniform(-1.0, 1.0, size=image_shape),
+            rng.uniform(-1.0, 1.0, size=depth_shape),
+        )
+
+    def verify_batch(
+        self, spec: SceneSpec, base_render: RenderResult | None = None
+    ) -> tuple[dict[str, float], list[str]]:
+        """Pin ``rasterize_batch`` against sequential candidate-backend renders.
+
+        Checks batch-of-1 ≡ single view and an ``n_batch_views``-view batch ≡
+        the same views rendered sequentially, forward and backward (the fused
+        backward against the per-view gradient sum).  ``base_render`` lets the
+        caller donate an existing candidate-backend render of the scenario's
+        base pose (``run_scenario`` reuses the one from ``render_pair``)
+        instead of re-rendering it.  Returns the worst diffs and the failure
+        descriptions.
+        """
+        failures: list[str] = []
+        diffs = {
+            "batch1_image": 0.0,
+            "batch1_grad": 0.0,
+            "batch_image": 0.0,
+            "batch_grad": 0.0,
+        }
+        render_kwargs = dict(tile_size=spec.tile_size, subtile_size=spec.subtile_size)
+
+        def forward_diff(batch_view: RenderResult, single: RenderResult, label: str) -> float:
+            worst = max(
+                _max_abs_diff(batch_view.image, single.image),
+                _max_abs_diff(batch_view.depth, single.depth),
+                _max_abs_diff(batch_view.alpha, single.alpha),
+            )
+            if not worst <= self.forward_tol:
+                failures.append(
+                    f"{label}: forward diff {worst:.3e} exceeds tolerance "
+                    f"{self.forward_tol:.1e}"
+                )
+            if not np.array_equal(
+                batch_view.fragments_per_pixel, single.fragments_per_pixel
+            ):
+                failures.append(f"{label}: fragment counts differ from single view")
+            return worst
+
+        def gradient_diff(
+            batch_cloud_grads, summed_fields: dict[str, np.ndarray], label: str
+        ) -> float:
+            worst = 0.0
+            for name, expected in summed_fields.items():
+                value = _max_abs_diff(np.asarray(getattr(batch_cloud_grads, name)), expected)
+                worst = max(worst, value)
+                if not value <= self.grad_tol:
+                    failures.append(
+                        f"{label}: gradient {name} diff {value:.3e} exceeds "
+                        f"tolerance {self.grad_tol:.1e}"
+                    )
+            return worst
+
+        for n_views, prefix in ((1, "batch1"), (self.n_batch_views, "batch")):
+            poses = spec.view_poses(n_views)
+            # view_poses(n)[0] is always the scenario's own pose, so the
+            # donated base render stands in for the first sequential call.
+            singles = [
+                base_render
+                if index == 0 and base_render is not None
+                else rasterize(
+                    spec.cloud,
+                    spec.camera,
+                    pose,
+                    background=spec.background,
+                    backend=self.candidate_backend,
+                    **render_kwargs,
+                )
+                for index, pose in enumerate(poses)
+            ]
+            batch = rasterize_batch(
+                spec.cloud,
+                [spec.camera] * n_views,
+                poses,
+                backgrounds=[spec.background] * n_views,
+                **render_kwargs,
+            )
+            image_worst = max(
+                forward_diff(batch_view, single, f"{prefix} view {index}")
+                for index, (batch_view, single) in enumerate(zip(batch.views, singles))
+            )
+            diffs[f"{prefix}_image"] = image_worst
+
+            losses = [
+                self._loss_arrays(spec, single.image.shape, single.depth.shape, salt=index)
+                for index, single in enumerate(singles)
+            ]
+            sequential = [
+                render_backward(
+                    single,
+                    spec.cloud,
+                    dL_dimage,
+                    dL_ddepth,
+                    backend=self.candidate_backend,
+                )
+                for single, (dL_dimage, dL_ddepth) in zip(singles, losses)
+            ]
+            fused = render_backward_batch(
+                batch,
+                spec.cloud,
+                [dL_dimage for dL_dimage, _ in losses],
+                [dL_ddepth for _, dL_ddepth in losses],
+                compute_pose_gradient=True,
+            )
+            summed = {
+                name: sum(np.asarray(getattr(grads, name)) for grads in sequential)
+                for name in (
+                    "positions",
+                    "log_scales",
+                    "rotations",
+                    "opacity_logits",
+                    "colors",
+                    "cov3d",
+                    "per_gaussian_pose",
+                    "pose_twist",
+                )
+            }
+            diffs[f"{prefix}_grad"] = gradient_diff(fused.cloud, summed, prefix)
+            twist_diff = _max_abs_diff(
+                fused.per_view_pose_twists,
+                np.stack([grads.pose_twist for grads in sequential]),
+            )
+            diffs[f"{prefix}_grad"] = max(diffs[f"{prefix}_grad"], twist_diff)
+            if not twist_diff <= self.grad_tol:
+                failures.append(
+                    f"{prefix}: per-view pose twists diff {twist_diff:.3e} exceeds "
+                    f"tolerance {self.grad_tol:.1e}"
+                )
+        return diffs, failures
+
     def run_scenario(self, scenario: Scenario) -> ScenarioReport:
         """Render + backprop ``scenario`` through both backends and compare."""
         spec = scenario.build()
         reference, candidate = self.render_pair(spec)
         grads_ref, grads_cand = self.backward_pair(spec, reference, candidate)
+        batch_diffs, batch_failures = self.verify_batch(spec, base_render=candidate)
 
         image_diff = _max_abs_diff(reference.image, candidate.image)
         depth_diff = _max_abs_diff(reference.depth, candidate.depth)
@@ -167,6 +323,7 @@ class DifferentialRunner:
             failures.append(
                 f"total fragment count differs: {reference.n_fragments} vs {candidate.n_fragments}"
             )
+        failures.extend(batch_failures)
 
         return ScenarioReport(
             name=scenario.name,
@@ -177,6 +334,10 @@ class DifferentialRunner:
             fragments_equal=fragments_equal,
             subtile_fragments_equal=subtile_equal,
             gradient_diffs=gradient_diffs,
+            batch1_image_diff=batch_diffs["batch1_image"],
+            batch1_gradient_diff=batch_diffs["batch1_grad"],
+            batch_image_diff=batch_diffs["batch_image"],
+            batch_gradient_diff=batch_diffs["batch_grad"],
             failures=failures,
         )
 

@@ -18,7 +18,7 @@ covers the rasterizer's behavioural corners:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -44,6 +44,23 @@ class SceneSpec:
     background: np.ndarray
     tile_size: int = 16
     subtile_size: int = 4
+
+    def view_poses(self, n_views: int) -> list[SE3]:
+        """Deterministic multi-view poses for batched-rasterizer testing.
+
+        The first pose is the scenario's own; subsequent poses apply small,
+        fixed left perturbations (a shrinking orbit around the base view), so
+        a batch over them exercises genuinely different projections while
+        staying reproducible — the same property the single-view scenarios
+        guarantee.
+        """
+        poses = [self.pose_cw]
+        for k in range(1, n_views):
+            twist = 0.5 ** (k - 1) * np.array(
+                [0.04 * k, -0.03 * k, 0.02 * k, 0.05 * k, -0.04 * k, 0.03 * k]
+            )
+            poses.append(SE3.exp(twist) @ self.pose_cw)
+        return poses
 
 
 @dataclass(frozen=True)

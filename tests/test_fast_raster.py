@@ -26,8 +26,11 @@ def scene(small_cloud, small_camera, simple_pose):
 
 
 class TestBackendSelection:
-    def test_default_backend_is_tile(self):
-        assert get_default_backend() == "tile"
+    def test_default_backend_is_flat(self):
+        # The flat fast path is the production default since the backend
+        # flip; REPRO_RASTER_BACKEND=tile is the escape hatch back to the
+        # reference loop.
+        assert get_default_backend() == "flat"
 
     def test_backend_argument_selects_implementation(self, scene):
         cloud, camera, pose = scene
@@ -43,16 +46,16 @@ class TestBackendSelection:
 
     def test_use_backend_scopes_the_default(self, scene):
         cloud, camera, pose = scene
-        with use_backend("flat"):
-            assert get_default_backend() == "flat"
-            assert rasterize(cloud, camera, pose).backend == "flat"
-        assert get_default_backend() == "tile"
+        with use_backend("tile"):
+            assert get_default_backend() == "tile"
+            assert rasterize(cloud, camera, pose).backend == "tile"
+        assert get_default_backend() == "flat"
 
     def test_set_default_backend_returns_previous(self):
-        previous = set_default_backend("flat")
+        previous = set_default_backend("tile")
         try:
-            assert previous == "tile"
-            assert get_default_backend() == "flat"
+            assert previous == "flat"
+            assert get_default_backend() == "tile"
         finally:
             set_default_backend(previous)
 
