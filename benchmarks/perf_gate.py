@@ -35,6 +35,13 @@ BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 # gate fails the run.
 MAX_REGRESSION = 0.20
 
+# When set, every measured ratio is also written to
+# ``$REPRO_PERF_OUTPUT_DIR/<name>.json`` (same shape as the baseline files,
+# plus a ``<key>:baseline`` entry for context).  The CI perf job points this
+# at its artifact directory so the bench trajectory accumulates run over run
+# and the job log can print a measured-vs-baseline summary table.
+OUTPUT_ENV = "REPRO_PERF_OUTPUT_DIR"
+
 
 def perf_gate_active() -> bool:
     """True when a failed baseline check must fail the test run."""
@@ -54,6 +61,25 @@ def load_baselines(name: str) -> dict[str, float]:
         return json.load(handle)
 
 
+def record_measurement(name: str, key: str, measured: float, baseline: float) -> None:
+    """Persist one measured ratio to the perf output directory, if configured."""
+    output_dir = os.environ.get(OUTPUT_ENV)
+    if not output_dir:
+        return
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    data: dict[str, float] = {}
+    if path.exists():
+        with open(path) as handle:
+            data = json.load(handle)
+    data[key] = measured
+    data[f"{key}:baseline"] = baseline
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def check_speedup(name: str, key: str, measured: float, minimum: float | None = None) -> None:
     """Gate ``measured`` (a speedup ratio) against the committed baseline.
 
@@ -62,6 +88,7 @@ def check_speedup(name: str, key: str, measured: float, minimum: float | None = 
     what the baseline file says).
     """
     baseline = load_baselines(name)[key]
+    record_measurement(name, key, measured, baseline)
     floor = baseline * (1.0 - MAX_REGRESSION)
     if minimum is not None:
         floor = max(floor, minimum)

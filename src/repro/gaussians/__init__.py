@@ -30,10 +30,17 @@ from repro.gaussians.fast_raster import (
     FlatFragments,
     allocate_flat_arena,
     build_flat_fragments,
+    ensure_flat_arena,
     rasterize_flat,
     segmented_exclusive_cumprod,
 )
 from repro.gaussians.gaussian_model import BYTES_PER_GAUSSIAN, GaussianCloud
+from repro.gaussians.geom_cache import (
+    CacheStats,
+    GeomCacheConfig,
+    GeometryCache,
+    geom_cache_enabled,
+)
 from repro.gaussians.projection import (
     ProjectedGaussians,
     SharedGaussianData,
@@ -63,12 +70,15 @@ __all__ = [
     "BYTES_PER_GAUSSIAN",
     "BatchGradients",
     "BatchRenderResult",
+    "CacheStats",
     "Camera",
     "CloudGradients",
     "DEFAULT_BACKEND",
     "FlatArena",
     "FlatFragments",
     "GaussianCloud",
+    "GeomCacheConfig",
+    "GeometryCache",
     "GradientTrace",
     "ProjectedGaussians",
     "RenderResult",
@@ -82,6 +92,8 @@ __all__ = [
     "assign_tiles",
     "build_flat_fragments",
     "build_tile_lists",
+    "ensure_flat_arena",
+    "geom_cache_enabled",
     "get_default_backend",
     "intersection_change_ratio",
     "preprocess_backward",

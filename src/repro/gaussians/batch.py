@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -52,8 +52,8 @@ from repro.gaussians.backward import (
 from repro.gaussians.camera import Camera
 from repro.gaussians.fast_raster import (
     FlatArena,
-    allocate_flat_arena,
     build_flat_fragments,
+    ensure_flat_arena,
     rasterize_flat_into,
 )
 from repro.gaussians.gaussian_model import GaussianCloud
@@ -67,13 +67,18 @@ from repro.gaussians.se3 import SE3
 from repro.gaussians.sorting import build_tile_lists
 from repro.gaussians.tiling import TileGrid
 
+if TYPE_CHECKING:
+    from repro.gaussians.geom_cache import GeometryCache
+
 
 @dataclass
 class BatchRenderResult:
     """Per-view renders plus the shared state and timings of one batch."""
 
     views: list[RenderResult]
-    shared: SharedGaussianData
+    # View-independent Step 1 data; None when a geometry cache served every
+    # view from its entries (nothing needed rebuilding).
+    shared: SharedGaussianData | None
     arena: FlatArena
     shared_seconds: float  # view-independent preprocessing wall-clock
     view_seconds: list[float]  # per-view projection + sort + raster wall-clock
@@ -149,6 +154,7 @@ def rasterize_batch(
     subtile_size: int = 4,
     active_only: bool = True,
     arena: FlatArena | None = None,
+    cache: "GeometryCache | None" = None,
 ) -> BatchRenderResult:
     """Render ``cloud`` from every (camera, pose) view with shared preprocessing.
 
@@ -157,11 +163,19 @@ def rasterize_batch(
     per view.  Views may differ in camera intrinsics and resolution.
 
     ``arena`` lets iterative callers (the mapping scheduler) recycle the
-    fragment arena of the previous batch: if it is large enough it is reused,
-    otherwise a bigger one is allocated; either way the arena actually used is
-    returned on the result.  Reuse overwrites the storage that the previous
-    batch's ``RenderResult`` caches alias, so only pass an arena whose batch
-    has been fully consumed.
+    fragment arena of the previous batch: recycling is grow-only
+    (:func:`repro.gaussians.fast_raster.ensure_flat_arena`), so the
+    high-water-mark buffer survives window-size changes and each view slices
+    a base-offset view into it.  Reuse overwrites the storage that the
+    previous batch's ``RenderResult`` caches alias, so only pass an arena
+    whose batch has been fully consumed.
+
+    ``cache`` threads a :class:`repro.gaussians.geom_cache.GeometryCache`
+    through every view: Step 1-2 products are reused across calls per the
+    cache's epoch/tolerance tiers, shared preprocessing runs only when at
+    least one view misses, and the cache's own grow-only arena (shared with
+    every other render the cache serves, across windows) supersedes the
+    ``arena`` parameter.
     """
     cameras = list(cameras)
     poses_cw = list(poses_cw)
@@ -173,12 +187,66 @@ def rasterize_batch(
         raise ValueError("rasterize_batch needs at least one view")
     backgrounds_per_view = _normalise_backgrounds(backgrounds, len(cameras))
 
+    view_seconds = [0.0] * len(cameras)
+    if cache is not None:
+        plans = []
+        for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
+            start = time.perf_counter()
+            plans.append(
+                cache.plan_view(cloud, camera, pose_cw, tile_size, subtile_size, active_only)
+            )
+            view_seconds[index] += time.perf_counter() - start
+
+        # The view-independent Step 1 half is needed (once) only for views
+        # the cache could not serve.
+        shared = None
+        shared_seconds = 0.0
+        if any(plan.status == "miss" for plan in plans):
+            start = time.perf_counter()
+            shared = shared_preprocess(cloud, active_only=active_only)
+            shared_seconds = time.perf_counter() - start
+        for index, plan in enumerate(plans):
+            if plan.status != "miss":
+                continue
+            start = time.perf_counter()
+            cache.build_view(
+                plan,
+                cloud,
+                cameras[index],
+                poses_cw[index],
+                tile_size,
+                subtile_size,
+                active_only,
+                shared=shared,
+            )
+            view_seconds[index] += time.perf_counter() - start
+        fragment_lists = [plan.fragments_used for plan in plans]
+        total_fragments = sum(fragments.n_fragments for fragments in fragment_lists)
+        arena = cache.ensure_arena(total_fragments)
+
+        views = []
+        base = 0
+        for index, (plan, fragments) in enumerate(zip(plans, fragment_lists)):
+            start = time.perf_counter()
+            views.append(
+                cache.render_view(plan, backgrounds_per_view[index], arena, base)
+            )
+            base += fragments.n_fragments
+            view_seconds[index] += time.perf_counter() - start
+
+        return BatchRenderResult(
+            views=views,
+            shared=shared,
+            arena=arena,
+            shared_seconds=shared_seconds,
+            view_seconds=view_seconds,
+        )
+
     start = time.perf_counter()
     shared = shared_preprocess(cloud, active_only=active_only)
     shared_seconds = time.perf_counter() - start
 
     # Step 1-2 per view (projection, tiling, sorting) with the shared data.
-    view_seconds = [0.0] * len(cameras)
     prepared = []
     for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
         start = time.perf_counter()
@@ -196,8 +264,7 @@ def rasterize_batch(
     # page faults) entirely — fragment counts barely move between the
     # iterations of one mapping window.
     total_fragments = sum(fragments.n_fragments for _, _, fragments in prepared)
-    if arena is None or arena.n_fragments < total_fragments:
-        arena = allocate_flat_arena(total_fragments)
+    arena = ensure_flat_arena(arena, total_fragments)
 
     views: list[RenderResult] = []
     base = 0

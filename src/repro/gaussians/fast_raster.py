@@ -40,6 +40,7 @@ harness in :mod:`repro.testing` pins both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -56,6 +57,9 @@ from repro.gaussians.rasterizer import (
 from repro.gaussians.se3 import SE3
 from repro.gaussians.sorting import TileIntersections, build_tile_lists
 from repro.gaussians.tiling import TileGrid
+
+if TYPE_CHECKING:
+    from repro.gaussians.geom_cache import GeometryCache
 
 
 @dataclass
@@ -242,6 +246,29 @@ def allocate_flat_arena(n_fragments: int) -> FlatArena:
     )
 
 
+# Headroom factor applied when a recycled arena must grow: mapping windows
+# densify a little every call, so growing to the exact new size would
+# reallocate (and re-fault) on every window.  25% slack amortises that.
+ARENA_GROWTH = 1.25
+
+
+def ensure_flat_arena(arena: FlatArena | None, n_fragments: int) -> FlatArena:
+    """Grow-only arena recycling: reuse ``arena`` when it fits, else grow it.
+
+    The returned arena holds *at least* ``n_fragments`` rows; renders slice
+    base-offset views into it, so extra capacity is free.  Growth keeps the
+    high-water mark: the new capacity is the larger of the request and
+    ``ARENA_GROWTH`` times the previous capacity, so a sequence of slowly
+    growing windows reallocates O(log) times instead of every call.
+    """
+    if arena is not None and arena.n_fragments >= n_fragments:
+        return arena
+    capacity = n_fragments
+    if arena is not None:
+        capacity = max(capacity, int(arena.n_fragments * ARENA_GROWTH) + 1)
+    return allocate_flat_arena(capacity)
+
+
 def rasterize_flat(
     cloud: GaussianCloud,
     camera: Camera,
@@ -251,8 +278,25 @@ def rasterize_flat(
     subtile_size: int = 4,
     active_only: bool = True,
     precomputed: tuple[ProjectedGaussians, TileIntersections] | None = None,
+    cache: "GeometryCache | None" = None,
 ) -> RenderResult:
-    """Flat-arena render; drop-in equivalent of ``rasterize(backend="tile")``."""
+    """Flat-arena render; drop-in equivalent of ``rasterize(backend="tile")``.
+
+    Passing a :class:`repro.gaussians.geom_cache.GeometryCache` as ``cache``
+    memoises the Step 1-2 pipeline across calls keyed by ``(view, cloud
+    epoch)``; the cache also owns the fragment arena, so consume each render
+    before requesting the next one from the same cache.
+    """
+    if cache is not None and precomputed is None:
+        return cache.render_single(
+            cloud,
+            camera,
+            pose_cw,
+            background=background,
+            tile_size=tile_size,
+            subtile_size=subtile_size,
+            active_only=active_only,
+        )
     if precomputed is not None:
         projected, intersections = precomputed
     else:

@@ -9,6 +9,7 @@ rendering for ``K`` iterations before being permanently removed.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +21,10 @@ from repro.utils.validation import check_array, check_finite, check_shape
 # Storage cost per Gaussian, in bytes, mirroring the float32 CUDA layout:
 # mean (3) + scale (3) + quaternion (4) + opacity (1) + colour (3) = 14 floats.
 BYTES_PER_GAUSSIAN = 14 * 4
+
+# Distinguishes clouds (and their copies) from one another so epoch-keyed
+# caches cannot confuse two clouds that happen to share an epoch value.
+_CLOUD_UIDS = itertools.count()
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -80,6 +85,85 @@ class GaussianCloud:
             self.active = np.asarray(self.active, dtype=bool).reshape(n)
         for name in ("positions", "log_scales", "rotations", "opacity_logits", "colors"):
             check_finite(getattr(self, name), name)
+        # -- geometry-cache bookkeeping (see repro.gaussians.geom_cache) ----
+        # ``epoch`` increments on every mutation, ``structure_epoch`` only when
+        # the row set / active mask changes (densify, prune, mask).  The
+        # cumulative deltas upper-bound how far parameters drifted since any
+        # given epoch (sum of per-step max |delta|, by the triangle
+        # inequality), which is what the cache's screen-space tolerance check
+        # consumes without re-projecting.
+        self._uid = next(_CLOUD_UIDS)
+        self._epoch = 0
+        self._structure_epoch = 0
+        # Epoch of the most recent mutation with no movement bound (a direct
+        # array edit reported via bump_epoch): caches must fully rebuild any
+        # state built before it rather than trust the cumulative deltas.
+        self._unbounded_epoch = 0
+        self._cum_position_delta = 0.0
+        self._cum_log_scale_delta = 0.0
+        self._cum_opacity_delta = 0.0
+
+    # -- mutation epochs ------------------------------------------------------
+    @property
+    def uid(self) -> int:
+        """Identity token distinguishing this cloud from all others (and copies)."""
+        return self._uid
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter bumped by every geometry-mutating operation."""
+        return self._epoch
+
+    @property
+    def structure_epoch(self) -> int:
+        """Monotonic counter bumped when the row set or active mask changes."""
+        return self._structure_epoch
+
+    @property
+    def cum_position_delta(self) -> float:
+        """Upper bound on total position movement (world units) over all epochs."""
+        return self._cum_position_delta
+
+    @property
+    def cum_log_scale_delta(self) -> float:
+        """Upper bound on total log-scale movement over all epochs."""
+        return self._cum_log_scale_delta
+
+    @property
+    def cum_opacity_delta(self) -> float:
+        """Upper bound on total opacity-logit movement over all epochs."""
+        return self._cum_opacity_delta
+
+    @property
+    def unbounded_epoch(self) -> int:
+        """Epoch of the latest mutation whose movement could not be bounded."""
+        return self._unbounded_epoch
+
+    def bump_epoch(self, structural: bool = False) -> int:
+        """Mark the cloud mutated; callers that write arrays directly must call this.
+
+        ``structural=True`` additionally invalidates row-set-dependent caches
+        (use it after resizing arrays or editing ``active`` in place).  The
+        mutating methods below call this automatically.  Either way the edit
+        carries no movement bound, so epoch-keyed caches rebuild anything
+        predating it instead of reusing under a tolerance; state built
+        *afterwards* is unaffected.
+        """
+        self._epoch += 1
+        self._unbounded_epoch = self._epoch
+        if structural:
+            self._structure_epoch = self._epoch
+        return self._epoch
+
+    def _bump_structural(self) -> None:
+        """Structural change through a tracked method: movement bounds stay finite.
+
+        Tracked structural mutations (extend / keep_only / mask) change *which*
+        rows exist, which epoch-keyed caches must treat as a full rebuild
+        anyway, so the cumulative per-parameter deltas need no poisoning.
+        """
+        self._epoch += 1
+        self._structure_epoch = self._epoch
 
     # -- constructors ------------------------------------------------------
     @staticmethod
@@ -228,14 +312,17 @@ class GaussianCloud:
         )
         self.colors = np.concatenate([self.colors, other.colors], axis=0)
         self.active = np.concatenate([self.active, other.active], axis=0)
+        self._bump_structural()
 
     def mask(self, indices: np.ndarray) -> None:
         """Mark ``indices`` as inactive (mask-prune step, Sec. 4.1)."""
         self.active[np.asarray(indices, dtype=int)] = False
+        self._bump_structural()
 
     def unmask_all(self) -> None:
         """Re-activate every Gaussian (used when a pruning decision is rolled back)."""
         self.active[:] = True
+        self._bump_structural()
 
     def remove(self, indices: np.ndarray) -> None:
         """Permanently delete the Gaussians at ``indices``."""
@@ -258,6 +345,7 @@ class GaussianCloud:
         self.opacity_logits = self.opacity_logits[keep_mask]
         self.colors = self.colors[keep_mask]
         self.active = self.active[keep_mask]
+        self._bump_structural()
 
     def active_indices(self) -> np.ndarray:
         """Return indices of active Gaussians."""
@@ -275,11 +363,24 @@ class GaussianCloud:
         Updates are given for *all* Gaussians (same length as the cloud); callers
         zero out the entries of masked Gaussians.
         """
+        mutated = False
         if d_positions is not None:
             self.positions = self.positions + d_positions
+            if np.size(d_positions):
+                self._cum_position_delta += float(np.max(np.abs(d_positions)))
+            mutated = True
         if d_log_scales is not None:
             self.log_scales = np.clip(self.log_scales + d_log_scales, -12.0, 4.0)
+            if np.size(d_log_scales):
+                self._cum_log_scale_delta += float(np.max(np.abs(d_log_scales)))
+            mutated = True
         if d_opacity_logits is not None:
             self.opacity_logits = np.clip(self.opacity_logits + d_opacity_logits, -12.0, 12.0)
+            if np.size(d_opacity_logits):
+                self._cum_opacity_delta += float(np.max(np.abs(d_opacity_logits)))
+            mutated = True
         if d_colors is not None:
             self.colors = np.clip(self.colors + d_colors, 0.0, 1.0)
+            mutated = True
+        if mutated:
+            self._epoch += 1

@@ -1,0 +1,583 @@
+"""Cross-iteration geometry cache: RTGS-style Step 1-2 reuse across renders.
+
+Consecutive SLAM mapping iterations re-render the *same* keyframe window
+against a cloud that moves only slightly per Adam step, so the view-dependent
+preprocessing — Step 1 projection and Step 2 tile intersection / sorting /
+flat fragment build — is largely redundant work (the reuse the paper applies
+across the iterations of one pruning window, Sec. 4.1).  This module memoises
+that pipeline per view, keyed by the cloud's mutation epoch
+(:attr:`repro.gaussians.gaussian_model.GaussianCloud.epoch`), with four reuse
+tiers ordered from exact to approximate:
+
+``hit``
+    The cloud has not mutated since the entry was built: every Step 1-2
+    product (:class:`ProjectedGaussians`, :class:`TileIntersections`,
+    :class:`FlatFragments`) is reused as-is.  Bit-identical.
+``refresh``
+    Only colours and/or opacities changed.  Geometry (means, covariances,
+    culling, tile lists, depth order) is untouched by those parameters, so
+    the cached entry is reused with the fresh appearance values gathered from
+    the cloud.  Bit-identical to a full rebuild.
+``incremental``
+    Means and/or scales also moved, but the cloud's cumulative per-epoch
+    movement bounds (:attr:`GaussianCloud.cum_position_delta` /
+    ``cum_log_scale_delta`` — the per-epoch dirty flags) translate to a
+    screen-space drift below ``tolerance_px``.  Tile assignment and fragment
+    ordering are reused with the stale geometry; only the per-fragment
+    alpha/colour inputs (opacities, colours) are recomputed.  Approximate,
+    bounded by the tolerance; ``tolerance_px=0`` disables this tier.
+``miss``
+    Anything else — in particular any structural change (densify, prune,
+    masking, ``notify_removed``) — rebuilds the full Step 1-2 pipeline and
+    replaces the entry.
+
+On top of tier reuse the cache recycles two render-to-render artefacts:
+
+* the **flat fragment arena** is shared grow-only across *all* renders and
+  batches served by one cache (``ensure_flat_arena`` keeps the high-water
+  mark), not just within one ``rasterize_batch`` call;
+* the previous render's per-tile alphas and transmittances (the software
+  analogue of reading the R&B Buffer back) refine the **fragment schedule**
+  of the next render of the same view two ways:
+
+  - *contributing-pair refinement*: Gaussians whose bounding box touched a
+    tile but whose alpha stayed below ``ALPHA_CUTOFF / refine_margin`` for
+    every pixel of that tile are dropped — fragments below the cutoff are
+    exactly zero in the compositor, so this is exact at the epoch it was
+    measured and drifts only as far as the tolerance allows between
+    rebuilds (``refine_margin=0`` disables it);
+  - *termination-depth truncation*: each tile's depth-sorted list is capped
+    at the deepest fragment any of its pixels actually processed before
+    early termination, plus ``termination_margin`` headroom.  Every cached
+    render verifies the cap — a capped tile where any pixel's final
+    transmittance is still above the termination threshold triggers a dense
+    re-render of the view — so surviving renders are exact, including the
+    per-pixel fragment counts (``termination_margin=0`` disables it).
+
+Because cached renders share one arena, a render must be fully consumed
+(backward pass included) before the next render is requested from the same
+cache.  The batched rasterizer gives every view of a batch its own base
+offset, so all views of one batch coexist.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.fast_raster import (
+    FlatArena,
+    FlatFragments,
+    build_flat_fragments,
+    ensure_flat_arena,
+    rasterize_flat_into,
+)
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.projection import (
+    ProjectedGaussians,
+    SharedGaussianData,
+    project_gaussians,
+)
+from repro.gaussians.rasterizer import ALPHA_CUTOFF, TRANSMITTANCE_EPS, RenderResult
+from repro.gaussians.se3 import SE3
+from repro.gaussians.sorting import TileIntersections, build_tile_lists
+from repro.gaussians.tiling import TileGrid
+
+CACHE_STATUSES = ("uncached", "miss", "hit", "refresh", "incremental")
+
+
+def geom_cache_enabled() -> bool:
+    """True unless the ``REPRO_GEOM_CACHE=0`` escape hatch disables caching.
+
+    Consumers that construct a cache by default (the mapping scheduler) check
+    this so one environment variable switches the whole process back to the
+    uncached Step 1-2 pipeline, mirroring ``REPRO_RASTER_BACKEND``.
+    """
+    return os.environ.get("REPRO_GEOM_CACHE", "1").lower() not in ("0", "false", "off")
+
+
+@dataclass(frozen=True)
+class GeomCacheConfig:
+    """Knobs of the geometry cache.
+
+    ``tolerance_px`` bounds the screen-space drift (pixels) under which stale
+    geometry may be reused; 0 restricts the cache to its exact tiers.
+    ``refine_margin`` is the headroom factor on the alpha cutoff for
+    contributing-pair refinement (a pair is kept while its best per-pixel
+    alpha is at least ``ALPHA_CUTOFF / refine_margin``); 0 disables
+    refinement, keeping cached renders bit-identical to uncached ones on the
+    exact tiers.  ``termination_margin`` is the fractional headroom on the
+    per-tile termination depth used to truncate fragment lists (0 disables
+    truncation); truncated renders self-verify and fall back to a dense
+    re-render when the headroom was exceeded.  ``max_entries`` caps the
+    number of cached views (LRU).
+    """
+
+    tolerance_px: float = 0.5
+    refine_margin: float = 8.0
+    termination_margin: float = 0.25
+    max_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tolerance_px < 0:
+            raise ValueError(f"tolerance_px must be >= 0, got {self.tolerance_px}")
+        # A margin below 1 would raise the keep threshold above ALPHA_CUTOFF
+        # and silently drop fragments that DO contribute (alpha drops are not
+        # verified at render time the way truncation is).
+        if self.refine_margin != 0 and self.refine_margin < 1:
+            raise ValueError(
+                "refine_margin must be 0 (disabled) or >= 1 (cutoff headroom), "
+                f"got {self.refine_margin}"
+            )
+        if self.termination_margin < 0:
+            raise ValueError(
+                f"termination_margin must be >= 0, got {self.termination_margin}"
+            )
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache (consumed by profiling/benchmarks)."""
+
+    hits: int = 0
+    refreshes: int = 0
+    incremental: int = 0
+    misses: int = 0
+    evictions: int = 0
+    truncation_fallbacks: int = 0  # capped renders that re-ran dense
+
+    def count(self, status: str) -> None:
+        if status == "hit":
+            self.hits += 1
+        elif status == "refresh":
+            self.refreshes += 1
+        elif status == "incremental":
+            self.incremental += 1
+        elif status == "miss":
+            self.misses += 1
+        else:
+            raise ValueError(f"unknown cache status {status!r}")
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.refreshes + self.incremental + self.misses
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of lookups that skipped the Step 2 rebuild."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.refreshes + self.incremental) / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "refreshes": self.refreshes,
+            "incremental": self.incremental,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "truncation_fallbacks": self.truncation_fallbacks,
+            "reuse_fraction": self.reuse_fraction,
+        }
+
+
+def _view_key(
+    camera: Camera, pose_cw: SE3, tile_size: int, subtile_size: int, active_only: bool
+) -> tuple:
+    return (
+        camera.width,
+        camera.height,
+        float(camera.fx),
+        float(camera.fy),
+        float(camera.cx),
+        float(camera.cy),
+        pose_cw.rotation.tobytes(),
+        pose_cw.translation.tobytes(),
+        int(tile_size),
+        int(subtile_size),
+        bool(active_only),
+    )
+
+
+@dataclass
+class _CacheEntry:
+    """Step 1-2 products of one view at one cloud epoch."""
+
+    key: tuple
+    cloud_uid: int
+    structure_epoch: int
+    # Epoch and cumulative movement bounds at *build* time: staleness of the
+    # geometry is always measured against these, not against later splices.
+    built_epoch: int
+    built_position_delta: float
+    built_log_scale_delta: float
+    built_opacity_delta: float
+    # Screen-space conversion factors captured at build time.
+    min_depth: float
+    max_radius: float
+    px_per_unit: float
+    projected: ProjectedGaussians
+    intersections: TileIntersections
+    fragments: FlatFragments
+    # Epoch the appearance (colours/opacities) of ``projected`` reflects, so
+    # repeated lookups at one epoch splice at most once.
+    current_epoch: int = 0
+    # Refined fragment schedule measured from the last render of this entry:
+    # contributing-pair tile lists, the tiles whose lists were additionally
+    # truncated at their termination depth (those need per-render
+    # verification), and the cloud's cumulative opacity movement at
+    # measurement time (a later opacity swing past the refine margin's
+    # headroom voids the lists).
+    refined: FlatFragments | None = field(default=None, repr=False)
+    capped_tile_ids: frozenset[int] = frozenset()
+    refined_opacity_delta: float = 0.0
+    last_used: int = 0
+
+    @property
+    def n_fragments(self) -> int:
+        return self.fragments.n_fragments
+
+
+@dataclass
+class _ViewPlan:
+    """Outcome of planning one view's render against the cache."""
+
+    key: tuple
+    status: str  # "hit" | "refresh" | "incremental" | "miss"
+    entry: _CacheEntry | None  # None until a miss is built
+    opacity_delta: float = 0.0  # cloud.cum_opacity_delta at plan time
+
+    @property
+    def fragments_used(self) -> FlatFragments:
+        if self.entry.refined is not None and self.status != "miss":
+            return self.entry.refined
+        return self.entry.fragments
+
+
+class GeometryCache:
+    """Memoises the Step 1-2 pipeline per view with epoch-based invalidation."""
+
+    def __init__(self, config: GeomCacheConfig | None = None):
+        self.config = config or GeomCacheConfig()
+        self.stats = CacheStats()
+        self._entries: dict[tuple, _CacheEntry] = {}
+        self._arena: FlatArena | None = None
+        self._clock = 0
+
+    # -- public API ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached entry (the arena's high-water mark is kept)."""
+        self._entries.clear()
+
+    def ensure_arena(self, n_fragments: int) -> FlatArena:
+        """Return the shared grow-only arena, grown to at least ``n_fragments``."""
+        self._arena = ensure_flat_arena(self._arena, n_fragments)
+        return self._arena
+
+    def render_single(
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        pose_cw: SE3,
+        background: np.ndarray | None = None,
+        tile_size: int = 16,
+        subtile_size: int = 4,
+        active_only: bool = True,
+    ) -> RenderResult:
+        """One cached flat render; the entry point used by ``rasterize_flat``."""
+        plan = self.plan_view(cloud, camera, pose_cw, tile_size, subtile_size, active_only)
+        if plan.status == "miss":
+            self.build_view(plan, cloud, camera, pose_cw, tile_size, subtile_size, active_only)
+        arena = self.ensure_arena(plan.fragments_used.n_fragments)
+        return self.render_view(plan, background, arena, 0)
+
+    def plan_view(
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        pose_cw: SE3,
+        tile_size: int,
+        subtile_size: int,
+        active_only: bool,
+    ) -> _ViewPlan:
+        """Classify one view's lookup and splice fresh appearance on reuse.
+
+        Returns a plan whose ``status`` is ``"miss"`` (caller must invoke
+        :meth:`build_view`, optionally donating shared preprocessing) or one
+        of the reuse tiers, in which case ``entry`` is ready to render.
+        """
+        key = _view_key(camera, pose_cw, tile_size, subtile_size, active_only)
+        entry = self._entries.get(key)
+        status = self._classify(entry, cloud)
+        if status == "miss":
+            return _ViewPlan(
+                key=key, status=status, entry=None, opacity_delta=cloud.cum_opacity_delta
+            )
+        self._touch(entry)
+        if entry.current_epoch != cloud.epoch:
+            self._splice_appearance(entry, cloud)
+        if entry.refined is not None and self.config.refine_margin > 0:
+            # Refinement masks were measured under older opacities; once the
+            # cumulative logit movement exceeds the margin's headroom
+            # (sigmoid(x + d) <= sigmoid(x) * e^d), a dropped pair could have
+            # crossed the cutoff, so fall back to the full tile lists.
+            headroom = float(np.log(max(self.config.refine_margin, 1.0)))
+            if cloud.cum_opacity_delta - entry.refined_opacity_delta > headroom:
+                entry.refined = None
+                entry.capped_tile_ids = frozenset()
+        return _ViewPlan(
+            key=key, status=status, entry=entry, opacity_delta=cloud.cum_opacity_delta
+        )
+
+    def build_view(
+        self,
+        plan: _ViewPlan,
+        cloud: GaussianCloud,
+        camera: Camera,
+        pose_cw: SE3,
+        tile_size: int,
+        subtile_size: int,
+        active_only: bool,
+        shared: SharedGaussianData | None = None,
+    ) -> _CacheEntry:
+        """Run the full Step 1-2 pipeline for a missed view and cache it."""
+        projected = project_gaussians(
+            cloud, camera, pose_cw, active_only=active_only, shared=shared
+        )
+        grid = TileGrid(camera.width, camera.height, tile_size, subtile_size)
+        intersections = build_tile_lists(projected, grid)
+        fragments = build_flat_fragments(intersections)
+        entry = _CacheEntry(
+            key=plan.key,
+            cloud_uid=cloud.uid,
+            structure_epoch=cloud.structure_epoch,
+            built_epoch=cloud.epoch,
+            built_position_delta=cloud.cum_position_delta,
+            built_log_scale_delta=cloud.cum_log_scale_delta,
+            built_opacity_delta=cloud.cum_opacity_delta,
+            min_depth=float(projected.depths.min()) if projected.n_visible else float("inf"),
+            max_radius=float(projected.radii.max()) if projected.n_visible else 0.0,
+            px_per_unit=float(max(camera.fx, camera.fy)),
+            projected=projected,
+            intersections=intersections,
+            fragments=fragments,
+            current_epoch=cloud.epoch,
+        )
+        self._entries[plan.key] = entry
+        self._touch(entry)
+        self._evict()
+        plan.entry = entry
+        return entry
+
+    def render_view(
+        self,
+        plan: _ViewPlan,
+        background: np.ndarray | None,
+        arena: FlatArena,
+        base: int,
+    ) -> RenderResult:
+        """Render one planned view into ``arena[base:]`` with verified reuse.
+
+        Runs the flat forward on the entry's (possibly refined/truncated)
+        fragment schedule; if the truncation verification fails — some pixel
+        of a capped tile did not terminate within the cap — the view is
+        re-rendered densely into a private arena, so the returned result is
+        always exact up to the reuse tier's own contract.  Records cache
+        accounting and refreshes the fragment schedule for the next render.
+        """
+        entry = plan.entry
+        fragments = plan.fragments_used
+        result = rasterize_flat_into(
+            entry.projected, entry.intersections, fragments, background, arena, base
+        )
+        if self._under_terminated(entry, fragments, result):
+            self.stats.truncation_fallbacks += 1
+            fragments = entry.fragments
+            result = rasterize_flat_into(
+                entry.projected,
+                entry.intersections,
+                fragments,
+                background,
+                ensure_flat_arena(None, fragments.n_fragments),
+                0,
+            )
+        result.cache_status = plan.status
+        self.stats.count(plan.status)
+        if self.config.refine_margin > 0 or self.config.termination_margin > 0:
+            self._refine(entry, fragments, result)
+            entry.refined_opacity_delta = plan.opacity_delta
+        return result
+
+    # -- internals ----------------------------------------------------------
+    def _classify(self, entry: _CacheEntry | None, cloud: GaussianCloud) -> str:
+        if (
+            entry is None
+            or entry.cloud_uid != cloud.uid
+            or entry.structure_epoch != cloud.structure_epoch
+            # Direct array edits (bump_epoch) carry no movement bound, so an
+            # entry predating one cannot be trusted for any reuse tier.
+            or entry.built_epoch < cloud.unbounded_epoch
+        ):
+            return "miss"
+        if entry.built_epoch == cloud.epoch:
+            return "hit"
+        moved_position = cloud.cum_position_delta - entry.built_position_delta
+        moved_log_scale = cloud.cum_log_scale_delta - entry.built_log_scale_delta
+        if moved_position == 0.0 and moved_log_scale == 0.0:
+            return "refresh"
+        tolerance = self.config.tolerance_px
+        if tolerance <= 0.0:
+            return "miss"
+        if self._screen_drift(entry, moved_position, moved_log_scale) <= tolerance:
+            return "incremental"
+        return "miss"
+
+    @staticmethod
+    def _screen_drift(
+        entry: _CacheEntry, moved_position: float, moved_log_scale: float
+    ) -> float:
+        """Conservative screen-space bound (pixels) on the entry's staleness.
+
+        A position shift of ``d`` world units moves a splat centre by at most
+        ``d * focal / depth`` pixels; the nearest cached depth (shrunk by the
+        shift itself, since points may have moved toward the camera) gives the
+        worst case.  A log-scale shift of ``s`` grows every splat radius by at
+        most a factor ``e^s``.
+        """
+        if not np.isfinite(moved_position) or not np.isfinite(moved_log_scale):
+            return float("inf")
+        depth = entry.min_depth - moved_position
+        if depth <= 1e-3:
+            return float("inf")
+        shift = moved_position * entry.px_per_unit / depth
+        growth = entry.max_radius * float(np.expm1(moved_log_scale))
+        return shift + growth
+
+    def _splice_appearance(self, entry: _CacheEntry, cloud: GaussianCloud) -> None:
+        """Adopt the cloud's current colours/opacities onto the cached entry.
+
+        Colours and opacities do not feed projection geometry, tile
+        assignment or depth order, so gathering them fresh is exactly what a
+        full rebuild would produce for those fields.
+        """
+        rows = entry.projected.indices
+        projected = replace(
+            entry.projected,
+            colors=cloud.colors[rows],
+            opacities=cloud.opacities(rows=rows),
+        )
+        entry.projected = projected
+        entry.intersections = TileIntersections(
+            grid=entry.intersections.grid,
+            per_tile=entry.intersections.per_tile,
+            projected=projected,
+        )
+        entry.current_epoch = cloud.epoch
+
+    def _under_terminated(
+        self, entry: _CacheEntry, rendered: FlatFragments, result: RenderResult
+    ) -> bool:
+        """True when a truncated tile left some pixel's compositing unfinished.
+
+        Only tiles whose lists were capped at a termination depth need the
+        check (contributing-pair drops have zero alpha and cannot absorb
+        transmittance); for those, any pixel whose transmittance after the
+        last rendered fragment is still at or above the termination threshold
+        would have processed more fragments in a dense render.
+        """
+        if not entry.capped_tile_ids or rendered is entry.fragments:
+            return False
+        for cache in result.tile_caches:
+            if cache.tile_id not in entry.capped_tile_ids:
+                continue
+            trans_end = cache.transmittance_before[:, -1] * (1.0 - cache.alphas[:, -1])
+            if np.any(trans_end >= TRANSMITTANCE_EPS):
+                return True
+        return False
+
+    def _refine(
+        self, entry: _CacheEntry, rendered: FlatFragments, result: RenderResult
+    ) -> None:
+        """Rebuild the entry's fragment schedule from the render's buffers.
+
+        Two reductions over the per-tile caches (the software analogue of
+        reading the R&B Buffer back):
+
+        * a pair whose best per-pixel raw alpha stays below ``ALPHA_CUTOFF /
+          refine_margin`` composites to exactly zero everywhere in the tile,
+          so dropping it leaves the output unchanged at this epoch, and the
+          margin's headroom covers the drift the tolerance admits before the
+          next full rebuild;
+        * fragments deeper than the tile's termination depth (the deepest
+          per-pixel processed count) were visited by no pixel; the kept list
+          is capped there plus ``termination_margin`` headroom, and capped
+          tiles are recorded for the per-render verification.
+
+        Schedules measured on an already-refined render only refine further;
+        a miss resets the schedule to the full lists.
+        """
+        refine_margin = self.config.refine_margin
+        termination_margin = self.config.termination_margin
+        cutoff = ALPHA_CUTOFF / refine_margin if refine_margin > 0 else 0.0
+        opacities = result.projected.opacities
+        keep_rows: list[np.ndarray] = []
+        keep_lin: list[np.ndarray] = []
+        slices: list[tuple[int, int, int]] = []
+        capped: set[int] = set()
+        offset = 0
+        max_per_pixel = 0
+        # ``result.tile_caches`` aligns one-to-one with the non-empty tiles of
+        # the fragment list the render actually used.
+        for cache, pixel_lin in zip(result.tile_caches, rendered.tile_pixel_lin):
+            rows = cache.rows
+            if refine_margin > 0:
+                best_alpha = cache.gauss_values.max(axis=0) * opacities[rows]
+                keep = best_alpha >= cutoff
+                kept = rows[keep]
+            else:
+                keep = None
+                kept = rows
+            if termination_margin > 0 and kept.size:
+                depth = int(cache.processed.sum(axis=1).max())
+                kept_in_prefix = (
+                    int(np.count_nonzero(keep[:depth])) if keep is not None else depth
+                )
+                cap = kept_in_prefix + max(4, int(np.ceil(termination_margin * kept_in_prefix)))
+                if cap < kept.shape[0]:
+                    kept = kept[:cap]
+                    capped.add(cache.tile_id)
+            if kept.size == 0:
+                continue
+            n_frag = pixel_lin.shape[0] * kept.shape[0]
+            slices.append((cache.tile_id, offset, offset + n_frag))
+            keep_rows.append(kept)
+            keep_lin.append(pixel_lin)
+            offset += n_frag
+            max_per_pixel = max(max_per_pixel, kept.shape[0])
+        entry.refined = FlatFragments(
+            width=entry.fragments.width,
+            tile_slices=slices,
+            tile_rows=keep_rows,
+            tile_pixel_lin=keep_lin,
+            n_fragments=offset,
+            max_per_pixel=max_per_pixel,
+        )
+        entry.capped_tile_ids = frozenset(capped)
+
+    def _touch(self, entry: _CacheEntry) -> None:
+        self._clock += 1
+        entry.last_used = self._clock
+
+    def _evict(self) -> None:
+        while len(self._entries) > max(1, self.config.max_entries):
+            oldest = min(self._entries.values(), key=lambda entry: entry.last_used)
+            del self._entries[oldest.key]
+            self.stats.evictions += 1

@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.gaussians.projection import ProjectedGaussians, project_gaussians
 from repro.gaussians.se3 import SE3
 from repro.gaussians.sorting import TileIntersections, build_tile_lists
 from repro.gaussians.tiling import TileGrid
+
+if TYPE_CHECKING:
+    from repro.gaussians.geom_cache import GeometryCache
 
 # Fragments with alpha below this threshold contribute nothing (1/255, as in
 # the reference implementation).
@@ -141,6 +144,11 @@ class RenderResult:
     pose_cw: SE3
     background: np.ndarray = field(default_factory=lambda: np.zeros(3))
     backend: str = "tile"  # which rasterizer implementation produced this result
+    # How the geometry cache served this render: "uncached" (no cache in
+    # play), "miss" (full Step 1-2 rebuild), "hit", "refresh" or
+    # "incremental" (see repro.gaussians.geom_cache).  Consumed by workload
+    # snapshots, the hardware cost model and profiling.
+    cache_status: str = "uncached"
 
     @property
     def grid(self) -> TileGrid:
@@ -176,6 +184,7 @@ def rasterize(
     active_only: bool = True,
     precomputed: tuple[ProjectedGaussians, TileIntersections] | None = None,
     backend: str | None = None,
+    cache: "GeometryCache | None" = None,
 ) -> RenderResult:
     """Render the Gaussian cloud from ``pose_cw`` (world-to-camera).
 
@@ -190,6 +199,11 @@ def rasterize(
         fast path) or ``None`` to use :func:`get_default_backend`.  Both
         produce equivalent :class:`RenderResult` structures; the differential
         harness in :mod:`repro.testing` pins their agreement.
+    cache:
+        Optional :class:`repro.gaussians.geom_cache.GeometryCache` memoising
+        the Step 1-2 pipeline across calls (the managed form of
+        ``precomputed``, with epoch-based invalidation).  Flat backend only;
+        the reference tile loop stays uncached and ignores it.
     """
     if backend is None:
         backend = _default_backend
@@ -207,6 +221,7 @@ def rasterize(
             subtile_size=subtile_size,
             active_only=active_only,
             precomputed=precomputed,
+            cache=cache,
         )
     if background is None:
         background = np.zeros(3)

@@ -79,6 +79,13 @@ class GPUCostParameters:
     # at 1/batch_size; the view-dependent remainder (camera transform, EWA
     # linearisation, culling) is charged in full per view.
     shared_preprocess_fraction: float = 0.6
+    # Geometry-cache amortisation (repro.gaussians.geom_cache).  A cache hit
+    # reuses the full Step 1-2 pipeline, paying only the epoch check and the
+    # buffer handoff; a refresh/incremental render additionally gathers fresh
+    # per-Gaussian colours/opacities (a fraction of Step 1) while still
+    # skipping Step 2 sorting entirely.
+    cache_hit_step12_fraction: float = 0.03
+    cache_splice_preprocess_fraction: float = 0.15
 
 
 class EdgeGPUModel:
@@ -127,6 +134,15 @@ class EdgeGPUModel:
             shared = params.shared_preprocess_fraction
             preprocessing *= (1.0 - shared) + shared / snapshot.batch_size
         sorting = n_pairs * params.sort_cycles_per_pair * max(np.log2(max(n_pairs, 2)), 1.0)
+        if snapshot.cache_status == "hit":
+            # Step 1-2 served from the geometry cache: only revalidation cost.
+            preprocessing *= params.cache_hit_step12_fraction
+            sorting *= params.cache_hit_step12_fraction
+        elif snapshot.cache_status in ("refresh", "incremental"):
+            # Cached geometry with a fresh appearance gather; sorting and
+            # tiling are reused wholesale.
+            preprocessing *= params.cache_splice_preprocess_fraction
+            sorting *= params.cache_hit_step12_fraction
         rendering = fragments * params.forward_cycles_per_fragment
 
         rendering_bp = 0.0

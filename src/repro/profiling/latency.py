@@ -69,28 +69,55 @@ def rendering_dominance(shares: dict[str, float]) -> float:
 def batch_amortization_report(
     snapshots: list[WorkloadSnapshot], model: EdgeGPUModel | None = None
 ) -> dict[str, float]:
-    """Modelled effect of the multi-keyframe mapping batches on mapping latency.
+    """Modelled effect of batching *and* geometry caching on mapping latency.
 
     Compares the mapping iterations as recorded (per-view snapshots carrying
-    their window's ``batch_size``, which the hardware model amortises) against
-    the same workload re-priced as sequential single-view iterations
-    (``batch_size=1``).  The ratio is the modelled preprocessing-amortisation
-    speedup of the batched scheduler; the wall-clock speedup of the software
-    rasterizer is measured separately in ``benchmarks/test_batched_mapping.py``.
+    their window's ``batch_size`` and geometry-cache status, both of which
+    the hardware model amortises) against the same workload re-priced as
+    sequential, uncached single-view iterations.  ``speedup`` is the combined
+    modelled amortisation of the batched scheduler plus the Step 1-2 cache;
+    ``step12_amortization`` isolates the cache's share by re-pricing only the
+    cache statuses.  The cache hit/refresh/incremental/miss counts make the
+    Fig. 3-style latency breakdown attributable: the amortised Step 1-2 cost
+    is exactly the fraction of lookups the cache served.  Wall-clock speedups
+    of the software rasterizer are measured separately in
+    ``benchmarks/test_batched_mapping.py`` and
+    ``benchmarks/test_geom_cache_reuse.py``.
     """
     model = model or EdgeGPUModel("onx")
     mapping = [s for s in snapshots if s.stage == "mapping"]
-    batched = sum(model.iteration_latency(s).total for s in mapping)
-    sequential = sum(
-        model.iteration_latency(replace(s, batch_size=1)).total for s in mapping
-    )
+    batched = 0.0
+    sequential = 0.0
+    cached_step12 = 0.0
+    uncached_step12 = 0.0
+    for snapshot in mapping:
+        latency = model.iteration_latency(snapshot)
+        batched += latency.total
+        cached_step12 += latency.preprocessing + latency.sorting
+        sequential += model.iteration_latency(
+            replace(snapshot, batch_size=1, cache_status="uncached")
+        ).total
+        as_uncached = model.iteration_latency(replace(snapshot, cache_status="uncached"))
+        uncached_step12 += as_uncached.preprocessing + as_uncached.sorting
     batch_sizes = [s.batch_size for s in mapping]
+    statuses = [s.cache_status for s in mapping]
     return {
         "batched_s": batched,
         "sequential_s": sequential,
         "speedup": sequential / batched if batched > 0 else 1.0,
         "mean_batch_size": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
         "n_mapping_iterations": float(len(mapping)),
+        # -- geometry-cache accounting --------------------------------------
+        "cache_hits": float(statuses.count("hit")),
+        "cache_refreshes": float(statuses.count("refresh")),
+        "cache_incremental": float(statuses.count("incremental")),
+        "cache_misses": float(statuses.count("miss")),
+        "cache_uncached": float(statuses.count("uncached")),
+        "step12_cached_s": cached_step12,
+        "step12_uncached_s": uncached_step12,
+        "step12_amortization": (
+            uncached_step12 / cached_step12 if cached_step12 > 0 else 1.0
+        ),
     }
 
 

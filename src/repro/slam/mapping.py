@@ -16,11 +16,18 @@ round-robining one view per iteration:
 * the backward pass is fused (:func:`repro.gaussians.render_backward_batch`):
   cloud gradients accumulate across views in a single pass and one averaged
   Adam update is applied per iteration;
-* covisibility is scored from cached per-keyframe visible-Gaussian rows.
-  Those cached rows index the cloud, so *every* removal path — the mapper's
-  own transparency pruning and external pruners reporting through
+* covisibility is scored from cached per-keyframe visible-Gaussian rows
+  (stacked single-pass reductions, no per-keyframe Python loops).  Those
+  cached rows index the cloud, so *every* removal path — the mapper's own
+  transparency pruning and external pruners reporting through
   :meth:`StreamingMapper.notify_removed` — must remap them; a batched
-  iteration issued right after a prune would otherwise index stale rows.
+  iteration issued right after a prune would otherwise index stale rows;
+* each mapper owns a :class:`repro.gaussians.geom_cache.GeometryCache`
+  (unless disabled via ``MappingConfig.geom_cache`` or
+  ``REPRO_GEOM_CACHE=0``): poses are fixed within a window, so Step 1-2
+  products are reused across all iterations of the window, keyed by the
+  cloud's mutation epoch and invalidated on the densify/prune/removal
+  paths.
 
 The per-view workload snapshots it emits feed the same profiling and hardware
 models as tracking; they carry ``batch_size``/``view_index`` so those
@@ -36,6 +43,7 @@ import numpy as np
 from repro.gaussians.backward import render_backward
 from repro.gaussians.batch import rasterize_batch, render_backward_batch
 from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.geom_cache import GeomCacheConfig, GeometryCache, geom_cache_enabled
 from repro.gaussians.rasterizer import rasterize
 from repro.slam.frame import Frame
 from repro.slam.losses import photometric_geometric_loss
@@ -76,6 +84,27 @@ class MappingConfig:
     # Escape hatch back to the pre-scheduler round-robin loop (one view per
     # iteration, cycling through the trailing window).
     batched: bool = True
+    # -- rasterization ------------------------------------------------------
+    # Tile granularity of the mapping renders (fine tiles suit small-splat
+    # late-SLAM maps; the defaults match the rasterizer's).
+    tile_size: int = 16
+    subtile_size: int = 4
+    # -- geometry cache -----------------------------------------------------
+    # Per-window Step 1-2 cache (repro.gaussians.geom_cache): poses are fixed
+    # within a window and the cloud moves by at most ~learning-rate per
+    # iteration, so projection/tiling/sorting results are reused across all
+    # iterations of the window and invalidated by densify/prune/
+    # notify_removed via the cloud's mutation epochs.  ``geom_cache=False``
+    # or REPRO_GEOM_CACHE=0 restores the uncached PR 2 path.
+    geom_cache: bool = True
+    # Screen-space staleness (pixels) under which cached geometry may be
+    # reused after position/scale steps; 0 keeps only the exact reuse tiers.
+    geom_cache_tolerance_px: float = 0.5
+    # Alpha-cutoff headroom for contributing-pair refinement; 0 disables it.
+    geom_cache_refine_margin: float = 8.0
+    # Headroom on the verified per-tile termination depth; 0 disables
+    # fragment-list truncation.
+    geom_cache_termination_margin: float = 0.25
 
 
 @dataclass
@@ -104,7 +133,25 @@ class StreamingMapper:
         self._keyframe_visibility: dict[int, np.ndarray] = {}
         # Fragment arena recycled across fused iterations (each one fully
         # consumes its batch before the next render overwrites the storage).
+        # With the geometry cache active the cache's own grow-only arena is
+        # used instead.
         self._arena = None
+        # Per-window Step 1-2 cache, reused across all iterations of one
+        # window and invalidated (cleared + epoch-bumped) on every removal
+        # path.  None when disabled by config or REPRO_GEOM_CACHE=0; the
+        # legacy round-robin loop renders uncached, so a cache would only
+        # hold densify entries that nothing ever reuses.
+        if self.config.geom_cache and self.config.batched and geom_cache_enabled():
+            self._geom_cache = GeometryCache(
+                GeomCacheConfig(
+                    tolerance_px=self.config.geom_cache_tolerance_px,
+                    refine_margin=self.config.geom_cache_refine_margin,
+                    termination_margin=self.config.geom_cache_termination_margin,
+                    max_entries=max(8, self.config.batch_views or self.config.keyframe_window),
+                )
+            )
+        else:
+            self._geom_cache = None
 
     def initialize_map(self, cloud: GaussianCloud, frame: Frame, stride: int = 4) -> int:
         """Seed the map from the first frame's RGB-D observation; returns Gaussians added."""
@@ -166,6 +213,11 @@ class StreamingMapper:
         for name in _PARAMETER_BLOCKS:
             self._optimizer.keep_rows(name, keep_mask)
         self._remap_cached_rows(keep_mask)
+        # The removal bumped the cloud's structure epoch (keep_only), so the
+        # cached Step 1-2 entries can never be reused; drop them eagerly to
+        # free the per-view arrays.
+        if self._geom_cache is not None:
+            self._geom_cache.clear()
 
     # -- internals -----------------------------------------------------------
     def _select_window(self, keyframes: list[Frame]) -> list[Frame]:
@@ -183,19 +235,51 @@ class StreamingMapper:
             return [newest]
         pool = keyframes[-(config.covisibility_pool + 1) : -1]
         newest_visible = self._keyframe_visibility.get(newest.index)
-        scored: list[tuple[int, int, Frame]] = []
-        for frame in pool:
-            visible = self._keyframe_visibility.get(frame.index)
-            if newest_visible is None or visible is None:
-                overlap = -1  # unknown: rank below any measured overlap
-            else:
-                overlap = int(np.intersect1d(visible, newest_visible).size)
-            scored.append((overlap, frame.index, frame))
+        pool_rows = [self._keyframe_visibility.get(frame.index) for frame in pool]
+        overlaps = self._covisibility_overlaps(newest_visible, pool_rows)
+        scored = [
+            (int(overlap), frame.index, frame) for overlap, frame in zip(overlaps, pool)
+        ]
         # Highest overlap first; recency breaks ties and orders the unknowns.
         scored.sort(key=lambda item: (item[0], item[1]), reverse=True)
         partners = [frame for _, _, frame in scored[: budget - 1]]
         partners.sort(key=lambda frame: frame.index)
         return partners + [newest]
+
+    @staticmethod
+    def _covisibility_overlaps(
+        newest_visible: np.ndarray | None, pool_rows: list[np.ndarray | None]
+    ) -> np.ndarray:
+        """Overlap of each cached row set with the newest keyframe's, stacked.
+
+        All known row sets are concatenated once and scored with a single
+        membership gather + segmented sum instead of one ``intersect1d`` per
+        keyframe.  Row sets are unique per keyframe (they are projection
+        indices), so membership counts equal intersection sizes.  Unknown
+        entries score -1, ranking below any measured overlap.
+        """
+        overlaps = np.full(len(pool_rows), -1, dtype=np.int64)
+        if newest_visible is None:
+            return overlaps
+        known = [(index, rows) for index, rows in enumerate(pool_rows) if rows is not None]
+        if not known:
+            return overlaps
+        lengths = np.array([rows.size for _, rows in known], dtype=np.int64)
+        stacked = (
+            np.concatenate([rows for _, rows in known])
+            if int(lengths.sum())
+            else np.zeros(0, dtype=np.int64)
+        )
+        bound = int(max(newest_visible.max(initial=-1), stacked.max(initial=-1))) + 1
+        newest_mask = np.zeros(bound, dtype=bool)
+        newest_mask[newest_visible] = True
+        hit_counts = np.concatenate(
+            [[0], np.cumsum(newest_mask[stacked].astype(np.int64))]
+        )
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        overlaps[[index for index, _ in known]] = hit_counts[ends] - hit_counts[starts]
+        return overlaps
 
     def _single_view_iteration(
         self,
@@ -214,7 +298,13 @@ class StreamingMapper:
         """
         config = self.config
         pose = frame.estimated_pose_cw or frame.gt_pose_cw
-        render = rasterize(cloud, frame.camera, pose)
+        render = rasterize(
+            cloud,
+            frame.camera,
+            pose,
+            tile_size=config.tile_size,
+            subtile_size=config.subtile_size,
+        )
         loss = photometric_geometric_loss(
             render,
             frame,
@@ -255,7 +345,13 @@ class StreamingMapper:
         config = self.config
         poses = [frame.estimated_pose_cw or frame.gt_pose_cw for frame in window]
         batch = rasterize_batch(
-            cloud, [frame.camera for frame in window], poses, arena=self._arena
+            cloud,
+            [frame.camera for frame in window],
+            poses,
+            tile_size=config.tile_size,
+            subtile_size=config.subtile_size,
+            arena=self._arena,
+            cache=self._geom_cache,
         )
         self._arena = batch.arena
         loss_results = [
@@ -309,14 +405,36 @@ class StreamingMapper:
             self._keyframe_visibility.pop(min(self._keyframe_visibility))
 
     def _remap_cached_rows(self, keep_mask: np.ndarray) -> None:
-        """Rewrite cached visibility rows after rows ``~keep_mask`` were removed."""
+        """Rewrite cached visibility rows after rows ``~keep_mask`` were removed.
+
+        All cached row sets are remapped in one stacked pass (filter + gather
+        over a single concatenated array) and split back per keyframe, rather
+        than filtering each keyframe's rows in its own Python iteration.
+        """
         keep_mask = np.asarray(keep_mask, dtype=bool)
+        if not self._keyframe_visibility:
+            return
         new_row = np.cumsum(keep_mask) - 1
         n_old = keep_mask.shape[0]
-        for index, rows in list(self._keyframe_visibility.items()):
-            rows = rows[rows < n_old]
-            surviving = rows[keep_mask[rows]]
-            self._keyframe_visibility[index] = new_row[surviving]
+        keys = list(self._keyframe_visibility)
+        lengths = np.array(
+            [self._keyframe_visibility[key].size for key in keys], dtype=np.int64
+        )
+        stacked = (
+            np.concatenate([self._keyframe_visibility[key] for key in keys])
+            if int(lengths.sum())
+            else np.zeros(0, dtype=np.int64)
+        )
+        surviving = np.zeros(stacked.shape[0], dtype=bool)
+        in_range = stacked < n_old
+        surviving[in_range] = keep_mask[stacked[in_range]]
+        remapped = new_row[stacked[surviving]]
+        survivors_before = np.concatenate([[0], np.cumsum(surviving)])
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        counts = survivors_before[ends] - survivors_before[starts]
+        for key, segment in zip(keys, np.split(remapped, np.cumsum(counts)[:-1])):
+            self._keyframe_visibility[key] = segment
 
     def _apply_updates(self, cloud: GaussianCloud, gradients, scale: float = 1.0) -> None:
         """Adam steps on all Gaussian parameter blocks, frozen for masked Gaussians."""
@@ -353,7 +471,14 @@ class StreamingMapper:
         if cloud.n_total == 0:
             return self.initialize_map(cloud, frame, stride=config.densify_stride)
 
-        render = rasterize(cloud, frame.camera, pose)
+        render = rasterize(
+            cloud,
+            frame.camera,
+            pose,
+            tile_size=config.tile_size,
+            subtile_size=config.subtile_size,
+            cache=self._geom_cache,
+        )
         # The densify render is the newest keyframe's first visibility sample,
         # so window selection has an overlap estimate before iteration 0.
         self._keyframe_visibility[frame.index] = render.projected.indices.copy()
@@ -394,6 +519,8 @@ class StreamingMapper:
                 self._optimizer.keep_rows(name, keep)
             self._remap_cached_rows(keep)
             cloud.keep_only(keep)
+            if self._geom_cache is not None:
+                self._geom_cache.clear()
         return n_pruned
 
     def _resize_optimizer(self, cloud: GaussianCloud) -> None:

@@ -48,6 +48,11 @@ class WorkloadSnapshot:
     includes_backward: bool = True
     batch_size: int = 1  # views rendered by the fused iteration this belongs to
     view_index: int = 0  # position of this view within its batch
+    # Geometry-cache outcome of the render behind this snapshot ("uncached",
+    # "miss", "hit", "refresh" or "incremental"); the hardware model uses it
+    # to amortise the Step 1-2 cost the cache skipped, and profiling
+    # aggregates it into hit/miss accounting.
+    cache_status: str = "uncached"
 
     @staticmethod
     def from_iteration(
@@ -103,6 +108,7 @@ class WorkloadSnapshot:
             includes_backward=includes_backward,
             batch_size=batch_size,
             view_index=view_index,
+            cache_status=render.cache_status,
         )
 
     # -- aggregate statistics -------------------------------------------------

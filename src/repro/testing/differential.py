@@ -19,6 +19,14 @@ single candidate-backend render (images to ``forward_tol``, gradients to
 ``grad_tol``, fragment counts exactly), and a 3-view batch over
 :meth:`SceneSpec.view_poses` must match three sequential single-view calls,
 with the fused backward equal to the per-view gradient sum.
+
+Finally, every scenario runs a cached-vs-uncached equivalence check against
+the geometry cache (:mod:`repro.gaussians.geom_cache`) in its exact
+configuration (zero tolerance, no refinement): renders and gradients served
+from the cache must be **bit-identical** to uncached renders before any
+mutation, after a repeat lookup (cache hit), after an appearance-only update
+(refresh tier), and after every invalidation path — an Adam-style parameter
+step, densification, pruning, masking and ``notify_removed``-style removal.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ import numpy as np
 
 from repro.gaussians.backward import CloudGradients, render_backward
 from repro.gaussians.batch import rasterize_batch, render_backward_batch
+from repro.gaussians.gaussian_model import GaussianCloud
+from repro.gaussians.geom_cache import GeomCacheConfig, GeometryCache
 from repro.gaussians.rasterizer import RenderResult, rasterize
 from repro.testing.scenarios import DEFAULT_LIBRARY, Scenario, ScenarioLibrary, SceneSpec
 
@@ -68,6 +78,8 @@ class ScenarioReport:
     batch1_gradient_diff: float = 0.0
     batch_image_diff: float = 0.0
     batch_gradient_diff: float = 0.0
+    cache_image_diff: float = 0.0
+    cache_gradient_diff: float = 0.0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -85,7 +97,8 @@ class ScenarioReport:
             f"image={self.image_diff:.3e} depth={self.depth_diff:.3e} "
             f"alpha={self.alpha_diff:.3e} grad={self.max_gradient_diff:.3e} "
             f"batch={max(self.batch1_image_diff, self.batch_image_diff):.3e}/"
-            f"{max(self.batch1_gradient_diff, self.batch_gradient_diff):.3e}"
+            f"{max(self.batch1_gradient_diff, self.batch_gradient_diff):.3e} "
+            f"cache={self.cache_image_diff:.3e}/{self.cache_gradient_diff:.3e}"
         )
 
 
@@ -281,12 +294,123 @@ class DifferentialRunner:
                 )
         return diffs, failures
 
+    def verify_cache(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
+        """Pin cached renders bit-identical to uncached ones across mutations.
+
+        Runs the geometry cache in its exact configuration (``tolerance_px=0``,
+        ``refine_margin=0``) on a private copy of the scenario cloud and, for
+        every stage of a mutation sequence covering all invalidation paths —
+        repeat render (hit), appearance-only step (refresh), Adam-style
+        parameter step, densify, prune, mask + ``remove_inactive`` (the
+        ``notify_removed`` path) — asserts the cached forward outputs equal an
+        uncached render *bitwise* and the backward gradients match to
+        ``grad_tol`` (the flat backward on identical caches is bit-identical
+        in practice).  Returns worst diffs and failure descriptions.
+        """
+        failures: list[str] = []
+        diffs = {"cache_image": 0.0, "cache_grad": 0.0}
+        cloud = spec.cloud.copy()
+        cache = GeometryCache(
+            GeomCacheConfig(tolerance_px=0.0, refine_margin=0.0, termination_margin=0.0)
+        )
+        render_kwargs = dict(
+            background=spec.background,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+            backend=self.candidate_backend,
+        )
+        expected_statuses = {
+            "initial": "miss",
+            "repeat": "hit",
+            "opacity-step": "refresh",
+            "color-step": "refresh",
+        }
+
+        def compare(label: str) -> None:
+            cached = rasterize(cloud, spec.camera, spec.pose_cw, cache=cache, **render_kwargs)
+            plain = rasterize(cloud, spec.camera, spec.pose_cw, **render_kwargs)
+            expected = expected_statuses.get(label, "miss")
+            if cached.cache_status != expected:
+                failures.append(
+                    f"cache {label}: expected status {expected!r}, got "
+                    f"{cached.cache_status!r}"
+                )
+            for name in ("image", "depth", "alpha"):
+                a, b = getattr(cached, name), getattr(plain, name)
+                if not np.array_equal(a, b):
+                    worst = _max_abs_diff(a, b)
+                    diffs["cache_image"] = max(diffs["cache_image"], worst)
+                    failures.append(
+                        f"cache {label}: {name} differs from uncached render "
+                        f"(max diff {worst:.3e})"
+                    )
+            if not np.array_equal(cached.fragments_per_pixel, plain.fragments_per_pixel):
+                failures.append(f"cache {label}: fragment counts differ from uncached")
+            # Backward on the cached render before the next lookup reuses the
+            # arena its tile caches alias.
+            dL_dimage, dL_ddepth = self._loss_arrays(
+                spec, plain.image.shape, plain.depth.shape, salt=17
+            )
+            grads_cached = render_backward(
+                cached, cloud, dL_dimage, dL_ddepth, backend=self.candidate_backend
+            )
+            grads_plain = render_backward(
+                plain, cloud, dL_dimage, dL_ddepth, backend=self.candidate_backend
+            )
+            for name in GRADIENT_FIELDS:
+                value = _max_abs_diff(
+                    np.asarray(getattr(grads_cached, name)),
+                    np.asarray(getattr(grads_plain, name)),
+                )
+                diffs["cache_grad"] = max(diffs["cache_grad"], value)
+                if not value <= self.grad_tol:
+                    failures.append(
+                        f"cache {label}: gradient {name} diff {value:.3e} exceeds "
+                        f"tolerance {self.grad_tol:.1e}"
+                    )
+
+        compare("initial")
+        compare("repeat")
+
+        rng = np.random.default_rng(97)
+        n = len(cloud)
+        if n:
+            cloud.apply_parameter_step(d_opacity_logits=rng.normal(0.0, 0.05, size=n))
+            compare("opacity-step")
+            cloud.apply_parameter_step(d_colors=rng.normal(0.0, 0.02, size=(n, 3)))
+            compare("color-step")
+            # A full Adam-style step moves geometry too: exact mode must rebuild.
+            cloud.apply_parameter_step(
+                d_positions=rng.normal(0.0, 1e-3, size=(n, 3)),
+                d_log_scales=rng.normal(0.0, 1e-3, size=(n, 3)),
+                d_opacity_logits=rng.normal(0.0, 0.05, size=n),
+                d_colors=rng.normal(0.0, 0.02, size=(n, 3)),
+            )
+            compare("adam-step")
+        cloud.extend(
+            GaussianCloud.from_points(
+                np.array([[0.05, -0.03, 0.08], [-0.1, 0.06, 0.2]]),
+                np.array([[0.8, 0.3, 0.2], [0.2, 0.6, 0.9]]),
+                scale=0.12,
+                opacity=0.75,
+            )
+        )
+        compare("densify")
+        cloud.remove(np.array([len(cloud) - 1]))
+        compare("prune")
+        cloud.mask(np.array([0]))
+        compare("mask")
+        cloud.remove_inactive()  # the notify_removed removal path
+        compare("remove-inactive")
+        return diffs, failures
+
     def run_scenario(self, scenario: Scenario) -> ScenarioReport:
         """Render + backprop ``scenario`` through both backends and compare."""
         spec = scenario.build()
         reference, candidate = self.render_pair(spec)
         grads_ref, grads_cand = self.backward_pair(spec, reference, candidate)
         batch_diffs, batch_failures = self.verify_batch(spec, base_render=candidate)
+        cache_diffs, cache_failures = self.verify_cache(spec)
 
         image_diff = _max_abs_diff(reference.image, candidate.image)
         depth_diff = _max_abs_diff(reference.depth, candidate.depth)
@@ -324,6 +448,7 @@ class DifferentialRunner:
                 f"total fragment count differs: {reference.n_fragments} vs {candidate.n_fragments}"
             )
         failures.extend(batch_failures)
+        failures.extend(cache_failures)
 
         return ScenarioReport(
             name=scenario.name,
@@ -338,6 +463,8 @@ class DifferentialRunner:
             batch1_gradient_diff=batch_diffs["batch1_grad"],
             batch_image_diff=batch_diffs["batch_image"],
             batch_gradient_diff=batch_diffs["batch_grad"],
+            cache_image_diff=cache_diffs["cache_image"],
+            cache_gradient_diff=cache_diffs["cache_grad"],
             failures=failures,
         )
 
