@@ -29,13 +29,8 @@ import numpy as np
 
 from benchmarks.conftest import get_sequence, print_table
 from benchmarks.perf_gate import best_of, check_speedup, perf_gate_active
-from repro.gaussians import (
-    GaussianCloud,
-    rasterize,
-    rasterize_batch,
-    render_backward,
-    render_backward_batch,
-)
+from repro.engine import EngineConfig, RenderEngine
+from repro.gaussians import GaussianCloud
 from repro.slam.frame import Frame
 from repro.slam.losses import photometric_geometric_loss
 from repro.slam.optimizer import Adam
@@ -65,46 +60,47 @@ def _mapping_scene():
     return cloud, frames
 
 
-def _sequential_iterations(cloud, frames, backend: str) -> None:
+def _engine(backend: str) -> RenderEngine:
+    return RenderEngine(EngineConfig(backend=backend, geom_cache=False))
+
+
+def _sequential_iterations(cloud, frames, engine: RenderEngine) -> None:
     """Four single-view mapping iterations (render, loss, backward, step)."""
     adam = Adam()
     for frame in frames:
-        render = rasterize(cloud, frame.camera, frame.gt_pose_cw, backend=backend)
+        render = engine.render(cloud, frame.camera, frame.gt_pose_cw)
         loss = photometric_geometric_loss(render, frame)
-        gradients = render_backward(
+        gradients = engine.backward(
             render,
             cloud,
             loss.dL_dimage,
             loss.dL_ddepth,
             compute_pose_gradient=False,
-            backend=backend,
         )
         for name in _PARAMETER_BLOCKS:
             adam.step(name, getattr(gradients, name), 1e-3)
 
 
 class _BatchedIteration:
-    """One fused mapping iteration, recycling the arena like the scheduler."""
+    """One fused mapping iteration; the engine recycles the arena like the scheduler."""
 
     def __init__(self, cloud, frames):
         self.cloud = cloud
         self.frames = frames
-        self.arena = None
+        self.engine = _engine("flat")
         self.adam = Adam()
 
     def __call__(self) -> None:
-        batch = rasterize_batch(
+        batch = self.engine.render_batch(
             self.cloud,
             [frame.camera for frame in self.frames],
             [frame.gt_pose_cw for frame in self.frames],
-            arena=self.arena,
         )
-        self.arena = batch.arena
         losses = [
             photometric_geometric_loss(render, frame)
             for render, frame in zip(batch.views, self.frames)
         ]
-        gradients = render_backward_batch(
+        gradients = self.engine.backward_batch(
             batch,
             self.cloud,
             [loss.dL_dimage for loss in losses],
@@ -120,24 +116,27 @@ def test_batched_mapping_iteration_speedup():
 
     # Agreement first: the batched render must be the flat render, bitwise,
     # or the timing below compares different math.
-    batch = rasterize_batch(
+    agreement_engine = _engine("flat")
+    batch = agreement_engine.render_batch(
         cloud,
         [frame.camera for frame in frames],
         [frame.gt_pose_cw for frame in frames],
     )
     for view, frame in zip(batch.views, frames):
-        single = rasterize(cloud, frame.camera, frame.gt_pose_cw, backend="flat")
+        single = agreement_engine.render(cloud, frame.camera, frame.gt_pose_cw)
         np.testing.assert_array_equal(view.image, single.image)
         assert np.array_equal(view.fragments_per_pixel, single.fragments_per_pixel)
+    agreement_engine.release(batch)
 
+    tile_engine, flat_engine = _engine("tile"), _engine("flat")
     batched = _BatchedIteration(cloud, frames)
     batched()  # warm the arena and caches, as in a mapping window
-    _sequential_iterations(cloud, frames, "tile")
-    _sequential_iterations(cloud, frames, "flat")
+    _sequential_iterations(cloud, frames, tile_engine)
+    _sequential_iterations(cloud, frames, flat_engine)
 
     time_batched = best_of(batched)
-    time_tile = best_of(lambda: _sequential_iterations(cloud, frames, "tile"))
-    time_flat = best_of(lambda: _sequential_iterations(cloud, frames, "flat"))
+    time_tile = best_of(lambda: _sequential_iterations(cloud, frames, tile_engine))
+    time_flat = best_of(lambda: _sequential_iterations(cloud, frames, flat_engine))
     vs_seed = time_tile / time_batched
     vs_flat = time_flat / time_batched
 

@@ -8,7 +8,7 @@ gradients on the tum-like dataset.
 import numpy as np
 
 from benchmarks.conftest import get_run, get_sequence, print_table
-from repro.gaussians import rasterize, render_backward
+from repro.engine import default_engine
 from repro.profiling import gradient_distribution
 from repro.slam import Frame, photometric_geometric_loss
 
@@ -17,12 +17,13 @@ def test_fig4_gradient_skew(benchmark):
     sequence = get_sequence("tum")
     run = get_run("mono_gs", "tum")
     cloud = run.cloud
+    engine = default_engine()
     frame = Frame.from_rgbd(sequence.frame(3))
-    render = rasterize(cloud, frame.camera, run.estimated_trajectory[3])
+    render = engine.render(cloud, frame.camera, run.estimated_trajectory[3])
     loss = photometric_geometric_loss(render, frame)
 
     def compute():
-        grads = render_backward(render, cloud, loss.dL_dimage, loss.dL_ddepth)
+        grads = engine.backward(render, cloud, loss.dL_dimage, loss.dL_ddepth)
         return gradient_distribution(grads)
 
     distribution = benchmark(compute)

@@ -139,7 +139,7 @@ def test_geom_cache_window_speedup():
 
     mapper, cached_result = cached_window()
     _, uncached_result = uncached_window()
-    stats = mapper._geom_cache.stats.as_dict()
+    stats = mapper.engine.cache.stats.as_dict()
     statuses = [snapshot.cache_status for snapshot in cached_result.snapshots]
     reused = sum(1 for s in statuses if s in ("hit", "refresh", "incremental"))
 

@@ -3,10 +3,11 @@
 Measured on the Fig. 15 end-to-end benchmark scene (the TUM synthetic
 sequence at benchmark resolution): the Step-3 forward render plus the
 Step-4/5 backward pass — the iteration the paper identifies as the SLAM
-bottleneck — must be measurably faster through ``backend="flat"`` while
-producing outputs the differential harness pins to the tile backend.  A short
-end-to-end SLAM segment run under ``use_backend("flat")`` double-checks that
-the speedup survives the full pipeline.
+bottleneck — must be measurably faster through a flat-pinned
+:class:`repro.engine.RenderEngine` while producing outputs the differential
+harness pins to the tile backend.  A short end-to-end SLAM segment run with
+per-backend injected engines double-checks that the speedup survives the
+full pipeline.
 """
 
 from __future__ import annotations
@@ -18,7 +19,8 @@ import numpy as np
 from benchmarks.conftest import get_sequence, print_table
 from benchmarks.perf_gate import best_of as _best_of
 from benchmarks.perf_gate import check_speedup, perf_gate_active
-from repro.gaussians import GaussianCloud, rasterize, render_backward, use_backend
+from repro.engine import EngineConfig, RenderEngine
+from repro.gaussians import GaussianCloud
 from repro.slam import SLAMPipeline, mono_gs
 
 # Wall-clock assertions are meaningful on a quiet local machine but flake on
@@ -40,17 +42,23 @@ def test_flat_backend_is_faster_on_fig15_scene():
     dL_dimage = rng.uniform(-1.0, 1.0, size=(first.camera.height, first.camera.width, 3))
     dL_ddepth = rng.uniform(-1.0, 1.0, size=(first.camera.height, first.camera.width))
 
+    engines = {
+        backend: RenderEngine(EngineConfig(backend=backend, geom_cache=False))
+        for backend in ("tile", "flat")
+    }
+
     def iteration(backend: str) -> None:
+        engine = engines[backend]
         for frame in frames:
-            result = rasterize(cloud, frame.camera, frame.gt_pose_cw, backend=backend)
-            render_backward(result, cloud, dL_dimage, dL_ddepth, backend=backend)
+            result = engine.render(cloud, frame.camera, frame.gt_pose_cw)
+            engine.backward(result, cloud, dL_dimage, dL_ddepth)
 
     timings = {backend: _best_of(lambda b=backend: iteration(b)) for backend in ("tile", "flat")}
     ratio = timings["tile"] / timings["flat"]
 
     # Both backends must agree on the scene before the timing means anything.
-    reference = rasterize(cloud, first.camera, first.gt_pose_cw, backend="tile")
-    candidate = rasterize(cloud, first.camera, first.gt_pose_cw, backend="flat")
+    reference = engines["tile"].render(cloud, first.camera, first.gt_pose_cw)
+    candidate = engines["flat"].render(cloud, first.camera, first.gt_pose_cw)
     np.testing.assert_allclose(candidate.image, reference.image, atol=1e-10)
     assert np.array_equal(candidate.fragments_per_pixel, reference.fragments_per_pixel)
 
@@ -80,10 +88,14 @@ def test_flat_backend_speeds_up_slam_segment():
         config = mono_gs(fast=True)
         config.tracking.n_iterations = 3
         config.mapping.n_iterations = 3
-        with use_backend(backend):
-            start = time.perf_counter()
-            result = SLAMPipeline(config).run(sequence, n_frames=4)
-            elapsed = time.perf_counter() - start
+        # One injected engine drives the whole pipeline; batched mapping
+        # falls back to the flat batch path under the tile engine, exactly
+        # as the legacy use_backend("tile") scoping behaved.  Seeding from
+        # the environment keeps the REPRO_GEOM_CACHE escape hatch working.
+        engine = RenderEngine(EngineConfig.from_env(backend=backend))
+        start = time.perf_counter()
+        result = SLAMPipeline(config, engine=engine).run(sequence, n_frames=4)
+        elapsed = time.perf_counter() - start
         return result, elapsed
 
     result_tile, time_tile = run("tile")

@@ -6,7 +6,7 @@ Run with:  python examples/quickstart.py
 import numpy as np
 
 from repro.datasets import make_sequence
-from repro.gaussians import rasterize, render_backward
+from repro.engine import EngineConfig, RenderEngine
 from repro.slam import Frame, GradientTracker, TrackingConfig, photometric_geometric_loss
 
 
@@ -16,21 +16,26 @@ def main() -> None:
     frame = Frame.from_rgbd(sequence.frame(1))
     print(f"sequence {sequence.name}: {len(sequence)} frames at {frame.camera.resolution}")
 
-    # 2. Render the ground-truth Gaussian scene from the previous frame's pose.
+    # 2. Render the ground-truth Gaussian scene from the previous frame's
+    #    pose.  One RenderEngine session owns backend selection, the geometry
+    #    cache and the fragment arena for everything that follows.
+    engine = RenderEngine(EngineConfig.from_env())
     cloud = sequence.scene.cloud
-    render = rasterize(cloud, frame.camera, sequence.frame(0).gt_pose_cw)
+    render = engine.render(cloud, frame.camera, sequence.frame(0).gt_pose_cw)
     print(
-        f"rendered {render.projected.n_visible} Gaussians, "
-        f"{render.n_fragments} fragments, mean alpha {render.alpha.mean():.2f}"
+        f"rendered {render.projected.n_visible} Gaussians via the "
+        f"{render.backend!r} backend, {render.n_fragments} fragments, "
+        f"mean alpha {render.alpha.mean():.2f}"
     )
 
     # 3. Compute the SLAM loss and backpropagate to Gaussian + pose gradients.
     loss = photometric_geometric_loss(render, frame)
-    gradients = render_backward(render, cloud, loss.dL_dimage, loss.dL_ddepth)
+    gradients = engine.backward(render, cloud, loss.dL_dimage, loss.dL_ddepth)
     print(f"loss {loss.total:.4f}, pose gradient norm {np.linalg.norm(gradients.pose_twist):.4f}")
 
-    # 4. Track the camera pose of the new frame with a few Adam iterations.
-    tracker = GradientTracker(TrackingConfig(n_iterations=10))
+    # 4. Track the camera pose of the new frame with a few Adam iterations,
+    #    injecting the same engine session.
+    tracker = GradientTracker(TrackingConfig(n_iterations=10), engine=engine)
     result = tracker.track(cloud, frame, sequence.frame(0).gt_pose_cw)
     error_cm = result.pose_cw.distance(frame.gt_pose_cw)[0] * 100
     print(f"tracked frame 1: final loss {result.losses[-1]:.4f}, pose error {error_cm:.2f} cm")

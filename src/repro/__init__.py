@@ -5,6 +5,9 @@ Reduction.  The package provides:
 
 * ``repro.gaussians`` - a differentiable 3D Gaussian Splatting rasterizer
   (projection, tile intersection, sorting, alpha blending, full backward pass)
+* ``repro.engine`` - the unified ``RenderEngine`` session API over a
+  pluggable backend registry: owns backend selection, the geometry cache,
+  the fragment arena and workload-snapshot emission for every render
 * ``repro.slam`` - tracking / mapping / keyframing pipelines mirroring the
   base algorithms the paper builds on (GS-SLAM, MonoGS, Photo-SLAM, SplaTAM)
 * ``repro.datasets`` - procedural RGB-D datasets standing in for TUM-RGBD,
@@ -24,6 +27,7 @@ __version__ = "0.1.0"
 __all__ = [
     "core",
     "datasets",
+    "engine",
     "gaussians",
     "hardware",
     "metrics",

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets.scene import SyntheticScene
+from repro.engine import default_engine
 from repro.gaussians.camera import Camera
-from repro.gaussians.rasterizer import rasterize
 from repro.gaussians.se3 import SE3
 from repro.utils.random import default_rng, derive_rng
 
@@ -101,7 +101,7 @@ class RGBDSequence:
 
     def _render_frame(self, index: int) -> RGBDFrame:
         pose = self.gt_trajectory[index]
-        result = rasterize(self.scene.cloud, self.camera, pose)
+        result = default_engine().render(self.scene.cloud, self.camera, pose)
         rng = derive_rng(default_rng(self.seed), "frame", index)
         image, depth = self.noise.apply(result.image, result.depth, rng)
         return RGBDFrame(

@@ -1,0 +1,69 @@
+"""Unified render-session API: ``RenderEngine`` over a pluggable backend registry.
+
+This package is the owned execution object the free-function render surface
+(`rasterize` / `rasterize_batch` / `render_backward` / `render_backward_batch`)
+collapsed into:
+
+* :class:`EngineConfig` — every knob (backend, tile/subtile sizes, geometry
+  cache policy, profiling sink) in one validated object;
+  :meth:`EngineConfig.from_env` consolidates the ``REPRO_*`` environment
+  variables.
+* :class:`RenderEngine` — the session object owning backend selection, the
+  Step 1-2 :class:`~repro.gaussians.geom_cache.GeometryCache`, the grow-only
+  fragment arena (with aliasing protection via :class:`ArenaInUseError`) and
+  workload-snapshot emission.
+* :class:`BackendRegistry` / :func:`register_backend` — the pluggable
+  strategy seam.  ``flat`` and ``tile`` are the built-ins; future
+  ``sharded`` / ``async`` execution strategies implement
+  :class:`RenderBackend` and register without touching callers.
+
+The legacy free functions remain as deprecated shims delegating to
+:func:`default_engine`, so existing call sites keep working bit-identically
+while new code injects an engine.
+"""
+
+from repro.engine.config import (
+    ENGINE_ENV_VARS,
+    EngineConfig,
+    geom_cache_enabled_from_env,
+)
+from repro.engine.registry import (
+    BackendCapabilities,
+    BackendRegistry,
+    BatchRenderRequest,
+    REGISTRY,
+    RenderBackend,
+    RenderRequest,
+    backend_names,
+    register_backend,
+)
+
+# Importing the built-in backends populates the registry as a side effect;
+# keep this import before anything that resolves backend names.
+from repro.engine.backends import FlatBackend, TileBackend  # noqa: E402
+from repro.engine.engine import (  # noqa: E402
+    ArenaInUseError,
+    RenderEngine,
+    default_engine,
+    set_default_engine,
+)
+
+__all__ = [
+    "ArenaInUseError",
+    "BackendCapabilities",
+    "BackendRegistry",
+    "BatchRenderRequest",
+    "ENGINE_ENV_VARS",
+    "EngineConfig",
+    "FlatBackend",
+    "REGISTRY",
+    "RenderBackend",
+    "RenderEngine",
+    "RenderRequest",
+    "TileBackend",
+    "backend_names",
+    "default_engine",
+    "geom_cache_enabled_from_env",
+    "register_backend",
+    "set_default_engine",
+]

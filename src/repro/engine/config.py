@@ -1,0 +1,160 @@
+"""Engine configuration: every rendering knob in one owned, validated object.
+
+Before the engine rework these knobs were spread over a module-global default
+backend seeded by ``REPRO_RASTER_BACKEND``, a ``REPRO_GEOM_CACHE`` read in
+``repro.gaussians.geom_cache``, and per-call ``tile_size=`` / ``subtile_size=``
+threading at every render site.  :class:`EngineConfig` consolidates them, and
+:meth:`EngineConfig.from_env` is the single place environment variables are
+parsed and validated.
+
+Environment variables (the full table also lives in the README):
+
+======================== ====================================================
+``REPRO_RASTER_BACKEND`` Backend name: ``flat`` (default fast path), ``tile``
+                         (reference loop) or any name registered through
+                         :func:`repro.engine.register_backend`.
+``REPRO_GEOM_CACHE``     ``0`` / ``false`` / ``off`` disables the
+                         engine-owned Step 1-2 geometry cache (default on).
+``REPRO_TILE_SIZE``      Tile edge in pixels (default 16).
+``REPRO_SUBTILE_SIZE``   Subtile edge in pixels (default 4; must divide the
+                         tile edge).
+======================== ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Mapping
+
+if TYPE_CHECKING:
+    from repro.gaussians.geom_cache import GeomCacheConfig
+
+ENV_RASTER_BACKEND = "REPRO_RASTER_BACKEND"
+ENV_GEOM_CACHE = "REPRO_GEOM_CACHE"
+ENV_TILE_SIZE = "REPRO_TILE_SIZE"
+ENV_SUBTILE_SIZE = "REPRO_SUBTILE_SIZE"
+
+ENGINE_ENV_VARS = (
+    ENV_RASTER_BACKEND,
+    ENV_GEOM_CACHE,
+    ENV_TILE_SIZE,
+    ENV_SUBTILE_SIZE,
+)
+
+_FALSEY = ("0", "false", "off")
+
+
+def geom_cache_enabled_from_env(env: Mapping[str, str] | None = None) -> bool:
+    """Parse the ``REPRO_GEOM_CACHE`` escape hatch (default: enabled)."""
+    env = os.environ if env is None else env
+    return env.get(ENV_GEOM_CACHE, "1").lower() not in _FALSEY
+
+
+def _int_from_env(env: Mapping[str, str], name: str, default: int) -> int:
+    raw = env.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not a valid integer") from None
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable configuration of one :class:`repro.engine.RenderEngine`.
+
+    ``backend=None`` means *follow the process default*
+    (:func:`repro.gaussians.rasterizer.get_default_backend`, itself seeded by
+    ``REPRO_RASTER_BACKEND``), resolved at render time so the legacy
+    ``use_backend`` / ``set_default_backend`` scoping keeps working through a
+    default-configured engine.  Naming a backend pins the engine to it.
+
+    The ``cache_*`` knobs mirror
+    :class:`repro.gaussians.geom_cache.GeomCacheConfig`; they only matter
+    when ``geom_cache`` is true and the selected backend reports geometry
+    cache support in its capabilities.
+
+    ``profiling_sink``, when set, receives every
+    :class:`repro.slam.records.WorkloadSnapshot` built through
+    :meth:`RenderEngine.snapshot`.
+    """
+
+    backend: str | None = None
+    tile_size: int = 16
+    subtile_size: int = 4
+    geom_cache: bool = True
+    cache_tolerance_px: float = 0.5
+    cache_refine_margin: float = 8.0
+    cache_termination_margin: float = 0.25
+    cache_max_entries: int = 8
+    profiling_sink: Callable[..., None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.subtile_size < 1:
+            raise ValueError(f"subtile_size must be >= 1, got {self.subtile_size}")
+        if self.subtile_size > self.tile_size:
+            raise ValueError(
+                f"subtile_size {self.subtile_size} must not exceed tile_size {self.tile_size}"
+            )
+        if self.tile_size % self.subtile_size != 0:
+            # TileGrid requires divisibility; fail here, at config time, so a
+            # bad REPRO_SUBTILE_SIZE is attributed to the knob and not to a
+            # later render deep inside the tiling code.
+            raise ValueError(
+                f"tile_size {self.tile_size} must be a multiple of "
+                f"subtile_size {self.subtile_size}"
+            )
+        if self.cache_tolerance_px < 0:
+            raise ValueError(f"cache_tolerance_px must be >= 0, got {self.cache_tolerance_px}")
+        if self.cache_termination_margin < 0:
+            raise ValueError(
+                f"cache_termination_margin must be >= 0, got {self.cache_termination_margin}"
+            )
+        if self.cache_refine_margin != 0 and self.cache_refine_margin < 1:
+            raise ValueError(
+                "cache_refine_margin must be 0 (disabled) or >= 1, "
+                f"got {self.cache_refine_margin}"
+            )
+        if self.cache_max_entries < 1:
+            raise ValueError(f"cache_max_entries must be >= 1, got {self.cache_max_entries}")
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None, **overrides) -> "EngineConfig":
+        """Build a config from the ``REPRO_*`` environment variables.
+
+        ``env`` defaults to ``os.environ``; keyword ``overrides`` replace the
+        env-derived fields (e.g. ``EngineConfig.from_env(geom_cache=False)``).
+        Invalid values raise ``ValueError`` with the offending variable named.
+        """
+        env = os.environ if env is None else env
+        backend = env.get(ENV_RASTER_BACKEND) or None
+        if backend is not None:
+            from repro.engine.registry import REGISTRY
+
+            if backend not in REGISTRY:
+                raise ValueError(
+                    f"{ENV_RASTER_BACKEND}={backend!r} is not a valid rasterizer "
+                    f"backend; expected one of {REGISTRY.names()}"
+                )
+        config = cls(
+            backend=backend,
+            tile_size=_int_from_env(env, ENV_TILE_SIZE, 16),
+            subtile_size=_int_from_env(env, ENV_SUBTILE_SIZE, 4),
+            geom_cache=geom_cache_enabled_from_env(env),
+        )
+        return replace(config, **overrides) if overrides else config
+
+    def cache_config(self) -> "GeomCacheConfig":
+        """The ``GeomCacheConfig`` equivalent of this config's cache knobs."""
+        from repro.gaussians.geom_cache import GeomCacheConfig
+
+        return GeomCacheConfig(
+            tolerance_px=self.cache_tolerance_px,
+            refine_margin=self.cache_refine_margin,
+            termination_margin=self.cache_termination_margin,
+            max_entries=self.cache_max_entries,
+        )

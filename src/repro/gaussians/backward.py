@@ -451,9 +451,24 @@ def render_backward(
     compute_pose_gradient: bool = True,
     backend: str | None = None,
 ) -> CloudGradients:
-    """Convenience wrapper running Steps 4 and 5 back to back."""
-    screen = rasterize_backward(result, dL_dimage, dL_ddepth, backend=backend)
-    return preprocess_backward(screen, cloud, compute_pose_gradient=compute_pose_gradient)
+    """Deprecated shim: Steps 4-5 through the process-default engine.
+
+    ``backend=None`` follows the backend that produced ``result``, exactly as
+    before.  New code should call :meth:`repro.engine.RenderEngine.backward`
+    on an injected engine.
+    """
+    from repro.engine import default_engine
+    from repro.utils.deprecation import warn_render_shim
+
+    warn_render_shim("render_backward", "RenderEngine.backward")
+    return default_engine().backward(
+        result,
+        cloud,
+        dL_dimage,
+        dL_ddepth,
+        compute_pose_gradient=compute_pose_gradient,
+        backend=backend,
+    )
 
 
 # -- helpers ----------------------------------------------------------------

@@ -145,7 +145,7 @@ def _normalise_backgrounds(
     return [shared_background] * n_views
 
 
-def rasterize_batch(
+def rasterize_batch_views(
     cloud: GaussianCloud,
     cameras: Sequence[Camera],
     poses_cw: Sequence[SE3],
@@ -158,12 +158,14 @@ def rasterize_batch(
 ) -> BatchRenderResult:
     """Render ``cloud`` from every (camera, pose) view with shared preprocessing.
 
-    Parameters mirror :func:`repro.gaussians.rasterizer.rasterize`;
+    This is the flat-backend batch implementation behind
+    :meth:`repro.engine.RenderEngine.render_batch` (and the deprecated
+    :func:`rasterize_batch` shim).  Parameters mirror the single-view render;
     ``backgrounds`` may be ``None``, one shared ``(3,)`` colour, or one entry
     per view.  Views may differ in camera intrinsics and resolution.
 
-    ``arena`` lets iterative callers (the mapping scheduler) recycle the
-    fragment arena of the previous batch: recycling is grow-only
+    ``arena`` lets iterative callers (the engine's managed batch path) recycle
+    the fragment arena of the previous batch: recycling is grow-only
     (:func:`repro.gaussians.fast_raster.ensure_flat_arena`), so the
     high-water-mark buffer survives window-size changes and each view slices
     a base-offset view into it.  Reuse overwrites the storage that the
@@ -184,7 +186,7 @@ def rasterize_batch(
             f"got {len(cameras)} cameras but {len(poses_cw)} poses; one pose per view"
         )
     if not cameras:
-        raise ValueError("rasterize_batch needs at least one view")
+        raise ValueError("batched rendering needs at least one view")
     backgrounds_per_view = _normalise_backgrounds(backgrounds, len(cameras))
 
     view_seconds = [0.0] * len(cameras)
@@ -292,7 +294,7 @@ def rasterize_batch(
     )
 
 
-def render_backward_batch(
+def render_backward_batch_views(
     batch: BatchRenderResult,
     cloud: GaussianCloud,
     dL_dimages: Sequence[np.ndarray],
@@ -330,4 +332,62 @@ def render_backward_batch(
     )
     return BatchGradients(
         cloud=cloud_grads, screen=screen, per_view_pose_twists=per_view_twists
+    )
+
+
+# -- deprecated shims ---------------------------------------------------------
+def rasterize_batch(
+    cloud: GaussianCloud,
+    cameras: Sequence[Camera],
+    poses_cw: Sequence[SE3],
+    backgrounds: np.ndarray | Sequence[np.ndarray | None] | None = None,
+    tile_size: int = 16,
+    subtile_size: int = 4,
+    active_only: bool = True,
+    arena: FlatArena | None = None,
+    cache: "GeometryCache | None" = None,
+) -> BatchRenderResult:
+    """Deprecated shim: batch render through the process-default engine.
+
+    Delegates unmanaged (caller-supplied ``arena`` / ``cache`` pass through
+    verbatim, a fresh arena is allocated when neither is given), so legacy
+    call sites stay bit-identical.  New code should render through an
+    injected :class:`repro.engine.RenderEngine` and let it own the arena.
+    """
+    from repro.engine import default_engine
+    from repro.utils.deprecation import warn_render_shim
+
+    warn_render_shim("rasterize_batch", "RenderEngine.render_batch")
+    return default_engine().render_batch(
+        cloud,
+        cameras,
+        poses_cw,
+        backgrounds=backgrounds,
+        tile_size=tile_size,
+        subtile_size=subtile_size,
+        active_only=active_only,
+        arena=arena,
+        cache=cache,
+        managed=False,
+    )
+
+
+def render_backward_batch(
+    batch: BatchRenderResult,
+    cloud: GaussianCloud,
+    dL_dimages: Sequence[np.ndarray],
+    dL_ddepths: Sequence[np.ndarray | None] | None = None,
+    compute_pose_gradient: bool = False,
+) -> BatchGradients:
+    """Deprecated shim: fused batch backward through the process-default engine."""
+    from repro.engine import default_engine
+    from repro.utils.deprecation import warn_render_shim
+
+    warn_render_shim("render_backward_batch", "RenderEngine.backward_batch")
+    return default_engine().backward_batch(
+        batch,
+        cloud,
+        dL_dimages,
+        dL_ddepths,
+        compute_pose_gradient=compute_pose_gradient,
     )

@@ -62,7 +62,6 @@ offset, so all views of one batch coexist.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -92,11 +91,13 @@ CACHE_STATUSES = ("uncached", "miss", "hit", "refresh", "incremental")
 def geom_cache_enabled() -> bool:
     """True unless the ``REPRO_GEOM_CACHE=0`` escape hatch disables caching.
 
-    Consumers that construct a cache by default (the mapping scheduler) check
-    this so one environment variable switches the whole process back to the
-    uncached Step 1-2 pipeline, mirroring ``REPRO_RASTER_BACKEND``.
+    The environment parsing itself is consolidated in
+    :meth:`repro.engine.EngineConfig.from_env`; this wrapper survives for
+    callers that only need the boolean (engines read the full config).
     """
-    return os.environ.get("REPRO_GEOM_CACHE", "1").lower() not in ("0", "false", "off")
+    from repro.engine.config import geom_cache_enabled_from_env
+
+    return geom_cache_enabled_from_env()
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,6 @@ Two aspects matter for the rest of the reproduction:
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
@@ -43,10 +42,12 @@ ALPHA_CLAMP = 0.99
 # Early termination: stop compositing a pixel once transmittance drops below this.
 TRANSMITTANCE_EPS = 1e-4
 
-# Available rasterizer implementations: "flat" is the flat fragment-list fast
-# path (repro.gaussians.fast_raster) and the production default; "tile" is the
-# reference per-tile loop, retired to a reference-only role behind the
-# differential harness (repro.testing) and the golden fixtures.
+# The built-in rasterizer implementations: "flat" is the flat fragment-list
+# fast path (repro.gaussians.fast_raster) and the production default; "tile"
+# is the reference per-tile loop, retired to a reference-only role behind the
+# differential harness (repro.testing) and the golden fixtures.  The full set
+# of available backends (built-ins plus anything registered through
+# repro.engine.register_backend) lives in the engine's BackendRegistry.
 BACKENDS = ("tile", "flat")
 
 # The flat backend soaked behind DifferentialRunner through PR 1 and is now
@@ -54,22 +55,24 @@ BACKENDS = ("tile", "flat")
 # to the reference loop.
 DEFAULT_BACKEND = "flat"
 
-
-def _initial_backend() -> str:
-    value = os.environ.get("REPRO_RASTER_BACKEND", DEFAULT_BACKEND)
-    if value not in BACKENDS:
-        raise ValueError(
-            f"REPRO_RASTER_BACKEND={value!r} is not a valid rasterizer backend; "
-            f"expected one of {BACKENDS}"
-        )
-    return value
+# Process-default backend name; seeded lazily from EngineConfig.from_env()
+# (the consolidated REPRO_RASTER_BACKEND read) on first use.
+_default_backend: str | None = None
 
 
-_default_backend = _initial_backend()
+def _registered_backends() -> tuple[str, ...]:
+    from repro.engine.registry import REGISTRY
+
+    return REGISTRY.names()
 
 
 def get_default_backend() -> str:
-    """Return the backend used when ``rasterize(backend=None)`` is called."""
+    """Return the backend used when no backend is named explicitly."""
+    global _default_backend
+    if _default_backend is None:
+        from repro.engine.config import EngineConfig
+
+        _default_backend = EngineConfig.from_env().backend or DEFAULT_BACKEND
     return _default_backend
 
 
@@ -78,12 +81,16 @@ def set_default_backend(name: str) -> str:
 
     Lets whole-pipeline callers (SLAM runs, benchmarks) opt into the flat
     fast path without threading an argument through every call site.  The
-    ``REPRO_RASTER_BACKEND`` environment variable seeds the initial default.
+    ``REPRO_RASTER_BACKEND`` environment variable seeds the initial default
+    (via :meth:`repro.engine.EngineConfig.from_env`); any backend registered
+    through :func:`repro.engine.register_backend` is accepted.
     """
     global _default_backend
-    if name not in BACKENDS:
-        raise ValueError(f"unknown rasterizer backend {name!r}; expected one of {BACKENDS}")
-    previous = _default_backend
+    if name not in _registered_backends():
+        raise ValueError(
+            f"unknown rasterizer backend {name!r}; expected one of {_registered_backends()}"
+        )
+    previous = get_default_backend()
     _default_backend = name
     return previous
 
@@ -186,43 +193,50 @@ def rasterize(
     backend: str | None = None,
     cache: "GeometryCache | None" = None,
 ) -> RenderResult:
-    """Render the Gaussian cloud from ``pose_cw`` (world-to-camera).
+    """Deprecated shim: render one view through the process-default engine.
 
-    Parameters
-    ----------
-    precomputed:
-        Optional ``(projected, intersections)`` pair.  RTGS reuses the Step 1-2
-        results across the iterations of a pruning window (Sec. 4.1); passing
-        them here skips projection, tile intersection and sorting.
-    backend:
-        ``"tile"`` (reference per-tile loop), ``"flat"`` (flat fragment-list
-        fast path) or ``None`` to use :func:`get_default_backend`.  Both
-        produce equivalent :class:`RenderResult` structures; the differential
-        harness in :mod:`repro.testing` pins their agreement.
-    cache:
-        Optional :class:`repro.gaussians.geom_cache.GeometryCache` memoising
-        the Step 1-2 pipeline across calls (the managed form of
-        ``precomputed``, with epoch-based invalidation).  Flat backend only;
-        the reference tile loop stays uncached and ignores it.
+    Equivalent to ``repro.engine.default_engine().render(...)`` with the same
+    arguments (``backend=None`` follows :func:`get_default_backend`, an
+    explicit ``cache`` is passed through unmanaged), so existing call sites
+    stay bit-identical.  New code should construct or inject a
+    :class:`repro.engine.RenderEngine` instead.
     """
-    if backend is None:
-        backend = _default_backend
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown rasterizer backend {backend!r}; expected one of {BACKENDS}")
-    if backend == "flat":
-        from repro.gaussians.fast_raster import rasterize_flat
+    from repro.engine import default_engine
+    from repro.utils.deprecation import warn_render_shim
 
-        return rasterize_flat(
-            cloud,
-            camera,
-            pose_cw,
-            background=background,
-            tile_size=tile_size,
-            subtile_size=subtile_size,
-            active_only=active_only,
-            precomputed=precomputed,
-            cache=cache,
-        )
+    warn_render_shim("rasterize", "RenderEngine.render")
+    return default_engine().render(
+        cloud,
+        camera,
+        pose_cw,
+        background=background,
+        tile_size=tile_size,
+        subtile_size=subtile_size,
+        active_only=active_only,
+        precomputed=precomputed,
+        backend=backend,
+        cache=cache,
+    )
+
+
+def rasterize_tile(
+    cloud: GaussianCloud,
+    camera: Camera,
+    pose_cw: SE3,
+    background: np.ndarray | None = None,
+    tile_size: int = 16,
+    subtile_size: int = 4,
+    active_only: bool = True,
+    precomputed: tuple[ProjectedGaussians, TileIntersections] | None = None,
+) -> RenderResult:
+    """Reference per-tile render of ``cloud`` from ``pose_cw`` (world-to-camera).
+
+    This is the bit-exact reference implementation behind the ``tile``
+    backend, the golden fixtures and the differential harness.  ``precomputed``
+    optionally carries a ``(projected, intersections)`` pair — RTGS reuses the
+    Step 1-2 results across the iterations of a pruning window (Sec. 4.1);
+    passing them skips projection, tile intersection and sorting.
+    """
     if background is None:
         background = np.zeros(3)
     background = np.asarray(background, dtype=np.float64).reshape(3)

@@ -10,10 +10,10 @@ optimises a window of keyframes — the current keyframe plus its most covisible
 predecessors, as in the paper's joint mapping optimisation — instead of
 round-robining one view per iteration:
 
-* the window is rendered through :func:`repro.gaussians.rasterize_batch`, so
-  per-Gaussian preprocessing is shared and all views' fragments live in one
-  arena;
-* the backward pass is fused (:func:`repro.gaussians.render_backward_batch`):
+* the window is rendered through :meth:`repro.engine.RenderEngine.render_batch`,
+  so per-Gaussian preprocessing is shared and all views' fragments live in
+  the engine's recycled arena;
+* the backward pass is fused (:meth:`repro.engine.RenderEngine.backward_batch`):
   cloud gradients accumulate across views in a single pass and one averaged
   Adam update is applied per iteration;
 * covisibility is scored from cached per-keyframe visible-Gaussian rows
@@ -22,12 +22,13 @@ round-robining one view per iteration:
   transparency pruning and external pruners reporting through
   :meth:`StreamingMapper.notify_removed` — must remap them; a batched
   iteration issued right after a prune would otherwise index stale rows;
-* each mapper owns a :class:`repro.gaussians.geom_cache.GeometryCache`
-  (unless disabled via ``MappingConfig.geom_cache`` or
-  ``REPRO_GEOM_CACHE=0``): poses are fixed within a window, so Step 1-2
-  products are reused across all iterations of the window, keyed by the
-  cloud's mutation epoch and invalidated on the densify/prune/removal
-  paths.
+* the mapper renders through an injected :class:`repro.engine.RenderEngine`
+  (building one from its own config when none is given) whose managed state
+  includes the per-window Step 1-2 geometry cache: poses are fixed within a
+  window, so Step 1-2 products are reused across all iterations of the
+  window, keyed by the cloud's mutation epoch and invalidated on the
+  densify/prune/removal paths (``MappingConfig.geom_cache=False`` or
+  ``REPRO_GEOM_CACHE=0`` disable it).
 
 The per-view workload snapshots it emits feed the same profiling and hardware
 models as tracking; they carry ``batch_size``/``view_index`` so those
@@ -36,15 +37,12 @@ consumers can amortise the shared preprocessing across the window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.gaussians.backward import render_backward
-from repro.gaussians.batch import rasterize_batch, render_backward_batch
+from repro.engine import EngineConfig, RenderEngine
 from repro.gaussians.gaussian_model import GaussianCloud
-from repro.gaussians.geom_cache import GeomCacheConfig, GeometryCache, geom_cache_enabled
-from repro.gaussians.rasterizer import rasterize
 from repro.slam.frame import Frame
 from repro.slam.losses import photometric_geometric_loss
 from repro.slam.optimizer import Adam
@@ -86,9 +84,11 @@ class MappingConfig:
     batched: bool = True
     # -- rasterization ------------------------------------------------------
     # Tile granularity of the mapping renders (fine tiles suit small-splat
-    # late-SLAM maps; the defaults match the rasterizer's).
-    tile_size: int = 16
-    subtile_size: int = 4
+    # late-SLAM maps).  None inherits the engine's configuration — and with
+    # it the REPRO_TILE_SIZE / REPRO_SUBTILE_SIZE environment knobs; an
+    # explicit value pins the mapping renders regardless of the engine.
+    tile_size: int | None = None
+    subtile_size: int | None = None
     # -- geometry cache -----------------------------------------------------
     # Per-window Step 1-2 cache (repro.gaussians.geom_cache): poses are fixed
     # within a window and the cloud moves by at most ~learning-rate per
@@ -123,35 +123,57 @@ class MappingResult:
 
 
 class StreamingMapper:
-    """Multi-keyframe mapper: densification + windowed joint optimisation."""
+    """Multi-keyframe mapper: densification + windowed joint optimisation.
 
-    def __init__(self, config: MappingConfig | None = None):
+    All rendering flows through ``self.engine``: an injected
+    :class:`repro.engine.RenderEngine`, or one the mapper builds from its
+    own config.  An *injected* engine's configuration wins outright — its
+    ``geom_cache`` setting replaces ``MappingConfig.geom_cache`` and the
+    ``REPRO_GEOM_CACHE`` escape hatch (seed injected engines with
+    ``EngineConfig.from_env()`` to keep the env knobs live).  The engine
+    owns the recycled fragment arena (fused
+    iterations consume each batch via the fused backward before the next
+    render may overwrite the storage — enforced by the engine's arena
+    ownership tracking) and the per-window Step 1-2 geometry cache,
+    invalidated on every removal path.  The legacy round-robin loop renders
+    unmanaged, so no cache entries are built that nothing ever reuses.
+    """
+
+    def __init__(self, config: MappingConfig | None = None, engine: RenderEngine | None = None):
         self.config = config or MappingConfig()
+        self.engine = engine if engine is not None else self._build_engine(self.config)
         self._optimizer = Adam()
         # Cloud rows visible from each mapped keyframe, keyed by frame index.
         # Drives covisibility-based window selection; remapped on every prune.
         self._keyframe_visibility: dict[int, np.ndarray] = {}
-        # Fragment arena recycled across fused iterations (each one fully
-        # consumes its batch before the next render overwrites the storage).
-        # With the geometry cache active the cache's own grow-only arena is
-        # used instead.
-        self._arena = None
-        # Per-window Step 1-2 cache, reused across all iterations of one
-        # window and invalidated (cleared + epoch-bumped) on every removal
-        # path.  None when disabled by config or REPRO_GEOM_CACHE=0; the
-        # legacy round-robin loop renders uncached, so a cache would only
-        # hold densify entries that nothing ever reuses.
-        if self.config.geom_cache and self.config.batched and geom_cache_enabled():
-            self._geom_cache = GeometryCache(
-                GeomCacheConfig(
-                    tolerance_px=self.config.geom_cache_tolerance_px,
-                    refine_margin=self.config.geom_cache_refine_margin,
-                    termination_margin=self.config.geom_cache_termination_margin,
-                    max_entries=max(8, self.config.batch_views or self.config.keyframe_window),
-                )
+
+    @staticmethod
+    def _build_engine(config: MappingConfig) -> RenderEngine:
+        """Engine matching this mapper's config, seeded from the environment.
+
+        The geometry cache follows both the config switch and the
+        ``REPRO_GEOM_CACHE`` escape hatch (via ``EngineConfig.from_env``),
+        and is disabled for the legacy round-robin loop.
+        """
+        base = EngineConfig.from_env()
+        return RenderEngine(
+            replace(
+                base,
+                # backend=None: REPRO_RASTER_BACKEND seeds the *process*
+                # default, so use_backend()/set_default_backend() keep
+                # overriding it through a mapper-built engine.
+                backend=None,
+                tile_size=base.tile_size if config.tile_size is None else config.tile_size,
+                subtile_size=(
+                    base.subtile_size if config.subtile_size is None else config.subtile_size
+                ),
+                geom_cache=base.geom_cache and config.geom_cache and config.batched,
+                cache_tolerance_px=config.geom_cache_tolerance_px,
+                cache_refine_margin=config.geom_cache_refine_margin,
+                cache_termination_margin=config.geom_cache_termination_margin,
+                cache_max_entries=max(8, config.batch_views or config.keyframe_window),
             )
-        else:
-            self._geom_cache = None
+        )
 
     def initialize_map(self, cloud: GaussianCloud, frame: Frame, stride: int = 4) -> int:
         """Seed the map from the first frame's RGB-D observation; returns Gaussians added."""
@@ -214,10 +236,9 @@ class StreamingMapper:
             self._optimizer.keep_rows(name, keep_mask)
         self._remap_cached_rows(keep_mask)
         # The removal bumped the cloud's structure epoch (keep_only), so the
-        # cached Step 1-2 entries can never be reused; drop them eagerly to
-        # free the per-view arrays.
-        if self._geom_cache is not None:
-            self._geom_cache.clear()
+        # engine's cached Step 1-2 entries can never be reused; drop them
+        # eagerly to free the per-view arrays.
+        self.engine.invalidate_cache()
 
     # -- internals -----------------------------------------------------------
     def _select_window(self, keyframes: list[Frame]) -> list[Frame]:
@@ -289,7 +310,7 @@ class StreamingMapper:
         iteration: int,
         snapshots: list[WorkloadSnapshot],
     ) -> float:
-        """Legacy round-robin iteration: one view through ``rasterize``.
+        """Legacy round-robin iteration: one unmanaged view render.
 
         Unlike the batched path (flat by design — the arena layout *is* the
         batch), this goes through the regular backend dispatch, so
@@ -298,7 +319,7 @@ class StreamingMapper:
         """
         config = self.config
         pose = frame.estimated_pose_cw or frame.gt_pose_cw
-        render = rasterize(
+        render = self.engine.render(
             cloud,
             frame.camera,
             pose,
@@ -311,13 +332,13 @@ class StreamingMapper:
             lambda_photometric=config.lambda_photometric,
             use_depth=config.use_depth,
         )
-        gradients = render_backward(
+        gradients = self.engine.backward(
             render, cloud, loss.dL_dimage, loss.dL_ddepth, compute_pose_gradient=False
         )
         self._record_visibility([frame], [render])
         if config.record_workloads:
             snapshots.append(
-                WorkloadSnapshot.from_iteration(
+                self.engine.snapshot(
                     render,
                     gradients,
                     stage="mapping",
@@ -341,19 +362,21 @@ class StreamingMapper:
         iteration: int,
         snapshots: list[WorkloadSnapshot],
     ) -> float:
-        """Render the window as one batch and apply one fused Adam update."""
+        """Render the window as one batch and apply one fused Adam update.
+
+        The managed batch claims the engine's arena (or geometry-cache
+        arena); the fused backward below consumes and releases it before the
+        next iteration renders.
+        """
         config = self.config
         poses = [frame.estimated_pose_cw or frame.gt_pose_cw for frame in window]
-        batch = rasterize_batch(
+        batch = self.engine.render_batch(
             cloud,
             [frame.camera for frame in window],
             poses,
             tile_size=config.tile_size,
             subtile_size=config.subtile_size,
-            arena=self._arena,
-            cache=self._geom_cache,
         )
-        self._arena = batch.arena
         loss_results = [
             photometric_geometric_loss(
                 render,
@@ -363,7 +386,7 @@ class StreamingMapper:
             )
             for render, frame in zip(batch.views, window)
         ]
-        gradients = render_backward_batch(
+        gradients = self.engine.backward_batch(
             batch,
             cloud,
             [loss.dL_dimage for loss in loss_results],
@@ -375,7 +398,7 @@ class StreamingMapper:
             traces = gradients.per_view_traces
             for view_index, (render, loss) in enumerate(zip(batch.views, loss_results)):
                 snapshots.append(
-                    WorkloadSnapshot.from_iteration(
+                    self.engine.snapshot(
                         render,
                         None,
                         stage="mapping",
@@ -471,13 +494,13 @@ class StreamingMapper:
         if cloud.n_total == 0:
             return self.initialize_map(cloud, frame, stride=config.densify_stride)
 
-        render = rasterize(
+        render = self.engine.render(
             cloud,
             frame.camera,
             pose,
             tile_size=config.tile_size,
             subtile_size=config.subtile_size,
-            cache=self._geom_cache,
+            managed=True,
         )
         # The densify render is the newest keyframe's first visibility sample,
         # so window selection has an overlap estimate before iteration 0.
@@ -486,6 +509,9 @@ class StreamingMapper:
         alpha = render.alpha[::stride, ::stride]
         depth_err = np.abs(render.depth - frame.depth)[::stride, ::stride]
         observed = frame.depth[::stride, ::stride] > 0.15
+        # Forward-only render: nothing reads its tile caches past this point,
+        # so free the engine arena for the first fused iteration.
+        self.engine.release(render)
         needs_coverage = (alpha < config.densify_alpha_threshold) & observed
         needs_geometry = (depth_err > config.densify_depth_error) & observed
         mask = needs_coverage | needs_geometry
@@ -519,8 +545,7 @@ class StreamingMapper:
                 self._optimizer.keep_rows(name, keep)
             self._remap_cached_rows(keep)
             cloud.keep_only(keep)
-            if self._geom_cache is not None:
-                self._geom_cache.clear()
+            self.engine.invalidate_cache()
         return n_pruned
 
     def _resize_optimizer(self, cloud: GaussianCloud) -> None:

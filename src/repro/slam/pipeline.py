@@ -23,8 +23,8 @@ from typing import Protocol
 import numpy as np
 
 from repro.datasets.rgbd import RGBDSequence
+from repro.engine import RenderEngine, default_engine
 from repro.gaussians.gaussian_model import GaussianCloud
-from repro.gaussians.rasterizer import rasterize
 from repro.gaussians.se3 import SE3
 from repro.metrics.image import psnr as psnr_metric
 from repro.metrics.trajectory import ate_rmse, cumulative_ate
@@ -57,6 +57,9 @@ class SLAMResult:
     frame_records: list[FrameRecord]
     cloud: GaussianCloud
     peak_gaussian_count: int
+    # Engine the run rendered through; evaluation renders reuse it so a
+    # pipeline pinned to a non-default backend is also *evaluated* on it.
+    engine: RenderEngine | None = None
 
     # -- metrics ---------------------------------------------------------------
     def ate(self) -> float:
@@ -85,11 +88,12 @@ class SLAMResult:
         quality; callers are expected to treat ``nan`` as "no data".
         """
         indices = self.keyframe_indices[:max_frames] or [0]
+        engine = self.engine if self.engine is not None else default_engine()
         values = []
         for index in indices:
             observation = sequence.frame(index)
             pose = self.estimated_trajectory[index]
-            render = rasterize(self.cloud, observation.camera, pose)
+            render = engine.render(self.cloud, observation.camera, pose)
             values.append(psnr_metric(render.image, observation.image))
         finite = [v for v in values if np.isfinite(v)]
         return float(np.mean(finite)) if finite else float("nan")
@@ -107,19 +111,28 @@ class SLAMResult:
 
 @dataclass
 class SLAMPipeline:
-    """Runs a configured 3DGS-SLAM algorithm over an RGB-D sequence."""
+    """Runs a configured 3DGS-SLAM algorithm over an RGB-D sequence.
+
+    ``engine`` injects one :class:`repro.engine.RenderEngine` shared by
+    tracking and mapping (backend pinning, profiling sink, managed cache and
+    arena in one place); when ``None`` the mapper builds an engine from
+    ``config.mapping`` and the tracker shares it.
+    """
 
     config: SLAMConfig
     tracking_hook: TrackingHook | None = None
     resolution_policy: ResolutionPolicy | None = None
+    engine: RenderEngine | None = None
     _mapper: Mapper = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._mapper = Mapper(self.config.mapping)
+        self._mapper = Mapper(self.config.mapping, engine=self.engine)
+        if self.engine is None:
+            self.engine = self._mapper.engine
         if self.config.tracker == "geometric":
-            self._tracker = GeometricTracker(self.config.geometric_tracking)
+            self._tracker = GeometricTracker(self.config.geometric_tracking, engine=self.engine)
         else:
-            self._tracker = GradientTracker(self.config.tracking)
+            self._tracker = GradientTracker(self.config.tracking, engine=self.engine)
         self._keyframe_policy = make_keyframe_policy(
             self.config.keyframe_policy, **self.config.keyframe_kwargs
         )
@@ -278,4 +291,5 @@ class SLAMPipeline:
             frame_records=frame_records,
             cloud=cloud,
             peak_gaussian_count=peak_gaussians,
+            engine=self.engine,
         )

@@ -21,9 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gaussians.backward import CloudGradients, render_backward
+from repro.engine import RenderEngine, default_engine
+from repro.gaussians.backward import CloudGradients
 from repro.gaussians.gaussian_model import GaussianCloud
-from repro.gaussians.rasterizer import RenderResult, rasterize
+from repro.gaussians.rasterizer import RenderResult
 from repro.gaussians.se3 import SE3
 from repro.slam.frame import Frame
 from repro.slam.losses import photometric_geometric_loss
@@ -41,6 +42,11 @@ class TrackingConfig:
     use_depth: bool = True
     convergence_threshold: float = 1e-7
     record_workloads: bool = True
+    # Tile granularity of the tracking renders; None inherits the engine's
+    # configuration (and with it REPRO_TILE_SIZE / REPRO_SUBTILE_SIZE),
+    # independent of the mapping tile sizes even when both share one engine.
+    tile_size: int | None = None
+    subtile_size: int | None = None
 
 
 class TrackingHook:
@@ -74,10 +80,16 @@ class TrackingResult:
 
 
 class GradientTracker:
-    """Differentiable tracking via rendering + backpropagation (MonoGS-style)."""
+    """Differentiable tracking via rendering + backpropagation (MonoGS-style).
 
-    def __init__(self, config: TrackingConfig | None = None):
+    Renders through an injected :class:`repro.engine.RenderEngine` (the
+    process-default engine when none is given), so backend selection and
+    profiling are owned in one place instead of per call site.
+    """
+
+    def __init__(self, config: TrackingConfig | None = None, engine: RenderEngine | None = None):
         self.config = config or TrackingConfig()
+        self.engine = engine if engine is not None else default_engine()
 
     def track(
         self,
@@ -108,14 +120,20 @@ class GradientTracker:
 
         iteration = 0
         for iteration in range(n_iterations):
-            render = rasterize(cloud, frame.camera, pose)
+            render = self.engine.render(
+                cloud,
+                frame.camera,
+                pose,
+                tile_size=config.tile_size,
+                subtile_size=config.subtile_size,
+            )
             loss = photometric_geometric_loss(
                 render,
                 frame,
                 lambda_photometric=config.lambda_photometric,
                 use_depth=config.use_depth,
             )
-            gradients = render_backward(
+            gradients = self.engine.backward(
                 render,
                 cloud,
                 loss.dL_dimage,
@@ -126,7 +144,7 @@ class GradientTracker:
             losses.append(loss.total)
             if config.record_workloads:
                 snapshots.append(
-                    WorkloadSnapshot.from_iteration(
+                    self.engine.snapshot(
                         render,
                         gradients,
                         stage="tracking",
@@ -165,6 +183,10 @@ class GeometricTrackingConfig:
     min_valid_points: int = 20
     icp_iterations: int = 3
     record_workloads: bool = True
+    # Tile granularity of the workload-recording render; None inherits the
+    # engine's configuration.
+    tile_size: int | None = None
+    subtile_size: int | None = None
 
 
 class GeometricTracker:
@@ -176,8 +198,13 @@ class GeometricTracker:
     why Photo-SLAM's tracking is fast in Tab. 2.
     """
 
-    def __init__(self, config: GeometricTrackingConfig | None = None):
+    def __init__(
+        self,
+        config: GeometricTrackingConfig | None = None,
+        engine: RenderEngine | None = None,
+    ):
         self.config = config or GeometricTrackingConfig()
+        self.engine = engine if engine is not None else default_engine()
         self._previous_frame: Frame | None = None
 
     def reset(self) -> None:
@@ -204,11 +231,17 @@ class GeometricTracker:
         snapshots: list[WorkloadSnapshot] = []
         losses: list[float] = []
         if config.record_workloads:
-            render = rasterize(cloud, frame.camera, pose)
+            render = self.engine.render(
+                cloud,
+                frame.camera,
+                pose,
+                tile_size=config.tile_size,
+                subtile_size=config.subtile_size,
+            )
             loss = photometric_geometric_loss(render, frame)
             losses.append(loss.total)
             snapshots.append(
-                WorkloadSnapshot.from_iteration(
+                self.engine.snapshot(
                     render,
                     None,
                     stage="tracking",

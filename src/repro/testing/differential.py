@@ -2,10 +2,11 @@
 
 The :class:`DifferentialRunner` renders each scenario through a *reference*
 backend (the per-tile loop) and a *candidate* backend (the flat fragment-list
-fast path), runs the full backward pass on both renders with a deterministic
-loss, and reports the worst observed disagreement for every quantity the rest
-of the system consumes: image, depth, accumulated alpha, per-pixel fragment
-counts, per-subtile fragment counts, and all cloud/pose gradients.
+fast path) — each driven by its own pinned :class:`repro.engine.RenderEngine`
+— runs the full backward pass on both renders with a deterministic loss, and
+reports the worst observed disagreement for every quantity the rest of the
+system consumes: image, depth, accumulated alpha, per-pixel fragment counts,
+per-subtile fragment counts, and all cloud/pose gradients.
 
 Forward outputs must agree to ``forward_tol`` (default 1e-10; in practice the
 flat backend is bit-identical), gradients to ``grad_tol`` (default 1e-8; the
@@ -13,20 +14,25 @@ flat backward pass regroups reductions, so tiny rounding drift is expected).
 Fragment counts must match exactly — they define the hardware model's
 workload and are integers.
 
-Every scenario additionally pins the batched rasterizer
-(:func:`repro.gaussians.rasterize_batch`): a batch of one view must match a
-single candidate-backend render (images to ``forward_tol``, gradients to
-``grad_tol``, fragment counts exactly), and a 3-view batch over
-:meth:`SceneSpec.view_poses` must match three sequential single-view calls,
+Every scenario additionally pins the batched path
+(:meth:`repro.engine.RenderEngine.render_batch`): a batch of one view must
+match a single candidate-backend render (images to ``forward_tol``, gradients
+to ``grad_tol``, fragment counts exactly), and a 3-view batch over
+:meth:`SceneSpec.view_poses` must match three sequential single-view renders,
 with the fused backward equal to the per-view gradient sum.
 
-Finally, every scenario runs a cached-vs-uncached equivalence check against
-the geometry cache (:mod:`repro.gaussians.geom_cache`) in its exact
-configuration (zero tolerance, no refinement): renders and gradients served
-from the cache must be **bit-identical** to uncached renders before any
+Every scenario also runs a cached-vs-uncached equivalence check against the
+geometry cache (:mod:`repro.gaussians.geom_cache`) in its exact configuration
+(zero tolerance, no refinement): renders and gradients served from an
+engine-managed cache must be **bit-identical** to uncached renders before any
 mutation, after a repeat lookup (cache hit), after an appearance-only update
 (refresh tier), and after every invalidation path — an Adam-style parameter
 step, densification, pruning, masking and ``notify_removed``-style removal.
+
+Finally, :meth:`DifferentialRunner.verify_engine` pins the engine-mediated
+path itself: for both backends, cache on and off, an engine render (and its
+backward) must be bit-identical to the legacy free-function implementation
+it wraps.
 """
 
 from __future__ import annotations
@@ -35,11 +41,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gaussians.backward import CloudGradients, render_backward
-from repro.gaussians.batch import rasterize_batch, render_backward_batch
+from repro.engine import EngineConfig, RenderEngine
+from repro.gaussians.backward import (
+    CloudGradients,
+    preprocess_backward,
+    rasterize_backward,
+)
+from repro.gaussians.fast_raster import rasterize_flat
 from repro.gaussians.gaussian_model import GaussianCloud
 from repro.gaussians.geom_cache import GeomCacheConfig, GeometryCache
-from repro.gaussians.rasterizer import RenderResult, rasterize
+from repro.gaussians.rasterizer import RenderResult, rasterize_tile
 from repro.testing.scenarios import DEFAULT_LIBRARY, Scenario, ScenarioLibrary, SceneSpec
 
 GRADIENT_FIELDS = (
@@ -51,6 +62,12 @@ GRADIENT_FIELDS = (
     "cov3d",
     "pose_twist",
     "per_gaussian_pose",
+)
+
+# Exact-mode cache configuration: only the bit-identical reuse tiers.
+_EXACT_CACHE = dict(tolerance_px=0.0, refine_margin=0.0, termination_margin=0.0)
+_EXACT_ENGINE_CACHE = dict(
+    cache_tolerance_px=0.0, cache_refine_margin=0.0, cache_termination_margin=0.0
 )
 
 
@@ -80,6 +97,8 @@ class ScenarioReport:
     batch_gradient_diff: float = 0.0
     cache_image_diff: float = 0.0
     cache_gradient_diff: float = 0.0
+    engine_image_diff: float = 0.0
+    engine_gradient_diff: float = 0.0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -98,13 +117,14 @@ class ScenarioReport:
             f"alpha={self.alpha_diff:.3e} grad={self.max_gradient_diff:.3e} "
             f"batch={max(self.batch1_image_diff, self.batch_image_diff):.3e}/"
             f"{max(self.batch1_gradient_diff, self.batch_gradient_diff):.3e} "
-            f"cache={self.cache_image_diff:.3e}/{self.cache_gradient_diff:.3e}"
+            f"cache={self.cache_image_diff:.3e}/{self.cache_gradient_diff:.3e} "
+            f"engine={self.engine_image_diff:.3e}/{self.engine_gradient_diff:.3e}"
         )
 
 
 @dataclass
 class DifferentialRunner:
-    """Renders scenarios through two backends and asserts agreement.
+    """Renders scenarios through two engine-driven backends and asserts agreement.
 
     Parameters
     ----------
@@ -113,9 +133,10 @@ class DifferentialRunner:
     grad_tol:
         Maximum allowed absolute difference on any backward gradient field.
     reference_backend, candidate_backend:
-        Names accepted by ``rasterize(backend=...)``.  The backward pass of
-        each side is forced to the matching backend, so the comparison covers
-        the full forward + backward pipeline of each implementation.
+        Registered backend names; each side renders through its own pinned
+        :class:`RenderEngine` and its backward pass is forced to the matching
+        backend, so the comparison covers the full forward + backward
+        pipeline of each implementation.
     """
 
     forward_tol: float = 1e-10
@@ -124,19 +145,32 @@ class DifferentialRunner:
     candidate_backend: str = "flat"
     n_batch_views: int = 3  # views of the multi-view batch-vs-sequential check
 
-    def render_pair(self, spec: SceneSpec) -> tuple[RenderResult, RenderResult]:
-        """Render ``spec`` through both backends."""
-        kwargs = dict(
+    def __post_init__(self) -> None:
+        self._engines: dict[str, RenderEngine] = {}
+
+    def engine_for(self, backend: str) -> RenderEngine:
+        """The pinned, cache-less engine this runner renders ``backend`` through."""
+        if backend not in self._engines:
+            self._engines[backend] = RenderEngine(
+                EngineConfig(backend=backend, geom_cache=False)
+            )
+        return self._engines[backend]
+
+    def _render(self, engine: RenderEngine, spec: SceneSpec, cloud=None, **kwargs) -> RenderResult:
+        return engine.render(
+            spec.cloud if cloud is None else cloud,
+            spec.camera,
+            spec.pose_cw,
             background=spec.background,
             tile_size=spec.tile_size,
             subtile_size=spec.subtile_size,
+            **kwargs,
         )
-        reference = rasterize(
-            spec.cloud, spec.camera, spec.pose_cw, backend=self.reference_backend, **kwargs
-        )
-        candidate = rasterize(
-            spec.cloud, spec.camera, spec.pose_cw, backend=self.candidate_backend, **kwargs
-        )
+
+    def render_pair(self, spec: SceneSpec) -> tuple[RenderResult, RenderResult]:
+        """Render ``spec`` through both backends."""
+        reference = self._render(self.engine_for(self.reference_backend), spec)
+        candidate = self._render(self.engine_for(self.candidate_backend), spec)
         return reference, candidate
 
     def backward_pair(
@@ -146,10 +180,10 @@ class DifferentialRunner:
         rng = np.random.default_rng(abs(hash((spec.camera.width, spec.camera.height))) % (2**32))
         dL_dimage = rng.uniform(-1.0, 1.0, size=reference.image.shape)
         dL_ddepth = rng.uniform(-1.0, 1.0, size=reference.depth.shape)
-        grads_ref = render_backward(
+        grads_ref = self.engine_for(self.reference_backend).backward(
             reference, spec.cloud, dL_dimage, dL_ddepth, backend=self.reference_backend
         )
-        grads_cand = render_backward(
+        grads_cand = self.engine_for(self.candidate_backend).backward(
             candidate, spec.cloud, dL_dimage, dL_ddepth, backend=self.candidate_backend
         )
         return grads_ref, grads_cand
@@ -167,7 +201,7 @@ class DifferentialRunner:
     def verify_batch(
         self, spec: SceneSpec, base_render: RenderResult | None = None
     ) -> tuple[dict[str, float], list[str]]:
-        """Pin ``rasterize_batch`` against sequential candidate-backend renders.
+        """Pin the engine batch path against sequential candidate-backend renders.
 
         Checks batch-of-1 ≡ single view and an ``n_batch_views``-view batch ≡
         the same views rendered sequentially, forward and backward (the fused
@@ -177,6 +211,7 @@ class DifferentialRunner:
         instead of re-rendering it.  Returns the worst diffs and the failure
         descriptions.
         """
+        engine = self.engine_for(self.candidate_backend)
         failures: list[str] = []
         diffs = {
             "batch1_image": 0.0,
@@ -184,7 +219,6 @@ class DifferentialRunner:
             "batch_image": 0.0,
             "batch_grad": 0.0,
         }
-        render_kwargs = dict(tile_size=spec.tile_size, subtile_size=spec.subtile_size)
 
         def forward_diff(batch_view: RenderResult, single: RenderResult, label: str) -> float:
             worst = max(
@@ -224,22 +258,23 @@ class DifferentialRunner:
             singles = [
                 base_render
                 if index == 0 and base_render is not None
-                else rasterize(
+                else engine.render(
                     spec.cloud,
                     spec.camera,
                     pose,
                     background=spec.background,
-                    backend=self.candidate_backend,
-                    **render_kwargs,
+                    tile_size=spec.tile_size,
+                    subtile_size=spec.subtile_size,
                 )
                 for index, pose in enumerate(poses)
             ]
-            batch = rasterize_batch(
+            batch = engine.render_batch(
                 spec.cloud,
                 [spec.camera] * n_views,
                 poses,
                 backgrounds=[spec.background] * n_views,
-                **render_kwargs,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
             )
             image_worst = max(
                 forward_diff(batch_view, single, f"{prefix} view {index}")
@@ -252,7 +287,7 @@ class DifferentialRunner:
                 for index, single in enumerate(singles)
             ]
             sequential = [
-                render_backward(
+                engine.backward(
                     single,
                     spec.cloud,
                     dL_dimage,
@@ -261,7 +296,7 @@ class DifferentialRunner:
                 )
                 for single, (dL_dimage, dL_ddepth) in zip(singles, losses)
             ]
-            fused = render_backward_batch(
+            fused = engine.backward_batch(
                 batch,
                 spec.cloud,
                 [dL_dimage for dL_dimage, _ in losses],
@@ -295,30 +330,32 @@ class DifferentialRunner:
         return diffs, failures
 
     def verify_cache(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
-        """Pin cached renders bit-identical to uncached ones across mutations.
+        """Pin engine-cached renders bit-identical to uncached ones across mutations.
 
-        Runs the geometry cache in its exact configuration (``tolerance_px=0``,
-        ``refine_margin=0``) on a private copy of the scenario cloud and, for
-        every stage of a mutation sequence covering all invalidation paths —
-        repeat render (hit), appearance-only step (refresh), Adam-style
-        parameter step, densify, prune, mask + ``remove_inactive`` (the
-        ``notify_removed`` path) — asserts the cached forward outputs equal an
-        uncached render *bitwise* and the backward gradients match to
-        ``grad_tol`` (the flat backward on identical caches is bit-identical
-        in practice).  Returns worst diffs and failure descriptions.
+        Runs an engine whose geometry cache is in its exact configuration
+        (``tolerance_px=0``, ``refine_margin=0``) on a private copy of the
+        scenario cloud and, for every stage of a mutation sequence covering
+        all invalidation paths — repeat render (hit), appearance-only step
+        (refresh), Adam-style parameter step, densify, prune, mask +
+        ``remove_inactive`` (the ``notify_removed`` path) — asserts the
+        cached forward outputs equal an uncached render *bitwise* and the
+        backward gradients match to ``grad_tol`` (the flat backward on
+        identical caches is bit-identical in practice).  Returns worst diffs
+        and failure descriptions.
         """
         failures: list[str] = []
         diffs = {"cache_image": 0.0, "cache_grad": 0.0}
         cloud = spec.cloud.copy()
-        cache = GeometryCache(
-            GeomCacheConfig(tolerance_px=0.0, refine_margin=0.0, termination_margin=0.0)
+        cached_engine = RenderEngine(
+            EngineConfig(
+                backend=self.candidate_backend,
+                geom_cache=True,
+                cache_tolerance_px=0.0,
+                cache_refine_margin=0.0,
+                cache_termination_margin=0.0,
+            )
         )
-        render_kwargs = dict(
-            background=spec.background,
-            tile_size=spec.tile_size,
-            subtile_size=spec.subtile_size,
-            backend=self.candidate_backend,
-        )
+        plain_engine = self.engine_for(self.candidate_backend)
         expected_statuses = {
             "initial": "miss",
             "repeat": "hit",
@@ -327,8 +364,8 @@ class DifferentialRunner:
         }
 
         def compare(label: str) -> None:
-            cached = rasterize(cloud, spec.camera, spec.pose_cw, cache=cache, **render_kwargs)
-            plain = rasterize(cloud, spec.camera, spec.pose_cw, **render_kwargs)
+            cached = self._render(cached_engine, spec, cloud=cloud, managed=True)
+            plain = self._render(plain_engine, spec, cloud=cloud)
             expected = expected_statuses.get(label, "miss")
             if cached.cache_status != expected:
                 failures.append(
@@ -347,16 +384,13 @@ class DifferentialRunner:
             if not np.array_equal(cached.fragments_per_pixel, plain.fragments_per_pixel):
                 failures.append(f"cache {label}: fragment counts differ from uncached")
             # Backward on the cached render before the next lookup reuses the
-            # arena its tile caches alias.
+            # arena its tile caches alias (this also releases the engine's
+            # arena claim).
             dL_dimage, dL_ddepth = self._loss_arrays(
                 spec, plain.image.shape, plain.depth.shape, salt=17
             )
-            grads_cached = render_backward(
-                cached, cloud, dL_dimage, dL_ddepth, backend=self.candidate_backend
-            )
-            grads_plain = render_backward(
-                plain, cloud, dL_dimage, dL_ddepth, backend=self.candidate_backend
-            )
+            grads_cached = cached_engine.backward(cached, cloud, dL_dimage, dL_ddepth)
+            grads_plain = plain_engine.backward(plain, cloud, dL_dimage, dL_ddepth)
             for name in GRADIENT_FIELDS:
                 value = _max_abs_diff(
                     np.asarray(getattr(grads_cached, name)),
@@ -404,6 +438,97 @@ class DifferentialRunner:
         compare("remove-inactive")
         return diffs, failures
 
+    # -- engine-vs-legacy equivalence ----------------------------------------
+    def _legacy_render(
+        self, backend: str, spec: SceneSpec, cache: GeometryCache | None
+    ) -> RenderResult | None:
+        """The pre-engine free-function implementation of ``backend``, if known."""
+        kwargs = dict(
+            background=spec.background,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+        if backend == "tile":
+            # The reference loop ignores caches (its legacy contract).
+            return rasterize_tile(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
+        if backend == "flat":
+            if cache is not None:
+                return cache.render_single(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
+            return rasterize_flat(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
+        return None
+
+    def verify_engine(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
+        """Pin engine-mediated renders bit-identical to the legacy path.
+
+        For each of the runner's two backends, with the geometry cache off
+        and on (exact configuration), the engine render — first call (miss)
+        and repeat call (hit) — must equal the legacy free-function
+        implementation bitwise on every forward output, agree on
+        ``cache_status``, and produce bitwise-equal backward gradients.
+        Backends the runner does not recognise as built-ins are skipped.
+        """
+        failures: list[str] = []
+        diffs = {"engine_image": 0.0, "engine_grad": 0.0}
+        for backend in dict.fromkeys((self.reference_backend, self.candidate_backend)):
+            if backend not in ("tile", "flat"):
+                continue
+            for cached in (False, True):
+                engine = RenderEngine(
+                    EngineConfig(backend=backend, geom_cache=cached, **_EXACT_ENGINE_CACHE)
+                )
+                supports_cache = engine.capabilities().supports_cache
+                legacy_cache = (
+                    GeometryCache(GeomCacheConfig(**_EXACT_CACHE))
+                    if cached and supports_cache
+                    else None
+                )
+                for round_label in ("first", "repeat"):
+                    label = f"engine {backend} cache={'on' if cached else 'off'} {round_label}"
+                    engine_render = self._render(engine, spec, managed=cached)
+                    legacy_render = self._legacy_render(backend, spec, legacy_cache)
+                    for name in ("image", "depth", "alpha"):
+                        a = getattr(engine_render, name)
+                        b = getattr(legacy_render, name)
+                        if not np.array_equal(a, b):
+                            worst = _max_abs_diff(a, b)
+                            diffs["engine_image"] = max(diffs["engine_image"], worst)
+                            failures.append(
+                                f"{label}: {name} differs from the legacy path "
+                                f"(max diff {worst:.3e})"
+                            )
+                    if not np.array_equal(
+                        engine_render.fragments_per_pixel, legacy_render.fragments_per_pixel
+                    ):
+                        failures.append(f"{label}: fragment counts differ from the legacy path")
+                    if engine_render.cache_status != legacy_render.cache_status:
+                        failures.append(
+                            f"{label}: cache status {engine_render.cache_status!r} != "
+                            f"legacy {legacy_render.cache_status!r}"
+                        )
+                    dL_dimage, dL_ddepth = self._loss_arrays(
+                        spec, engine_render.image.shape, engine_render.depth.shape, salt=29
+                    )
+                    engine_grads = engine.backward(
+                        engine_render, spec.cloud, dL_dimage, dL_ddepth
+                    )
+                    legacy_screen = rasterize_backward(
+                        legacy_render, dL_dimage, dL_ddepth, backend=backend
+                    )
+                    legacy_grads = preprocess_backward(
+                        legacy_screen, spec.cloud, compute_pose_gradient=True
+                    )
+                    for name in GRADIENT_FIELDS:
+                        a = np.asarray(getattr(engine_grads, name))
+                        b = np.asarray(getattr(legacy_grads, name))
+                        if not np.array_equal(a, b):
+                            worst = _max_abs_diff(a, b)
+                            diffs["engine_grad"] = max(diffs["engine_grad"], worst)
+                            failures.append(
+                                f"{label}: gradient {name} differs from the legacy "
+                                f"path (max diff {worst:.3e})"
+                            )
+        return diffs, failures
+
     def run_scenario(self, scenario: Scenario) -> ScenarioReport:
         """Render + backprop ``scenario`` through both backends and compare."""
         spec = scenario.build()
@@ -411,6 +536,7 @@ class DifferentialRunner:
         grads_ref, grads_cand = self.backward_pair(spec, reference, candidate)
         batch_diffs, batch_failures = self.verify_batch(spec, base_render=candidate)
         cache_diffs, cache_failures = self.verify_cache(spec)
+        engine_diffs, engine_failures = self.verify_engine(spec)
 
         image_diff = _max_abs_diff(reference.image, candidate.image)
         depth_diff = _max_abs_diff(reference.depth, candidate.depth)
@@ -449,6 +575,7 @@ class DifferentialRunner:
             )
         failures.extend(batch_failures)
         failures.extend(cache_failures)
+        failures.extend(engine_failures)
 
         return ScenarioReport(
             name=scenario.name,
@@ -465,6 +592,8 @@ class DifferentialRunner:
             batch_gradient_diff=batch_diffs["batch_grad"],
             cache_image_diff=cache_diffs["cache_image"],
             cache_gradient_diff=cache_diffs["cache_grad"],
+            engine_image_diff=engine_diffs["engine_image"],
+            engine_gradient_diff=engine_diffs["engine_grad"],
             failures=failures,
         )
 

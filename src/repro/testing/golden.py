@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.gaussians.rasterizer import RenderResult, rasterize
+from repro.gaussians.rasterizer import RenderResult, rasterize_tile
 from repro.testing.scenarios import Scenario, SceneSpec
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
@@ -37,14 +37,13 @@ def golden_path(name: str, directory: Path | None = None) -> Path:
 
 def render_reference(spec: SceneSpec) -> RenderResult:
     """Render ``spec`` with the reference backend (the golden source of truth)."""
-    return rasterize(
+    return rasterize_tile(
         spec.cloud,
         spec.camera,
         spec.pose_cw,
         background=spec.background,
         tile_size=spec.tile_size,
         subtile_size=spec.subtile_size,
-        backend="tile",
     )
 
 

@@ -1,0 +1,30 @@
+"""Deprecation helper for the legacy free-function render shims.
+
+The engine rework (`repro.engine`) replaced the module-level render entry
+points (``rasterize``, ``rasterize_batch``, ``render_backward``,
+``render_backward_batch``) with methods on an owned :class:`RenderEngine`.
+The free functions survive as thin shims so downstream code and the test
+suite keep working, but every call announces itself with a
+``DeprecationWarning`` attributed to the *caller* — which is what lets the
+test configuration promote shim usage inside ``repro.*`` production code to
+a hard error while tests remain free to exercise the legacy surface.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_render_shim(name: str, replacement: str) -> None:
+    """Emit the standard shim deprecation warning, attributed to the caller.
+
+    ``stacklevel=3`` skips this helper and the shim itself, so the warning
+    (and therefore the warning-filter module match) lands on the code that
+    invoked the deprecated free function.
+    """
+    warnings.warn(
+        f"{name}() is a deprecated free-function shim; render through "
+        f"{replacement} (see repro.engine) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

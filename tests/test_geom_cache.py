@@ -397,7 +397,7 @@ class TestMapperIntegration:
 
     def test_window_iterations_reuse_after_densify_miss(self, sequence):
         mapper = StreamingMapper(MappingConfig(n_iterations=4, batch_views=2))
-        assert mapper._geom_cache is not None
+        assert mapper.engine.cache is not None
         cloud, keyframes = self._seeded(sequence, mapper)
         result = mapper.map(cloud, keyframes)
         statuses = [s.cache_status for s in result.snapshots]
@@ -409,27 +409,27 @@ class TestMapperIntegration:
 
     def test_geom_cache_config_escape_hatch(self, sequence):
         mapper = StreamingMapper(MappingConfig(n_iterations=1, geom_cache=False))
-        assert mapper._geom_cache is None
+        assert mapper.engine.cache is None
         cloud, keyframes = self._seeded(sequence, mapper)
         result = mapper.map(cloud, keyframes)
         assert all(s.cache_status == "uncached" for s in result.snapshots)
 
     def test_geom_cache_env_escape_hatch(self, monkeypatch):
         monkeypatch.setenv("REPRO_GEOM_CACHE", "0")
-        assert StreamingMapper(MappingConfig())._geom_cache is None
+        assert StreamingMapper(MappingConfig()).engine.cache is None
         monkeypatch.setenv("REPRO_GEOM_CACHE", "1")
-        assert StreamingMapper(MappingConfig())._geom_cache is not None
+        assert StreamingMapper(MappingConfig()).engine.cache is not None
 
     def test_notify_removed_clears_cache(self, sequence):
         mapper = StreamingMapper(MappingConfig(n_iterations=2, batch_views=2))
         cloud, keyframes = self._seeded(sequence, mapper)
         mapper.map(cloud, keyframes)
-        assert len(mapper._geom_cache) > 0
+        assert len(mapper.engine.cache) > 0
         keep = np.ones(cloud.n_total, dtype=bool)
         keep[::2] = False
         cloud.keep_only(keep)
         mapper.notify_removed(keep)
-        assert len(mapper._geom_cache) == 0
+        assert len(mapper.engine.cache) == 0
         follow_up = mapper.map(cloud, keyframes)
         assert np.isfinite(follow_up.losses[0])
 
@@ -442,7 +442,7 @@ class TestMapperIntegration:
         cloud.opacity_logits[::2] = -12.0
         result = mapper.map(cloud, keyframes)
         assert result.n_pruned > 0
-        assert len(mapper._geom_cache) == 0
+        assert len(mapper.engine.cache) == 0
 
     def test_covisibility_overlaps_match_intersect1d(self):
         rng = np.random.default_rng(3)

@@ -91,6 +91,16 @@ class TestDifferentialRunner:
         with pytest.raises(AssertionError, match="differential verification failed"):
             runner.assert_all()
 
+    @pytest.mark.parametrize("name", DEFAULT_LIBRARY.names())
+    def test_verify_engine_bit_identical_on_every_scenario(self, name):
+        # Engine-mediated renders must equal the legacy free-function path
+        # bitwise — both backends, cache on and off, miss and hit rounds.
+        runner = DifferentialRunner()
+        diffs, failures = runner.verify_engine(DEFAULT_LIBRARY.get(name).build())
+        assert not failures, failures
+        assert diffs["engine_image"] == 0.0
+        assert diffs["engine_grad"] == 0.0
+
 
 class TestGoldens:
     @pytest.mark.parametrize("name", DEFAULT_LIBRARY.names())
