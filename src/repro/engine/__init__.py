@@ -13,9 +13,10 @@ collapsed into:
   fragment arena (with aliasing protection via :class:`ArenaInUseError`) and
   workload-snapshot emission.
 * :class:`BackendRegistry` / :func:`register_backend` — the pluggable
-  strategy seam.  ``flat`` and ``tile`` are the built-ins; future
-  ``sharded`` / ``async`` execution strategies implement
-  :class:`RenderBackend` and register without touching callers.
+  strategy seam.  ``flat``, ``tile`` and ``sharded`` (multi-process
+  execution of the flat batch plan, :mod:`repro.engine.sharded`) are the
+  built-ins; a future ``async`` execution strategy implements
+  :class:`RenderBackend` and registers without touching callers.
 
 The legacy free functions remain as deprecated shims delegating to
 :func:`default_engine`, so existing call sites keep working bit-identically
@@ -39,8 +40,13 @@ from repro.engine.registry import (
 )
 
 # Importing the built-in backends populates the registry as a side effect;
-# keep this import before anything that resolves backend names.
+# keep these imports before anything that resolves backend names.
 from repro.engine.backends import FlatBackend, TileBackend  # noqa: E402
+from repro.engine.sharded import (  # noqa: E402
+    ShardedBackend,
+    ShardWorkerError,
+    shutdown_shard_pools,
+)
 from repro.engine.engine import (  # noqa: E402
     ArenaInUseError,
     RenderEngine,
@@ -60,10 +66,13 @@ __all__ = [
     "RenderBackend",
     "RenderEngine",
     "RenderRequest",
+    "ShardWorkerError",
+    "ShardedBackend",
     "TileBackend",
     "backend_names",
     "default_engine",
     "geom_cache_enabled_from_env",
     "register_backend",
     "set_default_engine",
+    "shutdown_shard_pools",
 ]

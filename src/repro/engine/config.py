@@ -18,6 +18,10 @@ Environment variables (the full table also lives in the README):
 ``REPRO_TILE_SIZE``      Tile edge in pixels (default 16).
 ``REPRO_SUBTILE_SIZE``   Subtile edge in pixels (default 4; must divide the
                          tile edge).
+``REPRO_SHARD_WORKERS``  Worker processes of the ``sharded`` backend.  Unset
+                         sizes the pool from ``os.cpu_count()``; ``0`` or
+                         ``1`` degrade sharded batches to the serial flat
+                         path.  Must be a non-negative integer.
 ======================== ====================================================
 """
 
@@ -34,12 +38,14 @@ ENV_RASTER_BACKEND = "REPRO_RASTER_BACKEND"
 ENV_GEOM_CACHE = "REPRO_GEOM_CACHE"
 ENV_TILE_SIZE = "REPRO_TILE_SIZE"
 ENV_SUBTILE_SIZE = "REPRO_SUBTILE_SIZE"
+ENV_SHARD_WORKERS = "REPRO_SHARD_WORKERS"
 
 ENGINE_ENV_VARS = (
     ENV_RASTER_BACKEND,
     ENV_GEOM_CACHE,
     ENV_TILE_SIZE,
     ENV_SUBTILE_SIZE,
+    ENV_SHARD_WORKERS,
 )
 
 _FALSEY = ("0", "false", "off")
@@ -85,6 +91,10 @@ class EngineConfig:
     tile_size: int = 16
     subtile_size: int = 4
     geom_cache: bool = True
+    # Worker-process count of the ``sharded`` backend.  ``None`` sizes the
+    # pool from ``os.cpu_count()`` at first use; ``0`` / ``1`` degrade
+    # sharded batches to the serial flat path.
+    shard_workers: int | None = None
     cache_tolerance_px: float = 0.5
     cache_refine_margin: float = 8.0
     cache_termination_margin: float = 0.25
@@ -107,6 +117,11 @@ class EngineConfig:
             raise ValueError(
                 f"tile_size {self.tile_size} must be a multiple of "
                 f"subtile_size {self.subtile_size}"
+            )
+        if self.shard_workers is not None and self.shard_workers < 0:
+            raise ValueError(
+                f"shard_workers must be >= 0 (or None for the cpu-count default), "
+                f"got {self.shard_workers}"
             )
         if self.cache_tolerance_px < 0:
             raise ValueError(f"cache_tolerance_px must be >= 0, got {self.cache_tolerance_px}")
@@ -140,11 +155,27 @@ class EngineConfig:
                     f"{ENV_RASTER_BACKEND}={backend!r} is not a valid rasterizer "
                     f"backend; expected one of {REGISTRY.names()}"
                 )
+        shard_raw = env.get(ENV_SHARD_WORKERS)
+        if shard_raw is None or shard_raw == "":
+            shard_workers = None
+        else:
+            try:
+                shard_workers = int(shard_raw)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_SHARD_WORKERS}={shard_raw!r} is not a valid integer"
+                ) from None
+            if shard_workers < 0:
+                raise ValueError(
+                    f"{ENV_SHARD_WORKERS}={shard_raw!r} must be >= 0 "
+                    "(0/1 degrade the sharded backend to the serial flat path)"
+                )
         config = cls(
             backend=backend,
             tile_size=_int_from_env(env, ENV_TILE_SIZE, 16),
             subtile_size=_int_from_env(env, ENV_SUBTILE_SIZE, 4),
             geom_cache=geom_cache_enabled_from_env(env),
+            shard_workers=shard_workers,
         )
         return replace(config, **overrides) if overrides else config
 

@@ -288,7 +288,9 @@ class RenderEngine:
         )
         batch = impl.render_batch(request)
         if managed:
-            if cache is None:
+            # Sharded batches return arena=None (worker-owned arenas) or the
+            # recycled arena untouched; only adopt a real parent-side arena.
+            if cache is None and batch.arena is not None:
                 self._arena = batch.arena
             self._claim(batch, "render_batch")
         return batch
@@ -358,6 +360,10 @@ class RenderEngine:
         trace=None,
         batch_size: int = 1,
         view_index: int = 0,
+        shard_workers: int = 1,
+        shard_worker_id: int = 0,
+        shard_seconds: float = 0.0,
+        shard_stitch_seconds: float = 0.0,
     ) -> "WorkloadSnapshot":
         """Build the workload snapshot of a render and forward it to the sink."""
         from repro.slam.records import WorkloadSnapshot
@@ -376,6 +382,10 @@ class RenderEngine:
             trace=trace,
             batch_size=batch_size,
             view_index=view_index,
+            shard_workers=shard_workers,
+            shard_worker_id=shard_worker_id,
+            shard_seconds=shard_seconds,
+            shard_stitch_seconds=shard_stitch_seconds,
         )
         if self.config.profiling_sink is not None:
             self.config.profiling_sink(snap)

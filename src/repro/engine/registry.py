@@ -3,10 +3,11 @@
 A backend is a strategy object implementing the five-method
 :class:`RenderBackend` protocol over plain request dataclasses.  The built-in
 ``tile`` and ``flat`` rasterizers are registered in
-:mod:`repro.engine.backends`; future ``sharded`` / ``async`` execution
-strategies register the same way (:func:`register_backend`) and become
-addressable by every engine and by ``set_default_backend`` without touching
-any caller code.
+:mod:`repro.engine.backends` and the multi-process ``sharded`` executor in
+:mod:`repro.engine.sharded`; future execution strategies (e.g. ``async``)
+register the same way (:func:`register_backend`) and become addressable by
+every engine and by ``set_default_backend`` without touching any caller
+code.
 
 This module is deliberately dependency-light: it must be importable from
 ``repro.gaussians.rasterizer`` (for backend-name validation) without pulling

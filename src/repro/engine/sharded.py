@@ -1,0 +1,996 @@
+"""``sharded``: multi-process execution of the batched render plan.
+
+The mapping workload is embarrassingly parallel across the views of a
+keyframe window, and the plan/execute split in :mod:`repro.gaussians.batch`
+makes that parallelism explicit: :func:`~repro.gaussians.batch.plan_batch_views`
+runs the shared per-Gaussian Step 1 and the per-view Step 1-2 once in the
+parent process and emits self-contained work units; this module executes
+those *same* units across a persistent pool of worker processes, so the
+sharded batch is bit-identical to the flat backend's serial execution by
+construction.
+
+Execution model
+---------------
+
+* **Pool** — a lazily started, spawn-safe pool of ``shard_workers``
+  processes (``EngineConfig(shard_workers=N)`` / ``REPRO_SHARD_WORKERS``;
+  unset sizes it from ``os.cpu_count()``).  Pools are shared process-wide per
+  worker count, each worker seeded deterministically via
+  :func:`repro.utils.random.derive_seed` so sharded runs are reproducible
+  regardless of scheduling order.  Worker BLAS pools are pinned to one
+  thread at spawn so shards do not oversubscribe the cores they were created
+  to use.
+* **Forward** — the planner's per-view Step 1-2 products (projected
+  Gaussians, tile layout) are packed into one
+  :mod:`multiprocessing.shared_memory` block per batch instead of being
+  re-pickled per view; workers map it read-only, rasterize their views into
+  worker-local arenas, and write the small forward outputs (image, depth,
+  alpha, fragment counts) back into the same block.  The parent stitches
+  per-view :class:`~repro.gaussians.rasterizer.RenderResult` objects in view
+  order, attaching per-shard attribution
+  (:class:`~repro.gaussians.batch.ShardAttribution`).
+* **Backward** — each worker retains the per-fragment tile caches of the
+  views it rendered, so Step 4 *Rendering BP* runs in parallel where the
+  data already lives; workers return screen-space gradients (per-visible-
+  Gaussian, small) and the parent runs the one fused Step 5 pass
+  (:func:`~repro.gaussians.backward.preprocess_backward_batch`) exactly as
+  the flat backend does.
+* **Degradation** — ``workers <= 1``, single-view batches, geometry-cache
+  batches (cache entries are parent-resident) and platforms whose spawn
+  fails all fall back to the serial flat execution of the same plan.  A
+  worker that dies or errors mid-batch raises :class:`ShardWorkerError`
+  with the worker's traceback — a clean error, never a hang — and the
+  shared pool is discarded so the next batch starts fresh.
+
+Sharded per-view results carry no parent-side tile caches (those are
+worker-resident); their backward pass must run through the engine/backend
+that produced them, which routes it to the owning worker.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import time
+import traceback
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.registry import (
+    BackendCapabilities,
+    BatchRenderRequest,
+    RenderRequest,
+    register_backend,
+)
+from repro.gaussians.backward import preprocess_backward, preprocess_backward_batch
+from repro.gaussians.batch import (
+    BatchGradients,
+    BatchRenderResult,
+    RenderPlan,
+    ShardAttribution,
+    ViewWorkUnit,
+    execute_plan,
+    plan_batch_views,
+    render_backward_batch_views,
+)
+from repro.gaussians.fast_raster import rasterize_flat
+from repro.utils.random import derive_seed
+
+if TYPE_CHECKING:
+    from repro.engine.config import EngineConfig
+    from repro.gaussians.backward import CloudGradients, ScreenSpaceGradients
+    from repro.gaussians.gaussian_model import GaussianCloud
+    from repro.gaussians.rasterizer import RenderResult
+
+# Pool sizing/behaviour knobs.  The default worker count is cpu-count aware
+# but capped: mapping windows rarely exceed a handful of views, so more
+# workers than views only cost spawn time and memory.
+DEFAULT_MAX_WORKERS = 8
+_READY_TIMEOUT_S = 120.0
+_REQUEST_TIMEOUT_S = 600.0
+# Worker-retained batches (each holds its views' tile caches + the mapped
+# input block).  Two tolerates an interleaved second engine without letting a
+# long run accumulate arenas.
+_MAX_RETAINED_BATCHES = 2
+_SHM_ALIGN = 64
+
+_TOKENS = itertools.count(1)
+
+# Per-view projected arrays shipped to workers: exactly what Step 3 forward
+# and Step 4 backward read.  The Step 5 inputs (Jacobians, 3D covariances,
+# camera-frame points) stay in the parent, which runs the fused Step 5.
+_PROJECTED_FIELDS = ("indices", "means2d", "depths", "conics", "opacities", "colors")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died, timed out, or reported an error mid-request."""
+
+
+# -- shared-memory packing ----------------------------------------------------
+class _ShmLayout:
+    """Builds one shared-memory block from copied-in arrays and reservations."""
+
+    def __init__(self) -> None:
+        self.size = 0
+        self._pending: list[tuple[int, np.ndarray]] = []
+
+    def reserve(self, shape: tuple[int, ...], dtype) -> tuple[int, str, tuple[int, ...]]:
+        """Reserve an aligned region; returns its (offset, dtype, shape) spec."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        offset = self.size
+        self.size += -(-nbytes // _SHM_ALIGN) * _SHM_ALIGN
+        return (offset, dtype.str, tuple(int(dim) for dim in shape))
+
+    def add(self, array: np.ndarray) -> tuple[int, str, tuple[int, ...]]:
+        """Schedule ``array`` to be copied into the block; returns its spec."""
+        array = np.ascontiguousarray(array)
+        spec = self.reserve(array.shape, array.dtype)
+        self._pending.append((spec[0], array))
+        return spec
+
+    def create(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(self.size, 1))
+        for offset, array in self._pending:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset)
+            view[...] = array
+            del view
+        self._pending.clear()
+        return shm
+
+
+def _shm_view(shm, spec: tuple[int, str, tuple[int, ...]]) -> np.ndarray:
+    offset, dtype, shape = spec
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+
+
+def _attach_shm(name: str):
+    """Attach to an existing block without registering with the tracker.
+
+    The parent owns every block's lifetime (it created and will unlink it);
+    before 3.13 (``track=False``) a child attach also registers with the
+    *shared* resource tracker, whose duplicate-unregister complaints are pure
+    noise — suppress the registration instead.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def _unit_payload(unit: ViewWorkUnit, layout: _ShmLayout) -> dict:
+    """Describe one work unit for a worker: small metadata + shm array specs."""
+    projected = unit.projected
+    camera = projected.camera
+    height, width = camera.height, camera.width
+    return {
+        "index": unit.index,
+        "camera": camera,
+        "pose_cw": projected.pose_cw,
+        "background": unit.background,
+        "tile_size": unit.tile_size,
+        "subtile_size": unit.subtile_size,
+        "tile_slices": list(unit.fragments.tile_slices),
+        "n_fragments": unit.fragments.n_fragments,
+        "max_per_pixel": unit.fragments.max_per_pixel,
+        "arrays": {
+            name: layout.add(getattr(projected, name)) for name in _PROJECTED_FIELDS
+        },
+        "tile_rows": [layout.add(rows) for rows in unit.fragments.tile_rows],
+        "tile_pixel_lin": [layout.add(lin) for lin in unit.fragments.tile_pixel_lin],
+        "outputs": {
+            "image": layout.reserve((height, width, 3), np.float64),
+            "depth": layout.reserve((height, width), np.float64),
+            "alpha": layout.reserve((height, width), np.float64),
+            "fragments_per_pixel": layout.reserve((height, width), np.int64),
+        },
+    }
+
+
+# -- worker process ------------------------------------------------------------
+def _rebuild_view_inputs(meta: dict, shm):
+    """Reconstruct the rasterization inputs of one work unit from shared memory.
+
+    The rebuilt :class:`ProjectedGaussians` carries only the fields Step 3/4
+    read (plus zero-row placeholders for the Step 5 inputs that never leave
+    the parent), backed zero-copy by the mapped block.
+    """
+    from repro.gaussians.fast_raster import FlatFragments
+    from repro.gaussians.projection import ProjectedGaussians
+    from repro.gaussians.sorting import TileIntersections
+    from repro.gaussians.tiling import TileGrid
+
+    arrays = {name: _shm_view(shm, spec) for name, spec in meta["arrays"].items()}
+    projected = ProjectedGaussians(
+        indices=arrays["indices"],
+        means2d=arrays["means2d"],
+        depths=arrays["depths"],
+        cov2d=np.zeros((0, 2, 2)),
+        conics=arrays["conics"],
+        radii=np.zeros(0),
+        colors=arrays["colors"],
+        opacities=arrays["opacities"],
+        points_cam=np.zeros((0, 3)),
+        jacobians=np.zeros((0, 2, 3)),
+        cov3d=np.zeros((0, 3, 3)),
+        rotation_cw=np.eye(3),
+        camera=meta["camera"],
+        pose_cw=meta["pose_cw"],
+    )
+    camera = meta["camera"]
+    grid = TileGrid(camera.width, camera.height, meta["tile_size"], meta["subtile_size"])
+    intersections = TileIntersections(grid=grid, per_tile=[], projected=projected)
+    fragments = FlatFragments(
+        width=camera.width,
+        tile_slices=[tuple(entry) for entry in meta["tile_slices"]],
+        tile_rows=[_shm_view(shm, spec) for spec in meta["tile_rows"]],
+        tile_pixel_lin=[_shm_view(shm, spec) for spec in meta["tile_pixel_lin"]],
+        n_fragments=meta["n_fragments"],
+        max_per_pixel=meta["max_per_pixel"],
+    )
+    return projected, intersections, fragments
+
+
+class _WorkerContext:
+    """Per-worker persistent state: retained batches and recycled arenas.
+
+    Arenas rotate over ``_MAX_RETAINED_BATCHES`` slots and grow-only recycle
+    (the worker-side mirror of the parent's ``ensure_flat_arena`` recycling):
+    reusing a slot's warm, already-faulted pages instead of allocating a
+    fresh arena per batch, while guaranteeing a retained batch's tile caches
+    are never overwritten — the batch occupying a slot is dropped before its
+    arena is reused, which also bounds retention to the slot count.
+    """
+
+    def __init__(self) -> None:
+        self.batches: OrderedDict = OrderedDict()  # token -> (results, shm, slot)
+        self.arenas: dict[int, object] = {}  # slot -> FlatArena
+        self.render_count = 0
+
+
+def _worker_handle_render(ctx: _WorkerContext, payload) -> tuple:
+    from repro.gaussians.fast_raster import ensure_flat_arena, rasterize_flat_into
+
+    token, shm_name, unit_metas = payload
+    shm = _attach_shm(shm_name)
+    try:
+        slot = ctx.render_count % _MAX_RETAINED_BATCHES
+        ctx.render_count += 1
+        for stale_token, (_, _, used_slot) in list(ctx.batches.items()):
+            if used_slot == slot:
+                _worker_drop_batch(ctx, stale_token)
+        arena = ensure_flat_arena(
+            ctx.arenas.get(slot), sum(meta["n_fragments"] for meta in unit_metas)
+        )
+        ctx.arenas[slot] = arena
+        results: dict[int, object] = {}
+        timings: list[tuple[int, float]] = []
+        base = 0
+        for meta in unit_metas:
+            start = time.perf_counter()
+            projected, intersections, fragments = _rebuild_view_inputs(meta, shm)
+            result = rasterize_flat_into(
+                projected, intersections, fragments, meta["background"], arena, base
+            )
+            base += fragments.n_fragments
+            outputs = meta["outputs"]
+            _shm_view(shm, outputs["image"])[...] = result.image
+            _shm_view(shm, outputs["depth"])[...] = result.depth
+            _shm_view(shm, outputs["alpha"])[...] = result.alpha
+            _shm_view(shm, outputs["fragments_per_pixel"])[...] = result.fragments_per_pixel
+            results[meta["index"]] = result
+            timings.append((meta["index"], time.perf_counter() - start))
+    except BaseException:
+        # The batch never registered in ctx.batches, so nothing would ever
+        # reclaim the mapping; drop every local that references it, then
+        # close it before the error reply goes out (worker-reported errors
+        # keep this worker alive and reusable).
+        results = result = projected = intersections = fragments = None
+        del results, result, projected, intersections, fragments
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        raise
+    # Retain this batch's state (tile caches + mapped inputs) for its
+    # backward pass.
+    ctx.batches[token] = (results, shm, slot)
+    return ("ok", timings)
+
+
+def _worker_handle_backward(ctx: _WorkerContext, payload) -> tuple:
+    from repro.gaussians.fast_raster import rasterize_backward_flat
+
+    token, shm_name, items = payload
+    entry = ctx.batches.get(token)
+    if entry is None:
+        raise RuntimeError(
+            f"batch {token} is no longer resident in this worker (evicted after "
+            f"{_MAX_RETAINED_BATCHES} newer batches); run the backward pass before "
+            "rendering further batches"
+        )
+    results = entry[0]
+    shm = _attach_shm(shm_name)
+    try:
+        replies = []
+        for view_index, image_spec, depth_spec in items:
+            start = time.perf_counter()
+            dL_dimage = _shm_view(shm, image_spec)
+            dL_ddepth = None if depth_spec is None else _shm_view(shm, depth_spec)
+            screen = rasterize_backward_flat(results[view_index], dL_dimage, dL_ddepth)
+            # trace.fragments_per_pixel is a copy of the forward counts the
+            # parent already holds (stitched from this very render), so it
+            # is rebuilt parent-side instead of pickled back per view.
+            replies.append(
+                (
+                    view_index,
+                    screen.colors,
+                    screen.opacities,
+                    screen.means2d,
+                    screen.conics,
+                    screen.depths,
+                    screen.trace.tile_ids,
+                    screen.trace.per_tile_source_indices,
+                    screen.trace.per_tile_pixel_counts,
+                    time.perf_counter() - start,
+                )
+            )
+            del dL_dimage, dL_ddepth
+        return ("ok", replies)
+    finally:
+        try:
+            shm.close()
+        except BufferError:
+            pass
+
+
+def _worker_drop_batch(ctx: _WorkerContext, token: int) -> None:
+    results, shm, _slot = ctx.batches.pop(token)
+    # Drop every reference into the mapped block before closing it; a stray
+    # exported buffer just leaves the mapping to die with the process.  The
+    # slot's arena is kept for recycling.
+    results.clear()
+    del results
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+def _worker_main(conn, worker_id: int, seed_base: int | None) -> None:
+    """Entry point of one shard worker (spawn-safe: importable top-level)."""
+    seed = derive_seed(seed_base, worker_id)
+    np.random.seed(seed % 2**32)
+    # Deterministic per-worker generator for any stochastic kernel a future
+    # backend feature runs shard-side.
+    globals()["_WORKER_RNG"] = np.random.default_rng(seed)
+    ctx = _WorkerContext()
+    conn.send(("ready", worker_id))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        command = message[0]
+        if command == "shutdown":
+            break
+        try:
+            if command == "render":
+                reply = _worker_handle_render(ctx, message[1])
+            elif command == "backward":
+                reply = _worker_handle_backward(ctx, message[1])
+            elif command == "ping":
+                reply = ("ok", worker_id)
+            else:
+                raise ValueError(f"unknown shard command {command!r}")
+        except BaseException:
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, EOFError, OSError):
+            break
+    for token in list(ctx.batches):
+        _worker_drop_batch(ctx, token)
+
+
+# -- pool ----------------------------------------------------------------------
+_BLAS_ENV_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS")
+
+
+@contextmanager
+def _single_threaded_blas_for_children():
+    """Pin child BLAS pools to one thread (workers parallelise across shards).
+
+    The variables are set around ``Process.start()`` only — spawn snapshots
+    the environment at exec — and restored so the parent keeps its own BLAS
+    configuration.  Explicit user settings are left untouched.
+    """
+    previous = {name: os.environ.get(name) for name in _BLAS_ENV_VARS}
+    for name in _BLAS_ENV_VARS:
+        os.environ.setdefault(name, "1")
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+@dataclass
+class _Worker:
+    process: object
+    conn: object
+    worker_id: int
+
+
+class ShardedPool:
+    """Persistent pool of spawn-started shard workers with pipe transports."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        seed_base: int | None = None,
+        start_timeout: float = _READY_TIMEOUT_S,
+    ):
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        self.n_workers = int(n_workers)
+        self.seed_base = seed_base
+        self._broken = False
+        self._workers: list[_Worker] = []
+        try:
+            with _single_threaded_blas_for_children():
+                for worker_id in range(self.n_workers):
+                    parent_conn, child_conn = context.Pipe()
+                    process = context.Process(
+                        target=_worker_main,
+                        args=(child_conn, worker_id, seed_base),
+                        name=f"repro-shard-{worker_id}",
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    self._workers.append(_Worker(process, parent_conn, worker_id))
+            for worker in self._workers:
+                reply = self._receive(worker, timeout=start_timeout)
+                if reply != ("ready", worker.worker_id):
+                    raise ShardWorkerError(
+                        f"shard worker {worker.worker_id} sent unexpected handshake "
+                        f"{reply!r}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def broken(self) -> bool:
+        """True once any worker died/timed out; the pool must be replaced."""
+        return self._broken
+
+    def request_all(self, messages: dict[int, tuple]) -> dict[int, tuple]:
+        """Send one message per worker id, then gather every reply.
+
+        All sends complete before the first receive so the shards execute
+        concurrently.  A dead, hung or erroring worker raises
+        :class:`ShardWorkerError`; pool-level failures (death/timeout) mark
+        the pool broken, worker-reported errors leave it usable — every
+        healthy worker's reply is drained first so the pipes stay in sync
+        for the next request.
+        """
+        for worker_id, message in messages.items():
+            worker = self._workers[worker_id]
+            try:
+                worker.conn.send(message)
+            except (BrokenPipeError, OSError) as error:
+                self._broken = True
+                raise ShardWorkerError(
+                    f"shard worker {worker_id} is gone (send failed: {error})"
+                ) from None
+        replies: dict[int, tuple] = {}
+        first_error: ShardWorkerError | None = None
+        for worker_id in messages:
+            try:
+                replies[worker_id] = self._receive(self._workers[worker_id])
+            except ShardWorkerError as error:
+                if self._broken:
+                    # Death/timeout desynchronises the pipes regardless; the
+                    # pool is done for, so stop draining.
+                    raise
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    def _receive(self, worker: _Worker, timeout: float = _REQUEST_TIMEOUT_S) -> tuple:
+        deadline = time.monotonic() + timeout
+        while not worker.conn.poll(0.02):
+            if not worker.process.is_alive():
+                self._broken = True
+                raise ShardWorkerError(
+                    f"shard worker {worker.worker_id} died before replying "
+                    f"(exit code {worker.process.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                self._broken = True
+                raise ShardWorkerError(
+                    f"shard worker {worker.worker_id} did not reply within "
+                    f"{timeout:.0f}s"
+                )
+        try:
+            reply = worker.conn.recv()
+        except (EOFError, OSError) as error:
+            self._broken = True
+            raise ShardWorkerError(
+                f"shard worker {worker.worker_id} hung up mid-reply: {error}"
+            ) from None
+        if reply and reply[0] == "error":
+            raise ShardWorkerError(
+                f"shard worker {worker.worker_id} failed:\n{reply[1]}"
+            )
+        return reply
+
+    def close(self) -> None:
+        """Shut every worker down; terminate any that do not exit promptly."""
+        for worker in self._workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            worker.conn.close()
+        self._workers.clear()
+        self._broken = True
+
+
+# Pools are shared process-wide per (worker count, seed): spawn + numpy import
+# costs seconds per worker, and every engine pinned to the same configuration
+# can safely share workers because batch state is token-keyed.
+_POOLS: dict[tuple[int, int | None], ShardedPool] = {}
+
+
+def _shared_pool(n_workers: int, seed_base: int | None = None) -> ShardedPool:
+    key = (n_workers, seed_base)
+    pool = _POOLS.get(key)
+    if pool is not None and pool.broken:
+        pool.close()
+        del _POOLS[key]
+        pool = None
+    if pool is None:
+        pool = ShardedPool(n_workers, seed_base=seed_base)
+        _POOLS[key] = pool
+    return pool
+
+
+def _discard_pool(pool: ShardedPool) -> None:
+    for key, candidate in list(_POOLS.items()):
+        if candidate is pool:
+            del _POOLS[key]
+    pool.close()
+
+
+def shutdown_shard_pools() -> None:
+    """Terminate every shared shard pool (idempotent; re-created on next use)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_shard_pools)
+
+
+# -- the backend ---------------------------------------------------------------
+@dataclass
+class _ShardHandle:
+    """Links a parent-side view result to the worker holding its tile caches."""
+
+    pool: ShardedPool
+    token: int
+    worker_id: int
+    view_index: int
+
+
+def default_shard_workers() -> int:
+    """The cpu-count-aware worker default used when ``shard_workers`` is unset."""
+    return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+
+
+class ShardedBackend:
+    """Multi-process execution of the flat batch plan behind the backend seam.
+
+    Capabilities are honest: batches yes, geometry cache no — cache entries
+    (and their refinement state) are parent-resident, so cached batches and
+    single-view renders run the serial flat path unchanged.  Only genuinely
+    multi-view uncached batches are sharded.
+    """
+
+    name = "sharded"
+
+    def __init__(self, config: "EngineConfig"):
+        self.config = config
+        self._unavailable_reason: str | None = None
+
+    # -- capabilities / sizing ----------------------------------------------
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            supports_batch=True,
+            supports_cache=False,
+            reference=False,
+            description=(
+                "multi-process sharded execution of the flat batch plan "
+                "(repro.engine.sharded)"
+            ),
+        )
+
+    def resolved_workers(self) -> int:
+        """Worker count after applying the config/env knob and the cpu default."""
+        if self.config.shard_workers is not None:
+            return self.config.shard_workers
+        return default_shard_workers()
+
+    def _pool_for(self, n_views: int) -> ShardedPool | None:
+        """The pool to shard over, or ``None`` when serial execution is right.
+
+        Spawn failures (platforms without working process support) latch the
+        backend into serial mode; runtime worker failures do *not* — they
+        raise and the next batch retries with a fresh pool.
+        """
+        workers = self.resolved_workers()
+        if workers <= 1 or n_views <= 1 or self._unavailable_reason is not None:
+            return None
+        try:
+            return _shared_pool(workers)
+        except Exception as error:  # spawn unsupported/failed: degrade for good
+            self._unavailable_reason = f"{type(error).__name__}: {error}"
+            import warnings
+
+            warnings.warn(
+                "the sharded render backend could not start its worker pool "
+                f"({self._unavailable_reason}); this engine's batches will run "
+                "on the serial flat path from now on",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    # -- forward -------------------------------------------------------------
+    def render(self, request: RenderRequest) -> "RenderResult":
+        # Single views gain nothing from sharding; run the flat fast path
+        # (cache/precomputed dispatch included) so the result keeps its tile
+        # caches and its backward pass stays local.
+        return rasterize_flat(
+            request.cloud,
+            request.camera,
+            request.pose_cw,
+            background=request.background,
+            tile_size=request.tile_size,
+            subtile_size=request.subtile_size,
+            active_only=request.active_only,
+            precomputed=request.precomputed,
+            cache=request.cache,
+        )
+
+    def render_batch(self, request: BatchRenderRequest) -> BatchRenderResult:
+        plan = plan_batch_views(
+            request.cloud,
+            request.cameras,
+            request.poses_cw,
+            backgrounds=request.backgrounds,
+            tile_size=request.tile_size,
+            subtile_size=request.subtile_size,
+            active_only=request.active_only,
+            cache=request.cache,
+        )
+        pool = None if plan.cache is not None else self._pool_for(plan.n_views)
+        if pool is None:
+            return execute_plan(plan, arena=request.arena)
+        try:
+            return self._execute_sharded(plan, pool, request.arena)
+        except ShardWorkerError:
+            # Only a pool-level failure (worker death/timeout) requires a
+            # respawn; a worker-*reported* error leaves the pool — and every
+            # other batch's worker-resident state — intact.
+            if pool.broken:
+                _discard_pool(pool)
+            raise
+
+    def _execute_sharded(
+        self, plan: RenderPlan, pool: ShardedPool, arena
+    ) -> BatchRenderResult:
+        from repro.gaussians.rasterizer import RenderResult
+
+        token = next(_TOKENS)
+        n_active = min(pool.n_workers, plan.n_views)
+        worker_of = {unit.index: unit.index % n_active for unit in plan.units}
+
+        dispatch_start = time.perf_counter()
+        layout = _ShmLayout()
+        metas = [_unit_payload(unit, layout) for unit in plan.units]
+        shm = layout.create()
+        try:
+            messages = {
+                worker_id: (
+                    "render",
+                    (
+                        token,
+                        shm.name,
+                        [metas[i] for i in sorted(worker_of) if worker_of[i] == worker_id],
+                    ),
+                )
+                for worker_id in range(n_active)
+            }
+            dispatch_seconds = time.perf_counter() - dispatch_start
+
+            shard_start = time.perf_counter()
+            replies = pool.request_all(messages)
+            shard_wall = time.perf_counter() - shard_start
+
+            stitch_start = time.perf_counter()
+            view_shard_seconds = [0.0] * plan.n_views
+            worker_seconds = {worker_id: 0.0 for worker_id in range(n_active)}
+            for worker_id, reply in replies.items():
+                for view_index, seconds in reply[1]:
+                    view_shard_seconds[view_index] = seconds
+                    worker_seconds[worker_id] += seconds
+            views: list[RenderResult] = []
+            for unit, meta in zip(plan.units, metas):
+                outputs = meta["outputs"]
+                background = (
+                    np.zeros(3)
+                    if unit.background is None
+                    else np.asarray(unit.background, dtype=np.float64).reshape(3)
+                )
+                view = RenderResult(
+                    image=np.array(_shm_view(shm, outputs["image"])),
+                    depth=np.array(_shm_view(shm, outputs["depth"])),
+                    alpha=np.array(_shm_view(shm, outputs["alpha"])),
+                    fragments_per_pixel=np.array(_shm_view(shm, outputs["fragments_per_pixel"])),
+                    projected=unit.projected,
+                    intersections=unit.intersections,
+                    tile_caches=[],
+                    camera=unit.projected.camera,
+                    pose_cw=unit.projected.pose_cw,
+                    background=background,
+                    backend="sharded",
+                )
+                view.shard_info = _ShardHandle(
+                    pool=pool,
+                    token=token,
+                    worker_id=worker_of[unit.index],
+                    view_index=unit.index,
+                )
+                views.append(view)
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+        batch = BatchRenderResult(
+            views=views,
+            shared=plan.shared,
+            # Workers own the arenas the views' tile caches live in; the
+            # caller-supplied arena passes through untouched so a later
+            # serial batch can still recycle it.
+            arena=arena,
+            shared_seconds=plan.shared_seconds,
+            view_seconds=[
+                unit.plan_seconds + view_shard_seconds[unit.index] for unit in plan.units
+            ],
+            sharding=ShardAttribution(
+                n_workers=n_active,
+                worker_ids=[worker_of[index] for index in range(plan.n_views)],
+                view_shard_seconds=view_shard_seconds,
+                worker_seconds=worker_seconds,
+                dispatch_seconds=dispatch_seconds,
+                stitch_seconds=time.perf_counter() - stitch_start,
+                shard_wall_seconds=shard_wall,
+            ),
+        )
+        return batch
+
+    # -- backward ------------------------------------------------------------
+    def _shard_backward(
+        self,
+        handles: "list[_ShardHandle]",
+        view_results,
+        items: list[tuple[int, np.ndarray, "np.ndarray | None"]],
+    ) -> "list[ScreenSpaceGradients]":
+        """Run Step 4 on the owning workers; returns per-view screen gradients.
+
+        ``view_results`` maps each view index to its parent-side
+        :class:`RenderResult` (list or dict): the screen gradients reattach
+        the parent's ``projected`` and rebuild the trace's forward fragment
+        counts from the stitched result instead of shipping them back.
+        """
+        from repro.gaussians.backward import GradientTrace, ScreenSpaceGradients
+
+        pool = handles[0].pool
+        token = handles[0].token
+        # Loss gradients ship through one shared-memory block (a few MB per
+        # view: pickling them over the pipes would serialise in the parent).
+        layout = _ShmLayout()
+        per_worker: dict[int, list] = {}
+        for handle, (view_index, dL_dimage, dL_ddepth) in zip(handles, items):
+            image_spec = layout.add(np.asarray(dL_dimage, dtype=np.float64))
+            depth_spec = (
+                None
+                if dL_ddepth is None
+                else layout.add(np.asarray(dL_ddepth, dtype=np.float64))
+            )
+            per_worker.setdefault(handle.worker_id, []).append(
+                (view_index, image_spec, depth_spec)
+            )
+        shm = layout.create()
+        try:
+            messages = {
+                worker_id: ("backward", (token, shm.name, worker_items))
+                for worker_id, worker_items in per_worker.items()
+            }
+            try:
+                replies = pool.request_all(messages)
+            except ShardWorkerError:
+                # See render_batch: recoverable worker-reported errors (e.g.
+                # an evicted batch) must not tear down the shared pool.
+                if pool.broken:
+                    _discard_pool(pool)
+                raise
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        screen_by_view: dict[int, ScreenSpaceGradients] = {}
+        for reply in replies.values():
+            for (
+                view_index,
+                colors,
+                opacities,
+                means2d,
+                conics,
+                depths,
+                trace_tile_ids,
+                trace_sources,
+                trace_counts,
+                _seconds,
+            ) in reply[1]:
+                view_result = view_results[view_index]
+                screen_by_view[view_index] = ScreenSpaceGradients(
+                    projected=view_result.projected,
+                    colors=colors,
+                    opacities=opacities,
+                    means2d=means2d,
+                    conics=conics,
+                    depths=depths,
+                    trace=GradientTrace(
+                        tile_ids=list(trace_tile_ids),
+                        per_tile_source_indices=list(trace_sources),
+                        per_tile_pixel_counts=list(trace_counts),
+                        fragments_per_pixel=view_result.fragments_per_pixel.copy(),
+                    ),
+                )
+        return [screen_by_view[view_index] for view_index, _, _ in items]
+
+    def backward(
+        self,
+        result: "RenderResult",
+        cloud: "GaussianCloud",
+        dL_dimage: np.ndarray,
+        dL_ddepth: "np.ndarray | None",
+        compute_pose_gradient: bool,
+    ) -> "CloudGradients":
+        handle = getattr(result, "shard_info", None)
+        if handle is None:
+            if getattr(result, "backend", None) == "sharded":
+                raise ShardWorkerError(
+                    "sharded render result carries no worker handle (was it "
+                    "copied or unpickled?); its backward pass cannot run"
+                )
+            from repro.engine.backends import _render_backward_core
+
+            return _render_backward_core(
+                "flat", result, cloud, dL_dimage, dL_ddepth, compute_pose_gradient
+            )
+        self._check_loss_shapes(result, dL_dimage, dL_ddepth)
+        screen = self._shard_backward(
+            [handle], {handle.view_index: result},
+            [(handle.view_index, dL_dimage, dL_ddepth)],
+        )[0]
+        return preprocess_backward(screen, cloud, compute_pose_gradient=compute_pose_gradient)
+
+    def backward_batch(
+        self,
+        batch: BatchRenderResult,
+        cloud: "GaussianCloud",
+        dL_dimages: "Sequence[np.ndarray]",
+        dL_ddepths: "Sequence[np.ndarray | None] | None",
+        compute_pose_gradient: bool,
+    ) -> BatchGradients:
+        handles = [getattr(view, "shard_info", None) for view in batch.views]
+        if all(handle is None for handle in handles):
+            # Serial-fallback batches (and flat batches routed here
+            # explicitly) have parent-resident tile caches.
+            return render_backward_batch_views(
+                batch,
+                cloud,
+                dL_dimages,
+                dL_ddepths,
+                compute_pose_gradient=compute_pose_gradient,
+            )
+        if any(handle is None for handle in handles):
+            raise ShardWorkerError(
+                "some views of this sharded batch carry no worker handle (were "
+                "they copied or unpickled?); its backward pass cannot run"
+            )
+        dL_dimages = list(dL_dimages)
+        if len(dL_dimages) != batch.n_views:
+            raise ValueError(
+                f"got {len(dL_dimages)} image gradients for {batch.n_views} views"
+            )
+        if dL_ddepths is None:
+            dL_ddepths = [None] * batch.n_views
+        else:
+            dL_ddepths = list(dL_ddepths)
+            if len(dL_ddepths) != batch.n_views:
+                raise ValueError(
+                    f"got {len(dL_ddepths)} depth gradients for {batch.n_views} views"
+                )
+        for view, dL_dimage, dL_ddepth in zip(batch.views, dL_dimages, dL_ddepths):
+            self._check_loss_shapes(view, dL_dimage, dL_ddepth)
+
+        screen = self._shard_backward(
+            handles,
+            batch.views,
+            list(zip(range(batch.n_views), dL_dimages, dL_ddepths)),
+        )
+        cloud_grads, per_view_twists = preprocess_backward_batch(
+            screen, cloud, compute_pose_gradient=compute_pose_gradient
+        )
+        return BatchGradients(
+            cloud=cloud_grads, screen=screen, per_view_pose_twists=per_view_twists
+        )
+
+    @staticmethod
+    def _check_loss_shapes(result, dL_dimage, dL_ddepth) -> None:
+        """Parent-side mirror of the backward shape checks (clean ValueError)."""
+        dL_dimage = np.asarray(dL_dimage)
+        if dL_dimage.shape != result.image.shape:
+            raise ValueError(
+                f"dL_dimage shape {dL_dimage.shape} does not match image "
+                f"{result.image.shape}"
+            )
+        if dL_ddepth is not None:
+            dL_ddepth = np.asarray(dL_ddepth)
+            if dL_ddepth.shape != result.depth.shape:
+                raise ValueError(
+                    f"dL_ddepth shape {dL_ddepth.shape} does not match depth "
+                    f"{result.depth.shape}"
+                )
+
+
+register_backend("sharded", ShardedBackend)

@@ -21,6 +21,23 @@ costs once:
   result, which is what the profiling layer and the hardware model consume to
   amortise Step 1 across the batch.
 
+The batch pipeline is an explicit **plan/execute** split:
+
+* :func:`plan_batch_views` runs everything that must see the whole batch at
+  once — shared per-Gaussian preprocessing, per-view Step 1-2 (projection,
+  tile assignment, flat fragment build; geometry-cache lookups when a cache
+  is threaded through) and the arena reservation — and emits one
+  self-contained :class:`ViewWorkUnit` per view;
+* :func:`execute_view` rasterizes a single work unit, independently of every
+  other unit, and :func:`execute_plan` runs all units serially and stitches
+  the per-view results back into a :class:`BatchRenderResult` in view order.
+
+Uncached work units are picklable and carry everything a worker process needs
+(projected Gaussians, tile layout, background, arena slice), which is the
+seam the ``sharded`` backend (:mod:`repro.engine.sharded`) executes in
+parallel across a worker pool.  The flat backend executes the *same* plan
+serially, so both backends are behaviour-preserving by construction.
+
 :func:`render_backward_batch` runs the per-view Step 4 Rendering BP (tile
 caches are per-view by construction) and then folds every view's screen-space
 gradients into **one** fused Step 5 pass
@@ -72,6 +89,30 @@ if TYPE_CHECKING:
 
 
 @dataclass
+class ShardAttribution:
+    """Per-shard accounting of one sharded batch render.
+
+    Present on :class:`BatchRenderResult` only when the batch was actually
+    executed across worker processes; the profiling layer threads it into the
+    per-view :class:`~repro.slam.records.WorkloadSnapshot` fields
+    (``shard_workers`` / ``shard_worker_id`` / ``shard_seconds`` /
+    ``shard_stitch_seconds``) consumed by ``batch_amortization_report`` and
+    the hardware model.
+    """
+
+    n_workers: int  # worker processes that executed this batch
+    worker_ids: list[int]  # per view: the worker that rasterized it
+    view_shard_seconds: list[float]  # per view: wall-clock inside its worker
+    worker_seconds: dict[int, float]  # per worker: total wall-clock of its shard
+    # Parent-side shared-memory pack + message construction overhead.  The
+    # pipe sends themselves overlap with worker execution and are part of
+    # shard_wall_seconds (the send->last-reply critical path).
+    dispatch_seconds: float
+    stitch_seconds: float  # parent-side gather + result assembly overhead
+    shard_wall_seconds: float = 0.0  # wall-clock of the parallel phase (critical path)
+
+
+@dataclass
 class BatchRenderResult:
     """Per-view renders plus the shared state and timings of one batch."""
 
@@ -79,9 +120,15 @@ class BatchRenderResult:
     # View-independent Step 1 data; None when a geometry cache served every
     # view from its entries (nothing needed rebuilding).
     shared: SharedGaussianData | None
-    arena: FlatArena
+    # The parent-process fragment arena the views rasterized into.  ``None``
+    # for sharded batches: each worker owns the arena its views' tile caches
+    # alias, so there is nothing for the caller to recycle.
+    arena: FlatArena | None
     shared_seconds: float  # view-independent preprocessing wall-clock
     view_seconds: list[float]  # per-view projection + sort + raster wall-clock
+    # Per-shard attribution of a multi-process batch; None when the batch was
+    # executed serially in the parent process.
+    sharding: ShardAttribution | None = None
 
     @property
     def n_views(self) -> int:
@@ -96,12 +143,23 @@ class BatchRenderResult:
         return [view.n_fragments for view in self.views]
 
     def timings(self) -> dict[str, float | list[float]]:
-        """Wall-clock decomposition consumed by profiling and benchmarks."""
-        return {
+        """Wall-clock decomposition consumed by profiling and benchmarks.
+
+        ``total_s`` sums per-view work; for a sharded batch that is CPU time
+        across workers, not wall-clock, and the extra ``dispatch_s`` /
+        ``stitch_s`` / ``n_shard_workers`` keys attribute the parent-side
+        orchestration overhead.
+        """
+        timings: dict[str, float | list[float]] = {
             "shared_s": self.shared_seconds,
             "views_s": list(self.view_seconds),
             "total_s": self.shared_seconds + sum(self.view_seconds),
         }
+        if self.sharding is not None:
+            timings["dispatch_s"] = self.sharding.dispatch_seconds
+            timings["stitch_s"] = self.sharding.stitch_seconds
+            timings["n_shard_workers"] = float(self.sharding.n_workers)
+        return timings
 
 
 @dataclass
@@ -145,6 +203,247 @@ def _normalise_backgrounds(
     return [shared_background] * n_views
 
 
+@dataclass
+class ViewWorkUnit:
+    """One view's self-contained rasterization work, emitted by the planner.
+
+    A unit carries everything :func:`execute_view` needs — the view's Step 1-2
+    products, its background, tile granularity and its reserved base-offset
+    slice of the batch arena — and nothing else, so units can be executed in
+    any order, in any process.  Uncached units are picklable (the ``sharded``
+    backend ships them to worker processes); units planned through a geometry
+    cache additionally reference the parent-process cache entry via
+    ``cache_plan`` and must be executed in the planning process.
+    """
+
+    index: int  # position of this view within its batch
+    projected: ProjectedGaussians
+    intersections: TileIntersections
+    fragments: FlatFragments
+    background: np.ndarray | None
+    tile_size: int
+    subtile_size: int
+    base: int  # reserved fragment offset into the batch arena
+    plan_seconds: float  # Step 1-2 wall-clock attributed to this view
+    cache_plan: object | None = None  # geom_cache._ViewPlan on the cached path
+
+    @property
+    def n_fragments(self) -> int:
+        return self.fragments.n_fragments
+
+
+@dataclass
+class RenderPlan:
+    """The planned batch: shared preprocessing plus one work unit per view.
+
+    Produced by :func:`plan_batch_views`; executed serially by
+    :func:`execute_plan` (the flat backend) or in parallel by the ``sharded``
+    backend, which rasterizes the same units across worker processes.
+    ``cache`` is the geometry cache the units were planned against (``None``
+    on the uncached path); cached plans own no arena reservation conflicts —
+    the cache's shared grow-only arena supersedes any caller arena.
+    """
+
+    units: list[ViewWorkUnit]
+    shared: SharedGaussianData | None
+    shared_seconds: float
+    total_fragments: int
+    cache: "GeometryCache | None" = None
+
+    @property
+    def n_views(self) -> int:
+        return len(self.units)
+
+
+def plan_batch_views(
+    cloud: GaussianCloud,
+    cameras: Sequence[Camera],
+    poses_cw: Sequence[SE3],
+    backgrounds: np.ndarray | Sequence[np.ndarray | None] | None = None,
+    tile_size: int = 16,
+    subtile_size: int = 4,
+    active_only: bool = True,
+    cache: "GeometryCache | None" = None,
+) -> RenderPlan:
+    """Plan a batch render: shared Step 1, per-view Step 1-2, arena reservation.
+
+    Runs the view-independent per-Gaussian preprocessing once, the per-view
+    projection / tile assignment / flat-fragment build (or the geometry-cache
+    lookup-and-build when ``cache`` is given), and assigns every view its
+    base-offset slice of the batch arena.  The returned plan's work units are
+    self-contained; rasterization itself happens in :func:`execute_view` /
+    :func:`execute_plan`.
+    """
+    cameras = list(cameras)
+    poses_cw = list(poses_cw)
+    if len(cameras) != len(poses_cw):
+        raise ValueError(
+            f"got {len(cameras)} cameras but {len(poses_cw)} poses; one pose per view"
+        )
+    if not cameras:
+        raise ValueError("batched rendering needs at least one view")
+    backgrounds_per_view = _normalise_backgrounds(backgrounds, len(cameras))
+
+    plan_seconds = [0.0] * len(cameras)
+    if cache is not None:
+        cache_plans = []
+        for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
+            start = time.perf_counter()
+            cache_plans.append(
+                cache.plan_view(cloud, camera, pose_cw, tile_size, subtile_size, active_only)
+            )
+            plan_seconds[index] += time.perf_counter() - start
+
+        # The view-independent Step 1 half is needed (once) only for views
+        # the cache could not serve.
+        shared = None
+        shared_seconds = 0.0
+        if any(plan.status == "miss" for plan in cache_plans):
+            start = time.perf_counter()
+            shared = shared_preprocess(cloud, active_only=active_only)
+            shared_seconds = time.perf_counter() - start
+        for index, view_plan in enumerate(cache_plans):
+            if view_plan.status != "miss":
+                continue
+            start = time.perf_counter()
+            cache.build_view(
+                view_plan,
+                cloud,
+                cameras[index],
+                poses_cw[index],
+                tile_size,
+                subtile_size,
+                active_only,
+                shared=shared,
+            )
+            plan_seconds[index] += time.perf_counter() - start
+
+        units = []
+        base = 0
+        for index, view_plan in enumerate(cache_plans):
+            fragments = view_plan.fragments_used
+            units.append(
+                ViewWorkUnit(
+                    index=index,
+                    projected=view_plan.entry.projected,
+                    intersections=view_plan.entry.intersections,
+                    fragments=fragments,
+                    background=backgrounds_per_view[index],
+                    tile_size=tile_size,
+                    subtile_size=subtile_size,
+                    base=base,
+                    plan_seconds=plan_seconds[index],
+                    cache_plan=view_plan,
+                )
+            )
+            base += fragments.n_fragments
+        return RenderPlan(
+            units=units,
+            shared=shared,
+            shared_seconds=shared_seconds,
+            total_fragments=base,
+            cache=cache,
+        )
+
+    start = time.perf_counter()
+    shared = shared_preprocess(cloud, active_only=active_only)
+    shared_seconds = time.perf_counter() - start
+
+    # Step 1-2 per view (projection, tiling, sorting) with the shared data,
+    # and the arena reservation: each view gets a base-offset slice.
+    units = []
+    base = 0
+    for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
+        start = time.perf_counter()
+        projected = project_gaussians(
+            cloud, camera, pose_cw, active_only=active_only, shared=shared
+        )
+        grid = TileGrid(camera.width, camera.height, tile_size, subtile_size)
+        intersections = build_tile_lists(projected, grid)
+        fragments = build_flat_fragments(intersections)
+        plan_seconds[index] += time.perf_counter() - start
+        units.append(
+            ViewWorkUnit(
+                index=index,
+                projected=projected,
+                intersections=intersections,
+                fragments=fragments,
+                background=backgrounds_per_view[index],
+                tile_size=tile_size,
+                subtile_size=subtile_size,
+                base=base,
+                plan_seconds=plan_seconds[index],
+            )
+        )
+        base += fragments.n_fragments
+
+    return RenderPlan(
+        units=units,
+        shared=shared,
+        shared_seconds=shared_seconds,
+        total_fragments=base,
+    )
+
+
+def execute_view(
+    unit: ViewWorkUnit, arena: FlatArena, cache: "GeometryCache | None" = None
+) -> RenderResult:
+    """Rasterize one planned work unit into ``arena[unit.base:]``.
+
+    Units are independent: they may run in any order and (uncached) in any
+    process, as long as each writes its own reserved arena slice.  Cached
+    units route through :meth:`GeometryCache.render_view` so refinement,
+    truncation verification and hit/miss accounting happen exactly as on the
+    pre-split path.
+    """
+    if unit.cache_plan is not None:
+        if cache is None:
+            raise ValueError(
+                "work unit was planned against a geometry cache; pass that cache "
+                "to execute it"
+            )
+        return cache.render_view(unit.cache_plan, unit.background, arena, unit.base)
+    return rasterize_flat_into(
+        unit.projected,
+        unit.intersections,
+        unit.fragments,
+        unit.background,
+        arena,
+        unit.base,
+    )
+
+
+def execute_plan(plan: RenderPlan, arena: FlatArena | None = None) -> BatchRenderResult:
+    """Execute every work unit of ``plan`` serially and stitch the batch result.
+
+    This is the flat backend's batch path: one arena for the whole batch
+    (recycled grow-only from ``arena``, or the geometry cache's shared arena
+    on cached plans — a recycled arena that still fits avoids the allocation
+    and its first-touch page faults entirely, and fragment counts barely move
+    between the iterations of one mapping window), every unit rasterized into
+    its reserved slice, results stitched in view order.
+    """
+    if plan.cache is not None:
+        arena = plan.cache.ensure_arena(plan.total_fragments)
+    else:
+        arena = ensure_flat_arena(arena, plan.total_fragments)
+
+    views: list[RenderResult] = [None] * plan.n_views  # type: ignore[list-item]
+    view_seconds = [0.0] * plan.n_views
+    for unit in plan.units:
+        start = time.perf_counter()
+        views[unit.index] = execute_view(unit, arena, cache=plan.cache)
+        view_seconds[unit.index] = unit.plan_seconds + (time.perf_counter() - start)
+
+    return BatchRenderResult(
+        views=views,
+        shared=plan.shared,
+        arena=arena,
+        shared_seconds=plan.shared_seconds,
+        view_seconds=view_seconds,
+    )
+
+
 def rasterize_batch_views(
     cloud: GaussianCloud,
     cameras: Sequence[Camera],
@@ -160,7 +459,8 @@ def rasterize_batch_views(
 
     This is the flat-backend batch implementation behind
     :meth:`repro.engine.RenderEngine.render_batch` (and the deprecated
-    :func:`rasterize_batch` shim).  Parameters mirror the single-view render;
+    :func:`rasterize_batch` shim): :func:`plan_batch_views` followed by the
+    serial :func:`execute_plan`.  Parameters mirror the single-view render;
     ``backgrounds`` may be ``None``, one shared ``(3,)`` colour, or one entry
     per view.  Views may differ in camera intrinsics and resolution.
 
@@ -179,119 +479,17 @@ def rasterize_batch_views(
     every other render the cache serves, across windows) supersedes the
     ``arena`` parameter.
     """
-    cameras = list(cameras)
-    poses_cw = list(poses_cw)
-    if len(cameras) != len(poses_cw):
-        raise ValueError(
-            f"got {len(cameras)} cameras but {len(poses_cw)} poses; one pose per view"
-        )
-    if not cameras:
-        raise ValueError("batched rendering needs at least one view")
-    backgrounds_per_view = _normalise_backgrounds(backgrounds, len(cameras))
-
-    view_seconds = [0.0] * len(cameras)
-    if cache is not None:
-        plans = []
-        for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
-            start = time.perf_counter()
-            plans.append(
-                cache.plan_view(cloud, camera, pose_cw, tile_size, subtile_size, active_only)
-            )
-            view_seconds[index] += time.perf_counter() - start
-
-        # The view-independent Step 1 half is needed (once) only for views
-        # the cache could not serve.
-        shared = None
-        shared_seconds = 0.0
-        if any(plan.status == "miss" for plan in plans):
-            start = time.perf_counter()
-            shared = shared_preprocess(cloud, active_only=active_only)
-            shared_seconds = time.perf_counter() - start
-        for index, plan in enumerate(plans):
-            if plan.status != "miss":
-                continue
-            start = time.perf_counter()
-            cache.build_view(
-                plan,
-                cloud,
-                cameras[index],
-                poses_cw[index],
-                tile_size,
-                subtile_size,
-                active_only,
-                shared=shared,
-            )
-            view_seconds[index] += time.perf_counter() - start
-        fragment_lists = [plan.fragments_used for plan in plans]
-        total_fragments = sum(fragments.n_fragments for fragments in fragment_lists)
-        arena = cache.ensure_arena(total_fragments)
-
-        views = []
-        base = 0
-        for index, (plan, fragments) in enumerate(zip(plans, fragment_lists)):
-            start = time.perf_counter()
-            views.append(
-                cache.render_view(plan, backgrounds_per_view[index], arena, base)
-            )
-            base += fragments.n_fragments
-            view_seconds[index] += time.perf_counter() - start
-
-        return BatchRenderResult(
-            views=views,
-            shared=shared,
-            arena=arena,
-            shared_seconds=shared_seconds,
-            view_seconds=view_seconds,
-        )
-
-    start = time.perf_counter()
-    shared = shared_preprocess(cloud, active_only=active_only)
-    shared_seconds = time.perf_counter() - start
-
-    # Step 1-2 per view (projection, tiling, sorting) with the shared data.
-    prepared = []
-    for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
-        start = time.perf_counter()
-        projected = project_gaussians(
-            cloud, camera, pose_cw, active_only=active_only, shared=shared
-        )
-        grid = TileGrid(camera.width, camera.height, tile_size, subtile_size)
-        intersections = build_tile_lists(projected, grid)
-        fragments = build_flat_fragments(intersections)
-        prepared.append((projected, intersections, fragments))
-        view_seconds[index] += time.perf_counter() - start
-
-    # One arena for the whole batch: each view gets a base-offset slice.  A
-    # recycled arena that still fits avoids the allocation (and first-touch
-    # page faults) entirely — fragment counts barely move between the
-    # iterations of one mapping window.
-    total_fragments = sum(fragments.n_fragments for _, _, fragments in prepared)
-    arena = ensure_flat_arena(arena, total_fragments)
-
-    views: list[RenderResult] = []
-    base = 0
-    for index, (projected, intersections, fragments) in enumerate(prepared):
-        start = time.perf_counter()
-        views.append(
-            rasterize_flat_into(
-                projected,
-                intersections,
-                fragments,
-                backgrounds_per_view[index],
-                arena,
-                base,
-            )
-        )
-        base += fragments.n_fragments
-        view_seconds[index] += time.perf_counter() - start
-
-    return BatchRenderResult(
-        views=views,
-        shared=shared,
-        arena=arena,
-        shared_seconds=shared_seconds,
-        view_seconds=view_seconds,
+    plan = plan_batch_views(
+        cloud,
+        cameras,
+        poses_cw,
+        backgrounds=backgrounds,
+        tile_size=tile_size,
+        subtile_size=subtile_size,
+        active_only=active_only,
+        cache=cache,
     )
+    return execute_plan(plan, arena=arena)
 
 
 def render_backward_batch_views(

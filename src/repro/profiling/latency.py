@@ -69,20 +69,21 @@ def rendering_dominance(shares: dict[str, float]) -> float:
 def batch_amortization_report(
     snapshots: list[WorkloadSnapshot], model: EdgeGPUModel | None = None
 ) -> dict[str, float]:
-    """Modelled effect of batching *and* geometry caching on mapping latency.
+    """Modelled effect of batching, geometry caching *and* sharding on mapping.
 
     Compares the mapping iterations as recorded (per-view snapshots carrying
-    their window's ``batch_size`` and geometry-cache status, both of which
-    the hardware model amortises) against the same workload re-priced as
-    sequential, uncached single-view iterations.  ``speedup`` is the combined
-    modelled amortisation of the batched scheduler plus the Step 1-2 cache;
+    their window's ``batch_size``, geometry-cache status and per-shard
+    attribution, all of which the hardware model amortises) against the same
+    workload re-priced as sequential, uncached, unsharded single-view
+    iterations.  ``speedup`` is the combined modelled amortisation;
     ``step12_amortization`` isolates the cache's share by re-pricing only the
-    cache statuses.  The cache hit/refresh/incremental/miss counts make the
-    Fig. 3-style latency breakdown attributable: the amortised Step 1-2 cost
-    is exactly the fraction of lookups the cache served.  Wall-clock speedups
-    of the software rasterizer are measured separately in
-    ``benchmarks/test_batched_mapping.py`` and
-    ``benchmarks/test_geom_cache_reuse.py``.
+    cache statuses, and ``shard_amortization`` isolates the sharded backend's
+    share by re-pricing only ``shard_workers``.  The cache
+    hit/refresh/incremental/miss counts and the shard worker/stitch
+    aggregates make the Fig. 3-style latency breakdown attributable.
+    Wall-clock speedups of the software rasterizer are measured separately in
+    ``benchmarks/test_batched_mapping.py``, ``benchmarks/test_geom_cache_reuse.py``
+    and ``benchmarks/test_sharded_speedup.py``.
     """
     model = model or EdgeGPUModel("onx")
     mapping = [s for s in snapshots if s.stage == "mapping"]
@@ -90,17 +91,26 @@ def batch_amortization_report(
     sequential = 0.0
     cached_step12 = 0.0
     uncached_step12 = 0.0
+    unsharded = 0.0
     for snapshot in mapping:
         latency = model.iteration_latency(snapshot)
         batched += latency.total
         cached_step12 += latency.preprocessing + latency.sorting
         sequential += model.iteration_latency(
-            replace(snapshot, batch_size=1, cache_status="uncached")
+            replace(snapshot, batch_size=1, cache_status="uncached", shard_workers=1)
         ).total
         as_uncached = model.iteration_latency(replace(snapshot, cache_status="uncached"))
         uncached_step12 += as_uncached.preprocessing + as_uncached.sorting
+        # Unsharded re-pricing is a no-op for serial snapshots (the default);
+        # skip the extra model evaluation there.
+        if snapshot.shard_workers > 1:
+            unsharded += model.iteration_latency(replace(snapshot, shard_workers=1)).total
+        else:
+            unsharded += latency.total
     batch_sizes = [s.batch_size for s in mapping]
     statuses = [s.cache_status for s in mapping]
+    shard_workers = [s.shard_workers for s in mapping]
+    sharded_views = [s for s in mapping if s.shard_workers > 1]
     return {
         "batched_s": batched,
         "sequential_s": sequential,
@@ -118,6 +128,13 @@ def batch_amortization_report(
         "step12_amortization": (
             uncached_step12 / cached_step12 if cached_step12 > 0 else 1.0
         ),
+        # -- sharded-backend accounting -------------------------------------
+        "mean_shard_workers": float(np.mean(shard_workers)) if shard_workers else 0.0,
+        "n_sharded_views": float(len(sharded_views)),
+        "shard_s": float(sum(s.shard_seconds for s in sharded_views)),
+        "stitch_s": float(sum(s.shard_stitch_seconds for s in sharded_views)),
+        "unsharded_s": unsharded,
+        "shard_amortization": unsharded / batched if batched > 0 else 1.0,
     }
 
 

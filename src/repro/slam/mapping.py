@@ -89,6 +89,11 @@ class MappingConfig:
     # explicit value pins the mapping renders regardless of the engine.
     tile_size: int | None = None
     subtile_size: int | None = None
+    # Worker-process count for the `sharded` backend when mapping renders
+    # resolve to it (REPRO_RASTER_BACKEND=sharded / an engine pinned to it).
+    # None inherits the engine/env default (REPRO_SHARD_WORKERS, else
+    # cpu-count-aware); forwarded into the mapper-built engine only.
+    shard_workers: int | None = None
     # -- geometry cache -----------------------------------------------------
     # Per-window Step 1-2 cache (repro.gaussians.geom_cache): poses are fixed
     # within a window and the cloud moves by at most ~learning-rate per
@@ -166,6 +171,9 @@ class StreamingMapper:
                 tile_size=base.tile_size if config.tile_size is None else config.tile_size,
                 subtile_size=(
                     base.subtile_size if config.subtile_size is None else config.subtile_size
+                ),
+                shard_workers=(
+                    base.shard_workers if config.shard_workers is None else config.shard_workers
                 ),
                 geom_cache=base.geom_cache and config.geom_cache and config.batched,
                 cache_tolerance_px=config.geom_cache_tolerance_px,
@@ -396,6 +404,7 @@ class StreamingMapper:
         self._record_visibility(window, batch.views)
         if config.record_workloads:
             traces = gradients.per_view_traces
+            sharding = batch.sharding
             for view_index, (render, loss) in enumerate(zip(batch.views, loss_results)):
                 snapshots.append(
                     self.engine.snapshot(
@@ -412,6 +421,23 @@ class StreamingMapper:
                         trace=traces[view_index],
                         batch_size=len(window),
                         view_index=view_index,
+                        # Per-shard attribution of a sharded window: which
+                        # worker rendered this view, its shard wall-clock and
+                        # its share of the parent-side stitch overhead.
+                        shard_workers=1 if sharding is None else sharding.n_workers,
+                        shard_worker_id=(
+                            0 if sharding is None else sharding.worker_ids[view_index]
+                        ),
+                        shard_seconds=(
+                            0.0
+                            if sharding is None
+                            else sharding.view_shard_seconds[view_index]
+                        ),
+                        shard_stitch_seconds=(
+                            0.0
+                            if sharding is None
+                            else sharding.stitch_seconds / max(len(window), 1)
+                        ),
                     )
                 )
         # The fused gradients are summed over views; average them so the

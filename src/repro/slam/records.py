@@ -53,6 +53,16 @@ class WorkloadSnapshot:
     # to amortise the Step 1-2 cost the cache skipped, and profiling
     # aggregates it into hit/miss accounting.
     cache_status: str = "uncached"
+    # Per-shard attribution of a sharded batch render (repro.engine.sharded):
+    # how many workers executed the batch, which worker rasterized this view,
+    # its measured shard wall-clock, and this view's share of the parent-side
+    # stitch overhead.  The hardware model amortises the fragment-parallel
+    # stages across shard_workers; batch_amortization_report aggregates the
+    # rest.  Serial renders keep the defaults.
+    shard_workers: int = 1
+    shard_worker_id: int = 0
+    shard_seconds: float = 0.0
+    shard_stitch_seconds: float = 0.0
 
     @staticmethod
     def from_iteration(
@@ -69,12 +79,18 @@ class WorkloadSnapshot:
         trace: GradientTrace | None = None,
         batch_size: int = 1,
         view_index: int = 0,
+        shard_workers: int = 1,
+        shard_worker_id: int = 0,
+        shard_seconds: float = 0.0,
+        shard_stitch_seconds: float = 0.0,
     ) -> "WorkloadSnapshot":
         """Build a snapshot from a render result and (optionally) its gradients.
 
         ``trace`` overrides the gradient trace; batched mapping passes each
         view's own trace because the fused gradients only carry the merged
-        one.
+        one.  The ``shard_*`` fields carry the per-shard attribution of a
+        sharded batch (worker count, owning worker, shard wall-clock, stitch
+        share); serial renders keep the defaults.
         """
         grid = render.grid
         if trace is None and gradients is not None:
@@ -109,6 +125,10 @@ class WorkloadSnapshot:
             batch_size=batch_size,
             view_index=view_index,
             cache_status=render.cache_status,
+            shard_workers=shard_workers,
+            shard_worker_id=shard_worker_id,
+            shard_seconds=shard_seconds,
+            shard_stitch_seconds=shard_stitch_seconds,
         )
 
     # -- aggregate statistics -------------------------------------------------

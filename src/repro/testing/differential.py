@@ -30,9 +30,12 @@ mutation, after a repeat lookup (cache hit), after an appearance-only update
 step, densification, pruning, masking and ``notify_removed``-style removal.
 
 Finally, :meth:`DifferentialRunner.verify_engine` pins the engine-mediated
-path itself: for both backends, cache on and off, an engine render (and its
-backward) must be bit-identical to the legacy free-function implementation
-it wraps.
+path itself: for both backends *plus* the ``sharded`` multi-process backend,
+cache on and off, an engine render (and its backward) must be bit-identical
+to the legacy free-function implementation it wraps, and
+:meth:`DifferentialRunner.verify_sharded` pins the sharded batch — forward
+views, fragment counts, fused backward gradients and per-view pose twists —
+bitwise against the flat batch on every scenario.
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine import EngineConfig, RenderEngine
+from repro.engine import REGISTRY, EngineConfig, RenderEngine
 from repro.gaussians.backward import (
     CloudGradients,
     preprocess_backward,
@@ -99,6 +102,8 @@ class ScenarioReport:
     cache_gradient_diff: float = 0.0
     engine_image_diff: float = 0.0
     engine_gradient_diff: float = 0.0
+    sharded_image_diff: float = 0.0
+    sharded_gradient_diff: float = 0.0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -118,7 +123,8 @@ class ScenarioReport:
             f"batch={max(self.batch1_image_diff, self.batch_image_diff):.3e}/"
             f"{max(self.batch1_gradient_diff, self.batch_gradient_diff):.3e} "
             f"cache={self.cache_image_diff:.3e}/{self.cache_gradient_diff:.3e} "
-            f"engine={self.engine_image_diff:.3e}/{self.engine_gradient_diff:.3e}"
+            f"engine={self.engine_image_diff:.3e}/{self.engine_gradient_diff:.3e} "
+            f"sharded={self.sharded_image_diff:.3e}/{self.sharded_gradient_diff:.3e}"
         )
 
 
@@ -143,7 +149,9 @@ class DifferentialRunner:
     grad_tol: float = 1e-8
     reference_backend: str = "tile"
     candidate_backend: str = "flat"
+    sharded_backend: str = "sharded"  # multi-process backend pinned to flat batches
     n_batch_views: int = 3  # views of the multi-view batch-vs-sequential check
+    n_shard_workers: int = 2  # worker processes of the sharded checks
 
     def __post_init__(self) -> None:
         self._engines: dict[str, RenderEngine] = {}
@@ -151,8 +159,13 @@ class DifferentialRunner:
     def engine_for(self, backend: str) -> RenderEngine:
         """The pinned, cache-less engine this runner renders ``backend`` through."""
         if backend not in self._engines:
+            extra = (
+                {"shard_workers": self.n_shard_workers}
+                if backend == self.sharded_backend
+                else {}
+            )
             self._engines[backend] = RenderEngine(
-                EngineConfig(backend=backend, geom_cache=False)
+                EngineConfig(backend=backend, geom_cache=False, **extra)
             )
         return self._engines[backend]
 
@@ -455,26 +468,40 @@ class DifferentialRunner:
             if cache is not None:
                 return cache.render_single(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
             return rasterize_flat(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
+        if backend == "sharded":
+            # Single-view sharded renders degrade to the flat fast path by
+            # contract (no cache: the backend reports supports_cache=False,
+            # so the engine never hands it one).
+            return rasterize_flat(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
         return None
 
     def verify_engine(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
         """Pin engine-mediated renders bit-identical to the legacy path.
 
-        For each of the runner's two backends, with the geometry cache off
-        and on (exact configuration), the engine render — first call (miss)
-        and repeat call (hit) — must equal the legacy free-function
+        For each of the runner's backends — reference, candidate and the
+        ``sharded`` multi-process backend (whose single-view renders degrade
+        to the flat fast path by contract) — with the geometry cache off and
+        on (exact configuration), the engine render — first call (miss) and
+        repeat call (hit) — must equal the legacy free-function
         implementation bitwise on every forward output, agree on
         ``cache_status``, and produce bitwise-equal backward gradients.
         Backends the runner does not recognise as built-ins are skipped.
         """
         failures: list[str] = []
         diffs = {"engine_image": 0.0, "engine_grad": 0.0}
-        for backend in dict.fromkeys((self.reference_backend, self.candidate_backend)):
-            if backend not in ("tile", "flat"):
+        for backend in dict.fromkeys(
+            (self.reference_backend, self.candidate_backend, self.sharded_backend)
+        ):
+            if backend not in ("tile", "flat", "sharded") or backend not in REGISTRY:
                 continue
             for cached in (False, True):
                 engine = RenderEngine(
-                    EngineConfig(backend=backend, geom_cache=cached, **_EXACT_ENGINE_CACHE)
+                    EngineConfig(
+                        backend=backend,
+                        geom_cache=cached,
+                        shard_workers=self.n_shard_workers,
+                        **_EXACT_ENGINE_CACHE,
+                    )
                 )
                 supports_cache = engine.capabilities().supports_cache
                 legacy_cache = (
@@ -511,8 +538,11 @@ class DifferentialRunner:
                     engine_grads = engine.backward(
                         engine_render, spec.cloud, dL_dimage, dL_ddepth
                     )
+                    # The sharded backend's single-view legacy equivalent is
+                    # the flat pipeline, Step 4 included.
+                    legacy_step4 = "flat" if backend == "sharded" else backend
                     legacy_screen = rasterize_backward(
-                        legacy_render, dL_dimage, dL_ddepth, backend=backend
+                        legacy_render, dL_dimage, dL_ddepth, backend=legacy_step4
                     )
                     legacy_grads = preprocess_backward(
                         legacy_screen, spec.cloud, compute_pose_gradient=True
@@ -529,6 +559,101 @@ class DifferentialRunner:
                             )
         return diffs, failures
 
+    def verify_sharded(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
+        """Pin the sharded batch bitwise against the flat batch.
+
+        Renders an ``n_batch_views``-view batch through an engine pinned to
+        the ``sharded`` backend (``n_shard_workers`` worker processes) and
+        through the flat engine, and requires every forward output, the
+        per-view fragment counts, the fused backward's cloud gradients and
+        the per-view pose twists to be **bit-identical** — the sharded
+        backend executes the very same work units the flat backend runs
+        serially, so any divergence is a real defect, not rounding.  On
+        platforms where worker processes cannot spawn the sharded engine
+        degrades to the serial flat path and the check still pins that
+        degradation's equivalence.
+        """
+        failures: list[str] = []
+        diffs = {"sharded_image": 0.0, "sharded_grad": 0.0}
+        if self.sharded_backend not in REGISTRY:
+            return diffs, failures
+        sharded_engine = self.engine_for(self.sharded_backend)
+        flat_engine = self.engine_for(self.candidate_backend)
+        poses = spec.view_poses(self.n_batch_views)
+        cameras = [spec.camera] * self.n_batch_views
+        backgrounds = [spec.background] * self.n_batch_views
+
+        def batch_through(engine: RenderEngine):
+            return engine.render_batch(
+                spec.cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+
+        sharded = batch_through(sharded_engine)
+        flat = batch_through(flat_engine)
+        for index, (sharded_view, flat_view) in enumerate(zip(sharded.views, flat.views)):
+            for name in ("image", "depth", "alpha"):
+                a = getattr(sharded_view, name)
+                b = getattr(flat_view, name)
+                if not np.array_equal(a, b):
+                    worst = _max_abs_diff(a, b)
+                    diffs["sharded_image"] = max(diffs["sharded_image"], worst)
+                    failures.append(
+                        f"sharded view {index}: {name} differs from the flat batch "
+                        f"(max diff {worst:.3e})"
+                    )
+            if not np.array_equal(
+                sharded_view.fragments_per_pixel, flat_view.fragments_per_pixel
+            ):
+                failures.append(
+                    f"sharded view {index}: fragment counts differ from the flat batch"
+                )
+
+        losses = [
+            self._loss_arrays(spec, view.image.shape, view.depth.shape, salt=41 + index)
+            for index, view in enumerate(flat.views)
+        ]
+        sharded_grads = sharded_engine.backward_batch(
+            sharded,
+            spec.cloud,
+            [dL_dimage for dL_dimage, _ in losses],
+            [dL_ddepth for _, dL_ddepth in losses],
+            compute_pose_gradient=True,
+        )
+        flat_grads = flat_engine.backward_batch(
+            flat,
+            spec.cloud,
+            [dL_dimage for dL_dimage, _ in losses],
+            [dL_ddepth for _, dL_ddepth in losses],
+            compute_pose_gradient=True,
+        )
+        for name in GRADIENT_FIELDS:
+            a = np.asarray(getattr(sharded_grads.cloud, name))
+            b = np.asarray(getattr(flat_grads.cloud, name))
+            if not np.array_equal(a, b):
+                worst = _max_abs_diff(a, b)
+                diffs["sharded_grad"] = max(diffs["sharded_grad"], worst)
+                failures.append(
+                    f"sharded batch: gradient {name} differs from the flat batch "
+                    f"(max diff {worst:.3e})"
+                )
+        if not np.array_equal(
+            sharded_grads.per_view_pose_twists, flat_grads.per_view_pose_twists
+        ):
+            worst = _max_abs_diff(
+                sharded_grads.per_view_pose_twists, flat_grads.per_view_pose_twists
+            )
+            diffs["sharded_grad"] = max(diffs["sharded_grad"], worst)
+            failures.append(
+                f"sharded batch: per-view pose twists differ from the flat batch "
+                f"(max diff {worst:.3e})"
+            )
+        return diffs, failures
+
     def run_scenario(self, scenario: Scenario) -> ScenarioReport:
         """Render + backprop ``scenario`` through both backends and compare."""
         spec = scenario.build()
@@ -537,6 +662,7 @@ class DifferentialRunner:
         batch_diffs, batch_failures = self.verify_batch(spec, base_render=candidate)
         cache_diffs, cache_failures = self.verify_cache(spec)
         engine_diffs, engine_failures = self.verify_engine(spec)
+        sharded_diffs, sharded_failures = self.verify_sharded(spec)
 
         image_diff = _max_abs_diff(reference.image, candidate.image)
         depth_diff = _max_abs_diff(reference.depth, candidate.depth)
@@ -576,6 +702,7 @@ class DifferentialRunner:
         failures.extend(batch_failures)
         failures.extend(cache_failures)
         failures.extend(engine_failures)
+        failures.extend(sharded_failures)
 
         return ScenarioReport(
             name=scenario.name,
@@ -594,6 +721,8 @@ class DifferentialRunner:
             cache_gradient_diff=cache_diffs["cache_grad"],
             engine_image_diff=engine_diffs["engine_image"],
             engine_gradient_diff=engine_diffs["engine_grad"],
+            sharded_image_diff=sharded_diffs["sharded_image"],
+            sharded_gradient_diff=sharded_diffs["sharded_grad"],
             failures=failures,
         )
 

@@ -1,6 +1,6 @@
 """Small shared utilities: seeding, validation, and numeric helpers."""
 
-from repro.utils.random import default_rng, derive_rng
+from repro.utils.random import default_rng, derive_rng, derive_seed
 from repro.utils.validation import (
     check_array,
     check_finite,
@@ -12,6 +12,7 @@ from repro.utils.validation import (
 __all__ = [
     "default_rng",
     "derive_rng",
+    "derive_seed",
     "check_array",
     "check_finite",
     "check_positive",

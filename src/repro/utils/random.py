@@ -27,6 +27,26 @@ def default_rng(seed: int | None = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def derive_seed(base: int | None, worker_id: int) -> int:
+    """Derive a deterministic per-worker seed from ``base`` and ``worker_id``.
+
+    Used by the ``sharded`` render backend's pool initializer: every worker
+    process seeds its generators from ``derive_seed(base, worker_id)``, so a
+    sharded run is reproducible regardless of how views are scheduled across
+    workers or in which order workers start.  ``base=None`` uses the
+    library-wide default seed.  Distinct ``(base, worker_id)`` pairs produce
+    decorrelated seeds (via ``numpy.random.SeedSequence``), and the function
+    is pure: it does not consume entropy from any shared generator.
+    """
+    if base is None:
+        base = _DEFAULT_SEED
+    base = int(base)
+    # SeedSequence accepts arbitrary-size non-negative ints, so the full base
+    # participates (no truncation); the sign flag keeps -x and x distinct.
+    sequence = np.random.SeedSequence([abs(base), int(base < 0), int(worker_id)])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
 def derive_rng(rng: np.random.Generator, *keys: int | str) -> np.random.Generator:
     """Derive a child generator from ``rng`` and a sequence of keys.
 

@@ -82,6 +82,18 @@ class TestEngineConfig:
         with pytest.raises(ValueError, match="REPRO_TILE_SIZE"):
             EngineConfig.from_env({"REPRO_TILE_SIZE": "big"})
 
+    def test_from_env_shard_workers(self):
+        assert EngineConfig.from_env({}).shard_workers is None
+        assert EngineConfig.from_env({"REPRO_SHARD_WORKERS": ""}).shard_workers is None
+        assert EngineConfig.from_env({"REPRO_SHARD_WORKERS": "4"}).shard_workers == 4
+        assert EngineConfig.from_env({"REPRO_SHARD_WORKERS": "0"}).shard_workers == 0
+
+    def test_from_env_rejects_bad_shard_workers(self):
+        with pytest.raises(ValueError, match="REPRO_SHARD_WORKERS"):
+            EngineConfig.from_env({"REPRO_SHARD_WORKERS": "many"})
+        with pytest.raises(ValueError, match="REPRO_SHARD_WORKERS"):
+            EngineConfig.from_env({"REPRO_SHARD_WORKERS": "-1"})
+
     def test_validation(self):
         with pytest.raises(ValueError, match="tile_size"):
             EngineConfig(tile_size=0)
@@ -95,6 +107,8 @@ class TestEngineConfig:
             EngineConfig(cache_refine_margin=0.5)
         with pytest.raises(ValueError, match="cache_max_entries"):
             EngineConfig(cache_max_entries=0)
+        with pytest.raises(ValueError, match="shard_workers"):
+            EngineConfig(shard_workers=-2)
 
     def test_use_backend_overrides_env_through_default_engines(self, monkeypatch):
         """REPRO_RASTER_BACKEND seeds the process default; scoping still wins."""

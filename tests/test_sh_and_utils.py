@@ -95,6 +95,23 @@ class TestUtils:
         child_b = derive_rng(parent_b, "frame", 1)
         assert child_a.integers(0, 10**6) != child_b.integers(0, 10**6)
 
+    def test_derive_seed_deterministic_per_worker(self):
+        from repro.utils import derive_seed
+
+        # Same (base, worker) -> same seed, independent of call order or any
+        # shared generator state; distinct workers/bases -> distinct seeds.
+        assert derive_seed(7, 0) == derive_seed(7, 0)
+        assert derive_seed(7, 0) != derive_seed(7, 1)
+        assert derive_seed(8, 0) != derive_seed(7, 0)
+        # None falls back to the library default deterministically.
+        assert derive_seed(None, 3) == derive_seed(None, 3)
+        # The full base participates: no 32-bit truncation, signs distinct.
+        assert derive_seed(7, 0) != derive_seed(7 + 2**32, 0)
+        assert derive_seed(-7, 0) != derive_seed(7, 0)
+        seeds = {derive_seed(7, worker) for worker in range(16)}
+        assert len(seeds) == 16
+        assert all(0 <= seed < 2**64 for seed in seeds)
+
     def test_check_shape(self):
         arr = np.zeros((3, 2))
         assert check_shape(arr, (3, 2), "arr") is arr

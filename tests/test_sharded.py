@@ -1,0 +1,454 @@
+"""Tests for the plan/execute batch pipeline and the `sharded` backend.
+
+Covers: work-unit self-containment (pickling round-trip, out-of-order
+execution, disjoint arena reservations), the sharded backend's bitwise
+equivalence to the flat path (forward + fused backward), its graceful
+degradations (workers<=1, cached batches, single views), worker-crash
+behaviour (clean ``ShardWorkerError``, no hang, engine stays usable),
+worker-side batch eviction, and the shard attribution threaded through
+``StreamingMapper`` snapshots.
+
+All sharded tests run on a small shared 2-worker pool (pools are shared
+process-wide per worker count), so the spawn cost is paid once per session.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, RenderEngine, ShardWorkerError
+from repro.gaussians.batch import (
+    RenderPlan,
+    execute_plan,
+    execute_view,
+    plan_batch_views,
+    rasterize_batch_views,
+)
+from repro.gaussians.fast_raster import allocate_flat_arena
+from repro.gaussians.geom_cache import GeometryCache
+from repro.testing.scenarios import DEFAULT_LIBRARY
+
+N_WORKERS = 2
+
+GRADIENT_FIELDS = (
+    "positions",
+    "log_scales",
+    "rotations",
+    "opacity_logits",
+    "colors",
+    "cov3d",
+    "pose_twist",
+    "per_gaussian_pose",
+)
+
+
+def _spec(name: str = "dense_random"):
+    return DEFAULT_LIBRARY.get(name).build()
+
+
+def _batch_args(spec, n_views: int = 3):
+    poses = spec.view_poses(n_views)
+    return (
+        spec.cloud,
+        [spec.camera] * n_views,
+        poses,
+    ), dict(
+        backgrounds=[spec.background] * n_views,
+        tile_size=spec.tile_size,
+        subtile_size=spec.subtile_size,
+    )
+
+
+def _flat_engine() -> RenderEngine:
+    return RenderEngine(EngineConfig(backend="flat", geom_cache=False))
+
+
+def _sharded_engine(workers: int = N_WORKERS) -> RenderEngine:
+    return RenderEngine(
+        EngineConfig(backend="sharded", geom_cache=False, shard_workers=workers)
+    )
+
+
+def _assert_views_equal(views_a, views_b):
+    for index, (a, b) in enumerate(zip(views_a, views_b)):
+        np.testing.assert_array_equal(a.image, b.image, err_msg=f"image {index}")
+        np.testing.assert_array_equal(a.depth, b.depth, err_msg=f"depth {index}")
+        np.testing.assert_array_equal(a.alpha, b.alpha, err_msg=f"alpha {index}")
+        assert np.array_equal(a.fragments_per_pixel, b.fragments_per_pixel), index
+
+
+class TestPlanExecute:
+    def test_plan_reserves_disjoint_cumulative_slices(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        plan = plan_batch_views(*args, **kwargs)
+        base = 0
+        for unit in plan.units:
+            assert unit.base == base
+            base += unit.n_fragments
+        assert plan.total_fragments == base
+
+    def test_uncached_units_pickle_round_trip_and_execute_bitwise(self):
+        """Work units are self-contained: a pickled copy renders identically."""
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        direct = rasterize_batch_views(*args, **kwargs)
+        plan = plan_batch_views(*args, **kwargs)
+        units = [pickle.loads(pickle.dumps(unit)) for unit in plan.units]
+        rehydrated = RenderPlan(
+            units=units,
+            shared=plan.shared,
+            shared_seconds=plan.shared_seconds,
+            total_fragments=plan.total_fragments,
+        )
+        _assert_views_equal(execute_plan(rehydrated).views, direct.views)
+
+    def test_out_of_order_execution_stitches_in_view_order(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        plan = plan_batch_views(*args, **kwargs)
+        shuffled = RenderPlan(
+            units=list(reversed(plan.units)),
+            shared=plan.shared,
+            shared_seconds=plan.shared_seconds,
+            total_fragments=plan.total_fragments,
+        )
+        stitched = execute_plan(shuffled)
+        direct = rasterize_batch_views(*args, **kwargs)
+        _assert_views_equal(stitched.views, direct.views)
+        # per-view timing attribution follows the stitch order too
+        assert len(stitched.view_seconds) == len(plan.units)
+
+    def test_units_execute_independently_into_private_arenas(self):
+        """Each unit can rasterize alone into its own arena at base 0."""
+        spec = _spec()
+        args, kwargs = _batch_args(spec, n_views=2)
+        plan = plan_batch_views(*args, **kwargs)
+        direct = rasterize_batch_views(*args, **kwargs)
+        for unit, expected in zip(plan.units, direct.views):
+            solo_unit = pickle.loads(pickle.dumps(unit))
+            solo_unit.base = 0
+            arena = allocate_flat_arena(solo_unit.n_fragments)
+            result = execute_view(solo_unit, arena)
+            np.testing.assert_array_equal(result.image, expected.image)
+
+    def test_cached_units_require_their_cache(self):
+        spec = _spec()
+        cache = GeometryCache()
+        args, kwargs = _batch_args(spec, n_views=2)
+        plan = plan_batch_views(*args, **kwargs, cache=cache)
+        assert plan.cache is cache
+        arena = cache.ensure_arena(plan.total_fragments)
+        with pytest.raises(ValueError, match="geometry cache"):
+            execute_view(plan.units[0], arena, cache=None)
+
+    def test_cached_plan_execution_matches_legacy_batch(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec, n_views=2)
+        uncached = rasterize_batch_views(*args, **kwargs)
+        cached = rasterize_batch_views(*args, **kwargs, cache=GeometryCache())
+        _assert_views_equal(cached.views, uncached.views)
+
+
+class TestShardedBackend:
+    def test_forward_and_fused_backward_bitwise_match_flat(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        flat_engine, sharded_engine = _flat_engine(), _sharded_engine()
+        flat = flat_engine.render_batch(*args, **kwargs)
+        sharded = sharded_engine.render_batch(*args, **kwargs)
+        _assert_views_equal(sharded.views, flat.views)
+        assert all(view.backend == "sharded" for view in sharded.views)
+
+        rng = np.random.default_rng(5)
+        dL_dimages = [rng.uniform(-1, 1, size=v.image.shape) for v in flat.views]
+        dL_ddepths = [rng.uniform(-1, 1, size=v.depth.shape) for v in flat.views]
+        flat_grads = flat_engine.backward_batch(
+            flat, spec.cloud, dL_dimages, dL_ddepths, compute_pose_gradient=True
+        )
+        sharded_grads = sharded_engine.backward_batch(
+            sharded, spec.cloud, dL_dimages, dL_ddepths, compute_pose_gradient=True
+        )
+        for name in GRADIENT_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(sharded_grads.cloud, name)),
+                np.asarray(getattr(flat_grads.cloud, name)),
+                err_msg=name,
+            )
+        np.testing.assert_array_equal(
+            sharded_grads.per_view_pose_twists, flat_grads.per_view_pose_twists
+        )
+        # per-view screen gradients kept separable, traces intact
+        assert len(sharded_grads.screen) == len(flat_grads.screen)
+        for sharded_screen, flat_screen in zip(sharded_grads.screen, flat_grads.screen):
+            assert (
+                sharded_screen.trace.total_pixel_level_updates
+                == flat_screen.trace.total_pixel_level_updates
+            )
+
+    def test_single_view_backward_through_worker_matches_flat(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec, n_views=2)
+        flat_engine, sharded_engine = _flat_engine(), _sharded_engine()
+        flat = flat_engine.render_batch(*args, **kwargs)
+        sharded = sharded_engine.render_batch(*args, **kwargs)
+        rng = np.random.default_rng(11)
+        dL_dimage = rng.uniform(-1, 1, size=flat.views[0].image.shape)
+        flat_grads = flat_engine.backward(flat.views[0], spec.cloud, dL_dimage)
+        sharded_grads = sharded_engine.backward(sharded.views[0], spec.cloud, dL_dimage)
+        for name in GRADIENT_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(sharded_grads, name)),
+                np.asarray(getattr(flat_grads, name)),
+                err_msg=name,
+            )
+
+    def test_attribution_covers_every_view_and_worker(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        batch = _sharded_engine().render_batch(*args, **kwargs)
+        sharding = batch.sharding
+        assert sharding is not None
+        assert sharding.n_workers == N_WORKERS
+        assert len(sharding.worker_ids) == batch.n_views
+        assert set(sharding.worker_ids) <= set(range(N_WORKERS))
+        assert len(sharding.view_shard_seconds) == batch.n_views
+        assert all(seconds >= 0.0 for seconds in sharding.view_shard_seconds)
+        assert sharding.stitch_seconds >= 0.0 and sharding.dispatch_seconds >= 0.0
+        timings = batch.timings()
+        assert timings["n_shard_workers"] == N_WORKERS
+
+    def test_workers_leq_one_degrades_to_serial_flat(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec, n_views=2)
+        for workers in (0, 1):
+            engine = _sharded_engine(workers)
+            batch = engine.render_batch(*args, **kwargs)
+            assert batch.sharding is None
+            assert all(view.backend == "flat" for view in batch.views)
+            assert batch.arena is not None  # serial path keeps a recyclable arena
+            engine.release(batch)
+
+    def test_single_view_batches_stay_serial(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec, n_views=1)
+        engine = _sharded_engine()
+        batch = engine.render_batch(*args, **kwargs)
+        assert batch.sharding is None
+        engine.release(batch)
+
+    def test_cache_carrying_requests_stay_serial(self):
+        spec = _spec()
+        args, kwargs = _batch_args(spec, n_views=2)
+        engine = _sharded_engine()
+        batch = engine.render_batch(*args, **kwargs, cache=GeometryCache(), managed=False)
+        assert batch.sharding is None
+        uncached = rasterize_batch_views(*args, **kwargs)
+        _assert_views_equal(batch.views, uncached.views)
+
+    def test_sharded_capabilities_are_honest(self):
+        engine = _sharded_engine()
+        capabilities = engine.capabilities("sharded")
+        assert capabilities.supports_batch
+        assert not capabilities.supports_cache
+        assert not capabilities.reference
+
+    def test_worker_side_eviction_raises_clean_error(self):
+        """Backward on a batch evicted from its workers errors, never hangs."""
+        spec = _spec("single_gaussian")
+        args, kwargs = _batch_args(spec, n_views=2)
+        engine = _sharded_engine()
+        stale = engine.render_batch(*args, **kwargs, managed=False)
+        assert stale.sharding is not None
+        # Workers retain a bounded number of batches; render enough new ones
+        # to push the first out of every worker's retention window.
+        for _ in range(3):
+            engine.render_batch(*args, **kwargs, managed=False)
+        fresh = engine.render_batch(*args, **kwargs, managed=False)
+        pool = fresh.views[0].shard_info.pool
+        with pytest.raises(ShardWorkerError, match="no longer resident"):
+            engine.backward_batch(
+                stale, spec.cloud, [np.zeros_like(view.image) for view in stale.views]
+            )
+        # A worker-reported error is recoverable: the shared pool survives
+        # and still-resident batches keep working through the same workers.
+        assert not pool.broken
+        grads = engine.backward_batch(
+            fresh, spec.cloud, [np.zeros_like(view.image) for view in fresh.views]
+        )
+        assert fresh.views[0].shard_info.pool is pool
+        assert np.isfinite(grads.cloud.positions).all()
+
+    def test_worker_crash_during_render_raises_clean_error_and_recovers(self):
+        spec = _spec("single_gaussian")
+        args, kwargs = _batch_args(spec, n_views=2)
+        engine = _sharded_engine()
+        warm = engine.render_batch(*args, **kwargs, managed=False)
+        pool = warm.views[0].shard_info.pool
+        for worker in pool._workers:
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+        with pytest.raises(ShardWorkerError, match="shard worker"):
+            engine.render_batch(*args, **kwargs, managed=False)
+        # The broken pool was discarded: the next batch spawns a fresh one
+        # and the engine remains fully usable.
+        recovered = engine.render_batch(*args, **kwargs, managed=False)
+        assert recovered.sharding is not None
+        flat = _flat_engine().render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(recovered.views, flat.views)
+
+    def test_worker_crash_during_backward_keeps_engine_arena_consistent(self):
+        """A managed batch whose backward dies can be released and re-rendered."""
+        from repro.engine import ArenaInUseError
+
+        spec = _spec("single_gaussian")
+        args, kwargs = _batch_args(spec, n_views=2)
+        engine = _sharded_engine()
+        batch = engine.render_batch(*args, **kwargs)  # managed: claims ownership
+        assert batch.sharding is not None
+        pool = batch.views[0].shard_info.pool
+        for worker in pool._workers:
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+        with pytest.raises(ShardWorkerError):
+            engine.backward_batch(
+                batch, spec.cloud, [np.zeros_like(view.image) for view in batch.views]
+            )
+        # The failed backward did not consume the batch: ownership is intact
+        # until the caller releases it, exactly as on the serial path.
+        with pytest.raises(ArenaInUseError):
+            engine.render_batch(*args, **kwargs)
+        engine.release(batch)
+        fresh = engine.render_batch(*args, **kwargs)
+        assert fresh.n_views == 2
+        engine.release(fresh)
+
+    def test_backward_on_detached_sharded_result_raises(self):
+        """A sharded view stripped of its worker handle fails loudly, not with
+        silently-empty gradients."""
+        spec = _spec("single_gaussian")
+        args, kwargs = _batch_args(spec, n_views=2)
+        engine = _sharded_engine()
+        batch = engine.render_batch(*args, **kwargs, managed=False)
+        view = batch.views[0]
+        del view.shard_info
+        with pytest.raises(ShardWorkerError, match="no worker handle"):
+            engine.backward(view, spec.cloud, np.zeros_like(view.image))
+        # A batch with a mix of detached and attached views fails just as
+        # cleanly instead of dying on the missing handle.
+        with pytest.raises(ShardWorkerError, match="no worker handle"):
+            engine.backward_batch(
+                batch, spec.cloud, [np.zeros_like(v.image) for v in batch.views]
+            )
+
+
+class TestShardedMapping:
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        from repro.datasets import make_sequence
+
+        return make_sequence("tum", n_frames=4, resolution_scale=0.35)
+
+    def _seeded(self, sequence, mapper, n_keyframes: int = 3):
+        from repro.gaussians import GaussianCloud
+        from repro.slam import Frame
+
+        cloud = GaussianCloud.empty()
+        keyframes = []
+        for index in range(n_keyframes):
+            observation = sequence.frame(index)
+            keyframes.append(Frame.from_rgbd(observation).with_pose(observation.gt_pose_cw))
+        mapper.initialize_map(cloud, keyframes[0], stride=6)
+        return cloud, keyframes
+
+    def test_mapping_through_sharded_engine_matches_flat(self, sequence):
+        from repro.slam import MappingConfig, StreamingMapper
+
+        config = MappingConfig(n_iterations=2, batch_views=3, geom_cache=False)
+        flat_mapper = StreamingMapper(config, engine=_flat_engine())
+        cloud_flat, keyframes = self._seeded(sequence, flat_mapper)
+        sharded_mapper = StreamingMapper(config, engine=_sharded_engine())
+        cloud_sharded = cloud_flat.copy()
+
+        result_flat = flat_mapper.map(cloud_flat, keyframes)
+        result_sharded = sharded_mapper.map(cloud_sharded, keyframes)
+        assert result_sharded.losses == result_flat.losses
+        np.testing.assert_array_equal(cloud_sharded.positions, cloud_flat.positions)
+        np.testing.assert_array_equal(cloud_sharded.colors, cloud_flat.colors)
+
+    def test_snapshots_carry_shard_attribution(self, sequence):
+        from repro.slam import MappingConfig, StreamingMapper
+
+        config = MappingConfig(n_iterations=1, batch_views=2, geom_cache=False)
+        mapper = StreamingMapper(config, engine=_sharded_engine())
+        cloud, keyframes = self._seeded(sequence, mapper)
+        result = mapper.map(cloud, keyframes)
+        assert result.snapshots
+        for snapshot in result.snapshots:
+            assert snapshot.shard_workers == N_WORKERS
+            assert 0 <= snapshot.shard_worker_id < N_WORKERS
+            assert snapshot.shard_seconds >= 0.0
+            assert snapshot.shard_stitch_seconds >= 0.0
+
+    def test_mapping_config_threads_shard_workers_into_engine(self):
+        from repro.slam import MappingConfig, StreamingMapper
+
+        mapper = StreamingMapper(MappingConfig(shard_workers=3))
+        assert mapper.engine.config.shard_workers == 3
+
+
+class TestShardAccounting:
+    def _snapshot(self, **overrides):
+        from repro.slam.records import WorkloadSnapshot
+
+        fields = dict(
+            stage="mapping",
+            frame_index=0,
+            iteration=0,
+            is_keyframe=True,
+            height=8,
+            width=8,
+            tile_size=8,
+            subtile_size=4,
+            resolution_fraction=1.0,
+            n_gaussians_total=16,
+            n_gaussians_active=16,
+            n_projected=16,
+            n_tile_pairs=16,
+            loss=0.1,
+            fragments_per_pixel=np.full((8, 8), 4, dtype=np.int64),
+            batch_size=4,
+        )
+        fields.update(overrides)
+        return WorkloadSnapshot(**fields)
+
+    def test_gpu_model_amortises_fragment_stages_across_shards(self):
+        from repro.hardware.gpu_model import EdgeGPUModel
+
+        model = EdgeGPUModel("onx")
+        serial = model.iteration_latency(self._snapshot(shard_workers=1))
+        sharded = model.iteration_latency(self._snapshot(shard_workers=4))
+        assert sharded.rendering < serial.rendering
+        assert sharded.preprocessing == serial.preprocessing  # plan stays serial
+        # At most one worker per view helps.
+        capped = model.iteration_latency(self._snapshot(batch_size=2, shard_workers=8))
+        wide = model.iteration_latency(self._snapshot(batch_size=8, shard_workers=8))
+        assert wide.rendering < capped.rendering
+
+    def test_batch_amortization_report_isolates_shard_share(self):
+        from repro.profiling import batch_amortization_report
+
+        snapshots = [
+            self._snapshot(shard_workers=4, shard_worker_id=index % 4, shard_seconds=0.01,
+                           shard_stitch_seconds=0.002, view_index=index)
+            for index in range(4)
+        ]
+        report = batch_amortization_report(snapshots)
+        assert report["mean_shard_workers"] == 4.0
+        assert report["n_sharded_views"] == 4.0
+        assert report["shard_amortization"] > 1.0
+        assert report["stitch_s"] == pytest.approx(0.008)
+        assert report["speedup"] > report["shard_amortization"]  # batching adds more
