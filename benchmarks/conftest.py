@@ -76,6 +76,23 @@ def workload_scale() -> float:
     return WORKLOAD_SCALE
 
 
+def pytest_terminal_summary(terminalreporter) -> None:
+    """Surface skipped perf gates in the session summary.
+
+    A perf gate that could not measure (missing baseline, too few cores)
+    skips with a machine-readable reason via ``perf_gate.skip_gate``; echoing
+    those reasons here keeps them visible at the end of long CI logs instead
+    of buried in per-test captured output.
+    """
+    from benchmarks.perf_gate import SKIPPED_GATES
+
+    if not SKIPPED_GATES:
+        return
+    terminalreporter.write_sep("-", "skipped perf gates")
+    for name, key, reason in SKIPPED_GATES:
+        terminalreporter.write_line(f"[perf:skip] {name}.{key}: {reason}")
+
+
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
     """Print a table in a format comparable to the paper's."""
     print(f"\n=== {title} ===")

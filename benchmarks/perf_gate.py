@@ -50,6 +50,27 @@ def perf_gate_active() -> bool:
     return not os.environ.get("CI")
 
 
+# Every gate skipped this session, as (name, key, reason): the conftest prints
+# them in the terminal summary so a skipped gate is always visible in the job
+# log, never a silent pass.
+SKIPPED_GATES: list[tuple[str, str, str]] = []
+
+
+def skip_gate(name: str, key: str, reason: str) -> None:
+    """Skip a perf gate with a logged, machine-readable reason.
+
+    Prints the ``[perf:skip]`` line (the convention CI log scrapers and the
+    terminal-summary hook key on), records it in :data:`SKIPPED_GATES`, and
+    raises ``pytest.skip`` so the test reports as skipped — a gate that cannot
+    measure must never silently pass.
+    """
+    SKIPPED_GATES.append((name, key, reason))
+    print(f"[perf:skip] {name}.{key}: {reason}")
+    import pytest
+
+    pytest.skip(f"{name}.{key}: {reason}")
+
+
 def load_baselines(name: str) -> dict[str, float]:
     path = BASELINE_DIR / f"{name}.json"
     if not path.exists():
@@ -86,8 +107,31 @@ def check_speedup(name: str, key: str, measured: float, minimum: float | None = 
     ``minimum`` optionally enforces an absolute floor on top of the relative
     regression check (e.g. "the batched path must stay >= 1.5x" regardless of
     what the baseline file says).
+
+    A missing baseline file or key skips the gate with a logged
+    ``[perf:skip]`` reason (via :func:`skip_gate`) instead of erroring or
+    silently passing: freshly added benchmarks whose baseline has not been
+    committed yet stay visible in the job log until the baseline lands.
     """
-    baseline = load_baselines(name)[key]
+    try:
+        baselines = load_baselines(name)
+    except FileNotFoundError:
+        skip_gate(
+            name,
+            key,
+            f"missing-baseline:benchmarks/baselines/{name}.json is not committed; "
+            "add it with the benchmark that measures it",
+        )
+        return
+    if key not in baselines:
+        skip_gate(
+            name,
+            key,
+            f"missing-baseline-key:benchmarks/baselines/{name}.json has no entry "
+            f"{key!r}; add it with the benchmark that measures it",
+        )
+        return
+    baseline = baselines[key]
     record_measurement(name, key, measured, baseline)
     floor = baseline * (1.0 - MAX_REGRESSION)
     if minimum is not None:

@@ -1,0 +1,90 @@
+"""The perf-gate machinery itself: baselines, skips, regression floors.
+
+Pins the contract :mod:`benchmarks.perf_gate` gives every benchmark:
+
+* a missing baseline file or key **skips** the gate with a logged
+  ``[perf:skip]`` reason recorded in ``SKIPPED_GATES`` — never an error and
+  never a silent pass;
+* a measured ratio at or above the floor passes and prints ``[perf:ok]``;
+* a regression beyond ``MAX_REGRESSION`` fails while the gate is active and
+  names the baseline file to update.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import perf_gate
+from benchmarks.perf_gate import (
+    MAX_REGRESSION,
+    SKIPPED_GATES,
+    check_speedup,
+    load_baselines,
+    skip_gate,
+)
+
+
+@pytest.fixture()
+def isolated_baselines(tmp_path, monkeypatch):
+    """Point the gate at a temporary baseline directory and clean skip records."""
+    monkeypatch.setattr(perf_gate, "BASELINE_DIR", tmp_path)
+    # The gate must be active so failing floors assert (not advisory CI mode).
+    monkeypatch.setenv("REPRO_PERF_STRICT", "1")
+    recorded_before = len(SKIPPED_GATES)
+    yield tmp_path
+    del SKIPPED_GATES[recorded_before:]
+
+
+def test_missing_baseline_file_skips_with_logged_reason(isolated_baselines, capsys):
+    with pytest.raises(pytest.skip.Exception) as outcome:
+        check_speedup("no_such_bench", "ratio", measured=2.0)
+    assert "missing-baseline" in str(outcome.value)
+    printed = capsys.readouterr().out
+    assert "[perf:skip] no_such_bench.ratio: missing-baseline" in printed
+    assert SKIPPED_GATES[-1][0] == "no_such_bench"
+    assert "missing-baseline" in SKIPPED_GATES[-1][2]
+
+
+def test_missing_baseline_key_skips_with_logged_reason(isolated_baselines, capsys):
+    (isolated_baselines / "bench.json").write_text(json.dumps({"other_key": 2.0}))
+    with pytest.raises(pytest.skip.Exception):
+        check_speedup("bench", "ratio", measured=2.0)
+    printed = capsys.readouterr().out
+    assert "[perf:skip] bench.ratio: missing-baseline-key" in printed
+    assert "'ratio'" in SKIPPED_GATES[-1][2]
+
+
+def test_present_baseline_passes_and_prints_measurement(isolated_baselines, capsys):
+    (isolated_baselines / "bench.json").write_text(json.dumps({"ratio": 2.0}))
+    check_speedup("bench", "ratio", measured=1.9)  # above the 20% floor
+    printed = capsys.readouterr().out
+    assert "[perf:ok] bench.ratio" in printed
+
+
+def test_regression_fails_while_gate_active(isolated_baselines, capsys):
+    (isolated_baselines / "bench.json").write_text(json.dumps({"ratio": 2.0}))
+    floor = 2.0 * (1.0 - MAX_REGRESSION)
+    with pytest.raises(AssertionError) as outcome:
+        check_speedup("bench", "ratio", measured=floor - 0.1)
+    assert "benchmarks/baselines/bench.json" in str(outcome.value)
+    assert "[perf:REGRESSION]" in capsys.readouterr().out
+
+
+def test_skip_gate_records_and_raises(isolated_baselines, capsys):
+    with pytest.raises(pytest.skip.Exception):
+        skip_gate("bench", "ratio", "insufficient-cores:needs >= 4; this host has 1")
+    assert SKIPPED_GATES[-1] == (
+        "bench",
+        "ratio",
+        "insufficient-cores:needs >= 4; this host has 1",
+    )
+    assert "[perf:skip] bench.ratio: insufficient-cores" in capsys.readouterr().out
+
+
+def test_committed_baselines_still_load():
+    # The real baseline directory must stay loadable through the same helper
+    # the benchmarks use (guards against format drift in baselines/*.json).
+    ratios = load_baselines("sharded_speedup")
+    assert all(isinstance(value, float) for value in ratios.values())

@@ -24,10 +24,9 @@ from __future__ import annotations
 import os
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import get_sequence, print_table
-from benchmarks.perf_gate import best_of, check_speedup
+from benchmarks.perf_gate import best_of, check_speedup, skip_gate
 from repro.engine import EngineConfig, RenderEngine
 from repro.gaussians import GaussianCloud
 
@@ -85,12 +84,12 @@ class _FusedIteration:
 def test_sharded_batch_speedup():
     n_cores = os.cpu_count() or 1
     if n_cores < N_WORKERS:
-        reason = (
-            f"sharded speedup gate needs >= {N_WORKERS} cores for {N_WORKERS} "
-            f"workers; this host has {n_cores}"
+        skip_gate(
+            "sharded_speedup",
+            "sharded_vs_flat_batch_fwd_bwd",
+            f"insufficient-cores:needs >= {N_WORKERS} cores for {N_WORKERS} "
+            f"workers; this host has {n_cores}",
         )
-        print(f"[perf:skip] sharded_speedup.sharded_vs_flat_batch_fwd_bwd: {reason}")
-        pytest.skip(reason)
 
     cloud, cameras, poses = _scene()
     rng = np.random.default_rng(23)

@@ -18,7 +18,11 @@ from repro.datasets.registry import (
 )
 from repro.datasets.rgbd import RGBDFrame, RGBDSequence
 from repro.datasets.scene import SceneConfig, SyntheticScene
-from repro.datasets.trajectory import TrajectoryConfig, generate_trajectory
+from repro.datasets.trajectory import (
+    TrajectoryConfig,
+    generate_trajectory,
+    scenario_trajectory,
+)
 
 __all__ = [
     "DATASET_REGISTRY",
@@ -32,4 +36,5 @@ __all__ = [
     "dataset_scenes",
     "generate_trajectory",
     "make_sequence",
+    "scenario_trajectory",
 ]

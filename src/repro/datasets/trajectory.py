@@ -72,6 +72,50 @@ def generate_trajectory(
     return poses
 
 
+def scenario_trajectory(
+    n_views: int,
+    *,
+    aggressive: bool = False,
+    distance: float = 2.0,
+    seed: int = 0,
+) -> list[SE3]:
+    """Deterministic multi-view poses around the origin for test scenarios.
+
+    Unlike :func:`generate_trajectory` (which orbits a *room* interior for
+    full SLAM sequences), these poses orbit the origin-centred test clouds of
+    :mod:`repro.testing.scenarios` at roughly ``distance``, always looking at
+    (or near) the scene centre, so every view keeps the scenario content in
+    frame.  ``aggressive=True`` produces the adversarial variant: large
+    inter-frame rotations plus positional jitter, the "fast erratic camera"
+    workload that stresses projection/tiling churn between consecutive views.
+    The same ``(n_views, aggressive, distance, seed)`` always yields bitwise
+    identical poses — the property every scenario input must have.
+    """
+    if n_views <= 0:
+        raise ValueError(f"n_views must be positive, got {n_views}")
+    rng = default_rng(seed)
+    step = 0.35 if aggressive else 0.08  # radians of orbit per view
+    poses: list[SE3] = []
+    for k in range(n_views):
+        angle = k * step
+        eye = np.array(
+            [
+                distance * np.sin(angle),
+                0.35 * np.sin(2.1 * angle),
+                -distance * np.cos(angle),
+            ]
+        )
+        if aggressive:
+            eye = eye + rng.normal(0.0, 0.08, size=3)
+        target = (
+            rng.normal(0.0, 0.05, size=3)
+            if aggressive
+            else np.array([0.02 * np.sin(1.7 * angle), 0.015 * np.cos(1.3 * angle), 0.0])
+        )
+        poses.append(SE3.look_at(eye, target, up=(0.0, 1.0, 0.0)))
+    return poses
+
+
 def pose_velocity(poses: list[SE3]) -> np.ndarray:
     """Return per-step (translation, rotation) motion magnitudes of a trajectory.
 

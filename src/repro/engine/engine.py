@@ -106,6 +106,27 @@ class RenderEngine:
     def capabilities(self, name: str | None = None) -> BackendCapabilities:
         return self.backend(name).capabilities()
 
+    def availability(self, name: str | None = None) -> str | None:
+        """``None`` when the resolved backend can execute under this config.
+
+        Otherwise a short machine-readable reason (``kind:detail``) naming
+        what is missing — e.g. the sharded backend resolving to fewer than two
+        worker processes reports ``workers:...`` with the knob and the host
+        core count.  Backends opt in by exposing an ``availability()`` method;
+        backends without one are always available.  This is what
+        capability-aware harnesses (the scenario matrix) consult to *skip*
+        a configuration with an explained reason instead of silently running
+        a degraded substitute.
+        """
+        try:
+            impl = self.backend(name)
+        except ValueError as error:
+            return f"unknown-backend:{error}"
+        probe = getattr(impl, "availability", None)
+        if callable(probe):
+            return probe()
+        return None
+
     def _batch_capable(self, impl: RenderBackend, override: str | None) -> RenderBackend:
         """Resolve a batch-capable backend, mirroring the legacy contract.
 

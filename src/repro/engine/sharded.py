@@ -651,6 +651,25 @@ class ShardedBackend:
             return self.config.shard_workers
         return default_shard_workers()
 
+    def availability(self) -> str | None:
+        """Machine-readable reason this backend cannot genuinely shard, or ``None``.
+
+        Sharding needs at least two worker processes; fewer (an explicit
+        ``shard_workers``/``REPRO_SHARD_WORKERS`` of 0/1, or a single-core
+        host sizing the default pool) means every batch would silently run
+        the serial flat path — honest harnesses skip instead.  A latched
+        spawn failure is also reported.
+        """
+        workers = self.resolved_workers()
+        if workers < 2:
+            source = (
+                "shard_workers knob" if self.config.shard_workers is not None else "cpu default"
+            )
+            return f"workers:{workers}<2 ({source}, cpu_count={os.cpu_count()})"
+        if self._unavailable_reason is not None:
+            return f"spawn-failed:{self._unavailable_reason}"
+        return None
+
     def _pool_for(self, n_views: int) -> ShardedPool | None:
         """The pool to shard over, or ``None`` when serial execution is right.
 

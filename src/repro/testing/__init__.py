@@ -5,7 +5,9 @@ This package is the repo's testing subsystem: deterministic render scenarios
 fragment-list rasterizer equivalent to the reference per-tile backend
 (:mod:`repro.testing.differential`), and golden ``.npz`` fixtures pinning the
 reference outputs (:mod:`repro.testing.golden`, regenerated via
-``python -m repro.testing.regold``).
+``python -m repro.testing.regold``), and the cross-backend scenario matrix
+(:mod:`repro.testing.matrix`, runnable via ``python -m repro.testing.matrix``)
+sweeping every scenario against backend/cache/batch/mapping axes.
 """
 
 from repro.testing.differential import (
@@ -23,25 +25,56 @@ from repro.testing.golden import (
     save_golden,
 )
 from repro.testing.scenarios import (
+    ADVERSARIAL_LIBRARY,
     DEFAULT_LIBRARY,
     Scenario,
     ScenarioLibrary,
     SceneSpec,
+    matrix_library,
 )
 
+# The matrix names resolve lazily so `python -m repro.testing.matrix` does not
+# re-import the module it is executing (runpy's sys.modules warning) and the
+# mapper-adjacent machinery stays off the import path until actually used.
+_MATRIX_EXPORTS = (
+    "AXES",
+    "MatrixCell",
+    "MatrixOptions",
+    "ScenarioCellResult",
+    "ScenarioMatrix",
+    "summary_table",
+)
+
+
+def __getattr__(name: str):
+    if name in _MATRIX_EXPORTS:
+        from repro.testing import matrix
+
+        return getattr(matrix, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ADVERSARIAL_LIBRARY",
+    "AXES",
     "DEFAULT_LIBRARY",
     "DifferentialRunner",
     "GOLDEN_ATOL",
     "GOLDEN_DIR",
     "GRADIENT_FIELDS",
+    "MatrixCell",
+    "MatrixOptions",
     "Scenario",
+    "ScenarioCellResult",
     "ScenarioLibrary",
+    "ScenarioMatrix",
     "ScenarioReport",
     "SceneSpec",
     "compare_to_golden",
     "golden_path",
     "load_golden",
+    "matrix_library",
     "render_reference",
     "save_golden",
+    "summary_table",
 ]

@@ -36,7 +36,13 @@ def _look_at_origin(distance: float = 2.0) -> SE3:
 
 @dataclass(frozen=True)
 class SceneSpec:
-    """Everything :func:`repro.gaussians.rasterize` needs for one render."""
+    """Everything :func:`repro.gaussians.rasterize` needs for one render.
+
+    ``extra_view_poses`` / ``extra_view_cameras`` let a scenario prescribe
+    its *own* multi-view geometry (trajectory scenarios, mixed-resolution
+    batches) instead of the default small-perturbation orbit; both default to
+    empty, which preserves the historical single-camera behaviour bitwise.
+    """
 
     cloud: GaussianCloud
     camera: Camera
@@ -44,16 +50,23 @@ class SceneSpec:
     background: np.ndarray
     tile_size: int = 16
     subtile_size: int = 4
+    extra_view_poses: tuple[SE3, ...] = ()
+    extra_view_cameras: tuple[Camera, ...] = ()
 
     def view_poses(self, n_views: int) -> list[SE3]:
         """Deterministic multi-view poses for batched-rasterizer testing.
 
-        The first pose is the scenario's own; subsequent poses apply small,
-        fixed left perturbations (a shrinking orbit around the base view), so
-        a batch over them exercises genuinely different projections while
-        staying reproducible — the same property the single-view scenarios
-        guarantee.
+        The first pose is the scenario's own.  When the scenario carries
+        ``extra_view_poses`` (trajectory / aggressive-motion scenes) those are
+        used, cycling if more views are requested than prescribed; otherwise
+        subsequent poses apply small, fixed left perturbations (a shrinking
+        orbit around the base view), so a batch over them exercises genuinely
+        different projections while staying reproducible — the same property
+        the single-view scenarios guarantee.
         """
+        if self.extra_view_poses:
+            pool = [self.pose_cw, *self.extra_view_poses]
+            return [pool[k % len(pool)] for k in range(n_views)]
         poses = [self.pose_cw]
         for k in range(1, n_views):
             twist = 0.5 ** (k - 1) * np.array(
@@ -61,6 +74,21 @@ class SceneSpec:
             )
             poses.append(SE3.exp(twist) @ self.pose_cw)
         return poses
+
+    def view_cameras(self, n_views: int) -> list[Camera]:
+        """Per-view cameras matching :meth:`view_poses`.
+
+        The base camera everywhere unless the scenario prescribes
+        ``extra_view_cameras`` (the mixed-resolution workload), which cycle
+        in after the base exactly like the extra poses do.
+        """
+        pool = [self.camera, *self.extra_view_cameras]
+        return [pool[k % len(pool)] for k in range(n_views)]
+
+    @property
+    def n_prescribed_views(self) -> int:
+        """Views this scenario natively describes (1 + prescribed extras)."""
+        return 1 + max(len(self.extra_view_poses), len(self.extra_view_cameras))
 
 
 @dataclass(frozen=True)
@@ -286,3 +314,169 @@ def _ragged_tiles() -> SceneSpec:
         tile_size=8,
         subtile_size=4,
     )
+
+
+# ---------------------------------------------------------------------------
+# Adversarial library: the scenario-matrix growth set.
+#
+# These scenes extend the behavioural corners above with the workloads the
+# cross-backend matrix (:mod:`repro.testing.matrix`) sweeps: near-degenerate
+# Gaussians, sparse and trajectory-driven multi-view batches, mixed camera
+# resolutions, and a churn scene whose mapper cells densify/prune mid-window.
+# They live in their own library (not ``DEFAULT_LIBRARY``) so the committed
+# golden fixtures and the per-scenario differential gates keep their exact
+# historical scope; :func:`matrix_library` merges both for matrix consumers.
+# ---------------------------------------------------------------------------
+
+ADVERSARIAL_LIBRARY = ScenarioLibrary()
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "zero_opacity",
+    "near-degenerate opacities: splats at the sigmoid floor contribute ~nothing",
+)
+def _zero_opacity() -> SceneSpec:
+    rng = np.random.default_rng(31)
+    points = rng.uniform(-0.4, 0.4, size=(20, 3))
+    points[:, 2] *= 0.3
+    colors = rng.uniform(0.1, 0.9, size=(20, 3))
+    opacity = np.full(20, 1e-6)
+    opacity[::7] = 0.7  # a few real splats so the render is not pure background
+    cloud = GaussianCloud.from_points(points, colors, scale=0.12, opacity=opacity)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.1, 0.1, 0.1]),
+    )
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "collapsed_covariance",
+    "near-collapsed 3D covariances: sub-pixel footprints stress the radius floors",
+)
+def _collapsed_covariance() -> SceneSpec:
+    rng = np.random.default_rng(37)
+    points = rng.uniform(-0.3, 0.3, size=(15, 3))
+    points[:, 2] *= 0.3
+    colors = rng.uniform(0.2, 0.9, size=(15, 3))
+    scales = np.full(15, 1e-6)
+    scales[::5] = 0.15  # mix collapsed and healthy footprints in one scene
+    cloud = GaussianCloud.from_points(points, colors, scale=scales, opacity=0.8)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(32, 24, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.zeros(3),
+    )
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "sparse_wide", "a handful of splats scattered wide: mostly-empty tiles"
+)
+def _sparse_wide() -> SceneSpec:
+    points = np.array(
+        [
+            [-0.9, -0.6, 0.1],
+            [0.95, 0.55, 0.0],
+            [0.0, 0.0, 0.3],
+            [-0.8, 0.7, -0.1],
+            [0.7, -0.75, 0.2],
+        ]
+    )
+    colors = np.linspace(0.15, 0.9, 15).reshape(5, 3)
+    cloud = GaussianCloud.from_points(points, colors, scale=0.08, opacity=0.75)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(72, 54, fov_x_degrees=85.0),
+        pose_cw=_look_at_origin(2.4),
+        background=np.array([0.02, 0.02, 0.05]),
+    )
+
+
+def _trajectory_spec(n_views: int, aggressive: bool, seed: int) -> SceneSpec:
+    from repro.datasets.trajectory import scenario_trajectory
+
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-0.55, 0.55, size=(80, 3))
+    points[:, 2] *= 0.5
+    colors = rng.uniform(0.1, 0.9, size=(80, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.11, opacity=0.65)
+    poses = scenario_trajectory(n_views, aggressive=aggressive, seed=seed)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(40, 30, fov_x_degrees=70.0),
+        pose_cw=poses[0],
+        background=np.array([0.08, 0.12, 0.18]),
+        extra_view_poses=tuple(poses[1:]),
+    )
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "long_trajectory",
+    "12-view smooth orbit of one cloud: the long multi-view window workload",
+)
+def _long_trajectory() -> SceneSpec:
+    return _trajectory_spec(n_views=12, aggressive=False, seed=43)
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "aggressive_motion",
+    "large rotations + positional jitter between views: projection/tiling churn",
+)
+def _aggressive_motion() -> SceneSpec:
+    return _trajectory_spec(n_views=6, aggressive=True, seed=47)
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "mixed_resolution",
+    "one batch, three camera resolutions: per-view output shapes diverge",
+)
+def _mixed_resolution() -> SceneSpec:
+    rng = np.random.default_rng(53)
+    points = rng.uniform(-0.5, 0.5, size=(60, 3))
+    points[:, 2] *= 0.4
+    colors = rng.uniform(0.1, 0.9, size=(60, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.11, opacity=0.7)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(48, 36, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.05, 0.1, 0.05]),
+        extra_view_cameras=(
+            Camera.from_fov(24, 18, fov_x_degrees=70.0),
+            Camera.from_fov(64, 44, fov_x_degrees=70.0),
+        ),
+    )
+
+
+@ADVERSARIAL_LIBRARY.add(
+    "densify_churn",
+    "under-covered scene whose mapper cells densify and prune mid-window",
+)
+def _densify_churn() -> SceneSpec:
+    rng = np.random.default_rng(59)
+    # Deliberately under-covered (few, small splats) so mapping's coverage
+    # densification fires, plus low-opacity splats the transparency prune
+    # removes: matrix mapper cells on this scene mutate the cloud mid-window.
+    points = rng.uniform(-0.4, 0.4, size=(12, 3))
+    points[:, 2] *= 0.3
+    colors = rng.uniform(0.2, 0.8, size=(12, 3))
+    opacity = np.full(12, 0.7)
+    opacity[::3] = 0.05
+    cloud = GaussianCloud.from_points(points, colors, scale=0.07, opacity=opacity)
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(36, 28, fov_x_degrees=70.0),
+        pose_cw=_look_at_origin(),
+        background=np.array([0.1, 0.05, 0.05]),
+    )
+
+
+def matrix_library() -> ScenarioLibrary:
+    """The scenario-matrix sweep set: every default + every adversarial scene.
+
+    Returns a fresh merged library so callers may register additional
+    scenarios without mutating either source library.
+    """
+    return ScenarioLibrary(list(DEFAULT_LIBRARY) + list(ADVERSARIAL_LIBRARY))

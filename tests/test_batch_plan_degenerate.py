@@ -1,0 +1,122 @@
+"""Degenerate batch inputs through the plan/execute split and both batch engines.
+
+The planner (:func:`repro.gaussians.batch.plan_batch_views`) and executor
+(:func:`~repro.gaussians.batch.execute_plan`) must produce *clean* results —
+background images, zero fragments, well-formed work units — for workloads
+where there is nothing to rasterize: an empty cloud, a single-pixel viewport,
+and views whose every Gaussian is culled.  The same inputs must flow through
+the flat and sharded engines' ``render_batch`` without crashing and agree
+bitwise, and a zero-view batch must be rejected with a ``ValueError`` at
+planning time rather than failing deep inside arena reservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, RenderEngine
+from repro.gaussians.batch import execute_plan, plan_batch_views
+from repro.testing.scenarios import DEFAULT_LIBRARY
+
+# Scenarios whose batches contain no rasterizable fragments at all, plus the
+# smallest viewport the tiler supports.
+DEGENERATE = ("empty_cloud", "all_culled", "one_pixel")
+
+
+def _spec(name: str):
+    return DEFAULT_LIBRARY.get(name).build()
+
+
+def _batch_inputs(spec, n_views: int = 3):
+    poses = spec.view_poses(n_views)
+    return [spec.camera] * n_views, poses, [spec.background] * n_views
+
+
+@pytest.mark.parametrize("name", DEGENERATE)
+def test_plan_and_execute_produce_clean_results(name):
+    spec = _spec(name)
+    cameras, poses, backgrounds = _batch_inputs(spec)
+    plan = plan_batch_views(
+        spec.cloud,
+        cameras,
+        poses,
+        backgrounds=backgrounds,
+        tile_size=spec.tile_size,
+        subtile_size=spec.subtile_size,
+    )
+    assert plan.n_views == 3
+    assert plan.total_fragments == sum(unit.n_fragments for unit in plan.units)
+    batch = execute_plan(plan)
+    assert len(batch.views) == 3
+    for view, background in zip(batch.views, backgrounds):
+        height, width = view.image.shape[:2]
+        assert (height, width) == (spec.camera.height, spec.camera.width)
+        assert np.all(np.isfinite(view.image))
+        assert np.all(view.alpha >= 0.0) and np.all(view.alpha <= 1.0)
+        if view.n_fragments == 0:
+            # Nothing composited: the image must be exactly the background.
+            assert np.array_equal(view.image, np.broadcast_to(background, view.image.shape))
+            assert np.all(view.depth == 0.0)
+            assert np.all(view.fragments_per_pixel == 0)
+
+
+@pytest.mark.parametrize("name", ("empty_cloud", "all_culled"))
+def test_fragmentless_plans_reserve_nothing(name):
+    spec = _spec(name)
+    cameras, poses, backgrounds = _batch_inputs(spec)
+    plan = plan_batch_views(spec.cloud, cameras, poses, backgrounds=backgrounds)
+    assert plan.total_fragments == 0
+    assert all(unit.base == 0 for unit in plan.units)
+
+
+@pytest.mark.parametrize("backend", ("flat", "sharded"))
+@pytest.mark.parametrize("name", DEGENERATE)
+def test_engines_render_degenerate_batches(name, backend):
+    spec = _spec(name)
+    cameras, poses, backgrounds = _batch_inputs(spec)
+    engine = RenderEngine(
+        EngineConfig(backend=backend, geom_cache=False, shard_workers=2)
+    )
+    batch = engine.render_batch(
+        spec.cloud,
+        cameras,
+        poses,
+        backgrounds=backgrounds,
+        tile_size=spec.tile_size,
+        subtile_size=spec.subtile_size,
+        managed=False,
+    )
+    reference = execute_plan(
+        plan_batch_views(
+            spec.cloud,
+            cameras,
+            poses,
+            backgrounds=backgrounds,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+    )
+    for view, expected in zip(batch.views, reference.views):
+        assert np.array_equal(view.image, expected.image)
+        assert np.array_equal(view.depth, expected.depth)
+        assert np.array_equal(view.alpha, expected.alpha)
+        assert np.array_equal(view.fragments_per_pixel, expected.fragments_per_pixel)
+
+
+@pytest.mark.parametrize("backend", ("flat", "sharded"))
+def test_zero_view_batch_rejected(backend):
+    spec = _spec("single_gaussian")
+    engine = RenderEngine(
+        EngineConfig(backend=backend, geom_cache=False, shard_workers=2)
+    )
+    with pytest.raises(ValueError, match="at least one view"):
+        engine.render_batch(spec.cloud, [], [], managed=False)
+    with pytest.raises(ValueError, match="at least one view"):
+        plan_batch_views(spec.cloud, [], [])
+
+
+def test_mismatched_views_rejected_at_planning():
+    spec = _spec("single_gaussian")
+    with pytest.raises(ValueError, match="one pose per view"):
+        plan_batch_views(spec.cloud, [spec.camera, spec.camera], [spec.pose_cw])

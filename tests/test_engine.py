@@ -94,6 +94,64 @@ class TestEngineConfig:
         with pytest.raises(ValueError, match="REPRO_SHARD_WORKERS"):
             EngineConfig.from_env({"REPRO_SHARD_WORKERS": "-1"})
 
+    # -- conflicting-knob precedence -----------------------------------------
+    def test_shard_workers_with_non_sharded_backend_is_recorded_but_inert(self):
+        # REPRO_SHARD_WORKERS alongside a backend that never shards is not a
+        # conflict: the knob is recorded verbatim (any sharded render through
+        # the same engine would honour it) and tile renders are unaffected.
+        config = EngineConfig.from_env(
+            {"REPRO_SHARD_WORKERS": "4", "REPRO_RASTER_BACKEND": "tile"}
+        )
+        assert config.backend == "tile"
+        assert config.shard_workers == 4
+        spec = DEFAULT_LIBRARY.get("single_gaussian").build()
+        render = _render(RenderEngine(config), spec)
+        reference = _render(RenderEngine(EngineConfig(backend="tile")), spec)
+        assert np.array_equal(render.image, reference.image)
+
+    def test_sharded_backend_with_zero_workers_is_valid_serial_degradation(self):
+        # sharded + REPRO_SHARD_WORKERS=0 is a documented degradation, not an
+        # error: the backend reports itself unavailable for the matrix (with
+        # the knob named) and renders serially via the flat work units.
+        config = EngineConfig.from_env(
+            {"REPRO_RASTER_BACKEND": "sharded", "REPRO_SHARD_WORKERS": "0"}
+        )
+        assert config.shard_workers == 0
+        engine = RenderEngine(config)
+        reason = engine.availability()
+        assert reason is not None and reason.startswith("workers:0<2")
+        assert "shard_workers knob" in reason
+        spec = DEFAULT_LIBRARY.get("single_gaussian").build()
+        render = _render(engine, spec)
+        flat = _render(RenderEngine(EngineConfig(backend="flat", geom_cache=False)), spec)
+        assert np.array_equal(render.image, flat.image)
+
+    def test_conflicting_tile_subtile_env_rejected_at_config_time(self):
+        # Tile/subtile conflicts must fail while still attributable to the
+        # env knobs, not deep inside the tiling code at first render.
+        with pytest.raises(ValueError, match="multiple"):
+            EngineConfig.from_env({"REPRO_TILE_SIZE": "16", "REPRO_SUBTILE_SIZE": "3"})
+        with pytest.raises(ValueError, match="must not exceed"):
+            EngineConfig.from_env({"REPRO_TILE_SIZE": "4", "REPRO_SUBTILE_SIZE": "8"})
+
+    def test_overrides_beat_env_on_conflict(self):
+        # Documented precedence: explicit keyword overrides replace the
+        # env-derived values — even when the env alone would be invalid in
+        # combination with them the override decides.
+        config = EngineConfig.from_env(
+            {
+                "REPRO_RASTER_BACKEND": "tile",
+                "REPRO_SHARD_WORKERS": "4",
+                "REPRO_GEOM_CACHE": "1",
+            },
+            backend="sharded",
+            shard_workers=2,
+            geom_cache=False,
+        )
+        assert config.backend == "sharded"
+        assert config.shard_workers == 2
+        assert not config.geom_cache
+
     def test_validation(self):
         with pytest.raises(ValueError, match="tile_size"):
             EngineConfig(tile_size=0)
