@@ -17,7 +17,11 @@ from repro.engine.registry import (
     register_backend,
 )
 from repro.gaussians.backward import preprocess_backward, rasterize_backward
-from repro.gaussians.batch import rasterize_batch_views, render_backward_batch_views
+from repro.gaussians.batch import (
+    execute_plan,
+    plan_batch_views,
+    render_backward_batch_views,
+)
 from repro.gaussians.fast_raster import rasterize_flat
 from repro.gaussians.rasterizer import rasterize_tile
 
@@ -26,7 +30,7 @@ if TYPE_CHECKING:
 
     from repro.engine.config import EngineConfig
     from repro.gaussians.backward import CloudGradients
-    from repro.gaussians.batch import BatchGradients, BatchRenderResult
+    from repro.gaussians.batch import BatchGradients, BatchRenderResult, RenderPlan
     from repro.gaussians.gaussian_model import GaussianCloud
     from repro.gaussians.rasterizer import RenderResult
 
@@ -58,8 +62,8 @@ class FlatBackend:
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
-            supports_batch=True,
-            supports_cache=True,
+            batch=True,
+            cache=True,
             reference=False,
             description="flat fragment-list fast path (repro.gaussians.fast_raster)",
         )
@@ -79,7 +83,11 @@ class FlatBackend:
         )
 
     def render_batch(self, request: BatchRenderRequest) -> "BatchRenderResult":
-        return rasterize_batch_views(
+        # The canonical plan/execute composition of the RenderBackend seam.
+        return self.execute_units(self.plan_batch(request), request)
+
+    def plan_batch(self, request: BatchRenderRequest) -> "RenderPlan":
+        return plan_batch_views(
             request.cloud,
             request.cameras,
             request.poses_cw,
@@ -87,9 +95,13 @@ class FlatBackend:
             tile_size=request.tile_size,
             subtile_size=request.subtile_size,
             active_only=request.active_only,
-            arena=request.arena,
             cache=request.cache,
         )
+
+    def execute_units(
+        self, plan: "RenderPlan", request: BatchRenderRequest
+    ) -> "BatchRenderResult":
+        return execute_plan(plan, arena=request.arena)
 
     def backward(
         self,
@@ -134,8 +146,8 @@ class TileBackend:
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
-            supports_batch=False,
-            supports_cache=False,
+            batch=False,
+            cache=False,
             reference=True,
             description="reference per-tile loop (repro.gaussians.rasterizer)",
         )
@@ -153,6 +165,18 @@ class TileBackend:
         )
 
     def render_batch(self, request: BatchRenderRequest) -> "BatchRenderResult":
+        raise NotImplementedError(
+            "the tile reference backend does not support batched rendering"
+        )
+
+    def plan_batch(self, request: BatchRenderRequest) -> "RenderPlan":
+        raise NotImplementedError(
+            "the tile reference backend does not support batched rendering"
+        )
+
+    def execute_units(
+        self, plan: "RenderPlan", request: BatchRenderRequest
+    ) -> "BatchRenderResult":
         raise NotImplementedError(
             "the tile reference backend does not support batched rendering"
         )

@@ -21,7 +21,19 @@ Environment variables (the full table also lives in the README):
 ``REPRO_SHARD_WORKERS``  Worker processes of the ``sharded`` backend.  Unset
                          sizes the pool from ``os.cpu_count()``; ``0`` or
                          ``1`` degrade sharded batches to the serial flat
-                         path.  Must be a non-negative integer.
+                         path.  Must be a non-negative integer.  Composes
+                         with the cache knobs: with the geometry cache on,
+                         sharded batches keep worker-resident cache entries
+                         (one cache per worker), so both knobs apply to the
+                         same render.
+``REPRO_GEOM_CACHE_POSE_QUANTUM``
+                         Pose quantisation step for geometry-cache keys
+                         (default 0 = off).  When > 0, cached entries are
+                         keyed by the pose rounded to this step, so small
+                         cross-window tracking deltas re-key onto the
+                         existing entry and reuse it through the toleranced
+                         stale-geometry tier instead of rebuilding.  Requires
+                         a non-zero ``cache_tolerance_px``.
 ======================== ====================================================
 """
 
@@ -39,6 +51,7 @@ ENV_GEOM_CACHE = "REPRO_GEOM_CACHE"
 ENV_TILE_SIZE = "REPRO_TILE_SIZE"
 ENV_SUBTILE_SIZE = "REPRO_SUBTILE_SIZE"
 ENV_SHARD_WORKERS = "REPRO_SHARD_WORKERS"
+ENV_CACHE_POSE_QUANTUM = "REPRO_GEOM_CACHE_POSE_QUANTUM"
 
 ENGINE_ENV_VARS = (
     ENV_RASTER_BACKEND,
@@ -46,6 +59,7 @@ ENGINE_ENV_VARS = (
     ENV_TILE_SIZE,
     ENV_SUBTILE_SIZE,
     ENV_SHARD_WORKERS,
+    ENV_CACHE_POSE_QUANTUM,
 )
 
 _FALSEY = ("0", "false", "off")
@@ -99,6 +113,11 @@ class EngineConfig:
     cache_refine_margin: float = 8.0
     cache_termination_margin: float = 0.25
     cache_max_entries: int = 8
+    # Pose quantisation step for cache keys (0 disables).  Entries built at a
+    # nearby pose re-key onto the same quantised bucket and are served through
+    # the toleranced stale-geometry tier, so cross-window tracking deltas
+    # smaller than the quantum reuse cached geometry instead of rebuilding.
+    cache_pose_quantum: float = 0.0
     profiling_sink: Callable[..., None] | None = None
 
     def __post_init__(self) -> None:
@@ -136,6 +155,18 @@ class EngineConfig:
             )
         if self.cache_max_entries < 1:
             raise ValueError(f"cache_max_entries must be >= 1, got {self.cache_max_entries}")
+        if self.cache_pose_quantum < 0:
+            raise ValueError(
+                f"cache_pose_quantum must be >= 0, got {self.cache_pose_quantum}"
+            )
+        if self.cache_pose_quantum > 0 and self.cache_tolerance_px == 0:
+            raise ValueError(
+                "cache_pose_quantum > 0 (REPRO_GEOM_CACHE_POSE_QUANTUM) requires a "
+                "non-zero cache_tolerance_px: pose-requantised entries are served "
+                "through the toleranced stale-geometry tier, which "
+                "cache_tolerance_px=0 disables — raise cache_tolerance_px or set "
+                "cache_pose_quantum=0"
+            )
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None, **overrides) -> "EngineConfig":
@@ -170,12 +201,28 @@ class EngineConfig:
                     f"{ENV_SHARD_WORKERS}={shard_raw!r} must be >= 0 "
                     "(0/1 degrade the sharded backend to the serial flat path)"
                 )
+        quantum_raw = env.get(ENV_CACHE_POSE_QUANTUM)
+        if quantum_raw is None or quantum_raw == "":
+            pose_quantum = 0.0
+        else:
+            try:
+                pose_quantum = float(quantum_raw)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_CACHE_POSE_QUANTUM}={quantum_raw!r} is not a valid number"
+                ) from None
+            if pose_quantum < 0:
+                raise ValueError(
+                    f"{ENV_CACHE_POSE_QUANTUM}={quantum_raw!r} must be >= 0 "
+                    "(0 disables pose-quantised cache keys)"
+                )
         config = cls(
             backend=backend,
             tile_size=_int_from_env(env, ENV_TILE_SIZE, 16),
             subtile_size=_int_from_env(env, ENV_SUBTILE_SIZE, 4),
             geom_cache=geom_cache_enabled_from_env(env),
             shard_workers=shard_workers,
+            cache_pose_quantum=pose_quantum,
         )
         return replace(config, **overrides) if overrides else config
 
@@ -188,4 +235,5 @@ class EngineConfig:
             refine_margin=self.cache_refine_margin,
             termination_margin=self.cache_termination_margin,
             max_entries=self.cache_max_entries,
+            pose_quantum=self.cache_pose_quantum,
         )

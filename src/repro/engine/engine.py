@@ -122,6 +122,11 @@ class RenderEngine:
             impl = self.backend(name)
         except ValueError as error:
             return f"unknown-backend:{error}"
+        capabilities = impl.capabilities()
+        if capabilities.availability is not None:
+            return capabilities.availability
+        # Legacy backends that predate availability-in-capabilities expose a
+        # bare availability() method instead.
         probe = getattr(impl, "availability", None)
         if callable(probe):
             return probe()
@@ -136,7 +141,7 @@ class RenderEngine:
         explicitly, fall back to the first registered batch-capable backend;
         an explicit batch-incapable override is an error.
         """
-        if impl.capabilities().supports_batch:
+        if impl.capabilities().batch:
             return impl
         if override is not None:
             raise ValueError(
@@ -144,7 +149,7 @@ class RenderEngine:
             )
         for name in REGISTRY.names():
             candidate = self.backend(name)
-            if candidate.capabilities().supports_batch:
+            if candidate.capabilities().batch:
                 return candidate
         raise ValueError("no registered rasterizer backend supports batched rendering")
 
@@ -162,9 +167,19 @@ class RenderEngine:
         return self._cache.stats if self._cache is not None else None
 
     def invalidate_cache(self) -> None:
-        """Drop every cached Step 1-2 entry (arena high-water mark is kept)."""
+        """Drop every cached Step 1-2 entry (arena high-water mark is kept).
+
+        Backends holding worker-resident mirrors of the engine cache (the
+        sharded backend's per-worker caches) are told to drop theirs too, so
+        densify/prune invalidation reaches every process that caches this
+        engine's geometry.
+        """
         if self._cache is not None:
             self._cache.clear()
+            for impl in self._backends.values():
+                broadcast = getattr(impl, "invalidate_worker_caches", None)
+                if callable(broadcast):
+                    broadcast(self._cache)
 
     @property
     def arena(self) -> "FlatArena | None":
@@ -241,7 +256,7 @@ class RenderEngine:
         if managed:
             if cache is not None:
                 raise ValueError("pass either managed=True or an explicit cache, not both")
-            if impl.capabilities().supports_cache:
+            if impl.capabilities().cache:
                 cache = self.cache
             if cache is not None:
                 self._claim_guard("render")
@@ -292,7 +307,7 @@ class RenderEngine:
                     "pass either managed=True or explicit cache/arena state, not both"
                 )
             self._claim_guard("render_batch")
-            if impl.capabilities().supports_cache:
+            if impl.capabilities().cache:
                 cache = self.cache
             if cache is None:
                 arena = self._arena
@@ -385,6 +400,8 @@ class RenderEngine:
         shard_worker_id: int = 0,
         shard_seconds: float = 0.0,
         shard_stitch_seconds: float = 0.0,
+        shard_plan_seconds: float = 0.0,
+        plan_site: str = "parent",
     ) -> "WorkloadSnapshot":
         """Build the workload snapshot of a render and forward it to the sink."""
         from repro.slam.records import WorkloadSnapshot
@@ -407,6 +424,8 @@ class RenderEngine:
             shard_worker_id=shard_worker_id,
             shard_seconds=shard_seconds,
             shard_stitch_seconds=shard_stitch_seconds,
+            shard_plan_seconds=shard_plan_seconds,
+            plan_site=plan_site,
         )
         if self.config.profiling_sink is not None:
             self.config.profiling_sink(snap)

@@ -37,24 +37,122 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class BackendCapabilities:
-    """What a backend supports; the engine routes managed state accordingly.
+    """Typed description of what a backend supports and whether it can run.
 
-    ``supports_batch``
+    The engine routes managed state (arena, geometry cache) and the scenario
+    matrix plans its skips from these fields — no magic strings.
+
+    ``batch``
         ``render_batch`` / ``backward_batch`` are implemented.  Engines fall
         back to the first batch-capable registered backend when a batch is
         requested from a backend without one (the legacy behaviour: batched
         mapping is flat by design even under ``use_backend("tile")``).
-    ``supports_cache``
+    ``cache``
         The backend consumes a :class:`GeometryCache`; backends without it
         silently render uncached (the reference loop's legacy contract).
+    ``distributed_planning``
+        Per-view Step 1-2 planning (projection, tiling, fragment build) runs
+        inside the backend's workers rather than the parent process; batch
+        attribution then reports ``plan_site="worker"``.
+    ``worker_resident_cache``
+        Geometry-cache entries live inside the backend's workers, keyed by
+        the same :class:`GaussianCloud` mutation epochs as the parent cache;
+        the engine broadcasts invalidation to such backends.
     ``reference``
         Marks the bit-exact reference implementation golden fixtures pin.
+    ``availability``
+        ``None`` when the backend can run here and now; otherwise a
+        machine-readable reason (e.g. ``"workers:1<2 (...)"``) — the probe
+        formerly exposed only via a separate ``availability()`` method.
     """
 
-    supports_batch: bool = False
-    supports_cache: bool = False
+    batch: bool = False
+    cache: bool = False
+    distributed_planning: bool = False
+    worker_resident_cache: bool = False
     reference: bool = False
     description: str = ""
+    availability: str | None = None
+
+    # Legacy field names, kept readable (silently — the test suite promotes
+    # DeprecationWarning to error inside repro.*) so pre-redesign callers
+    # keep working while they migrate to the short names.
+    @property
+    def supports_batch(self) -> bool:
+        return self.batch
+
+    @property
+    def supports_cache(self) -> bool:
+        return self.cache
+
+    @property
+    def available(self) -> bool:
+        return self.availability is None
+
+
+#: Keys a legacy dict-shaped capabilities() payload may carry; anything else
+#: is a typo the adapter must surface instead of silently dropping.
+_LEGACY_CAPABILITY_KEYS = frozenset(
+    {
+        "batch",
+        "cache",
+        "distributed_planning",
+        "worker_resident_cache",
+        "reference",
+        "description",
+        "availability",
+        "supports_batch",
+        "supports_cache",
+    }
+)
+
+
+def _adapt_legacy_capabilities(name: str, payload: dict) -> BackendCapabilities:
+    """Convert a pre-redesign ``capabilities()`` dict into the typed dataclass.
+
+    Emits a :class:`DeprecationWarning` so dict-returning backends keep
+    working but are visibly on the way out.
+    """
+    import warnings
+
+    unknown = set(payload) - _LEGACY_CAPABILITY_KEYS
+    if unknown:
+        raise ValueError(
+            f"backend {name!r} returned a capabilities dict with unknown keys "
+            f"{sorted(unknown)}; expected a subset of "
+            f"{sorted(_LEGACY_CAPABILITY_KEYS)}"
+        )
+    warnings.warn(
+        f"backend {name!r} returned a capabilities dict; return a typed "
+        "repro.engine.BackendCapabilities instead (dict support will be removed)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    fields = dict(payload)
+    # Legacy spelling maps onto the short field names.
+    if "supports_batch" in fields:
+        fields["batch"] = bool(fields.pop("supports_batch"))
+    if "supports_cache" in fields:
+        fields["cache"] = bool(fields.pop("supports_cache"))
+    return BackendCapabilities(**fields)
+
+
+class _LegacyCapabilitiesAdapter:
+    """Wraps a backend whose ``capabilities()`` returns a legacy dict.
+
+    Every other protocol method passes straight through, so the adapter is
+    invisible except at the capability probe.
+    """
+
+    def __init__(self, inner: "RenderBackend"):
+        self._inner = inner
+        self.name = inner.name
+
+    def capabilities(self) -> BackendCapabilities:
+        return _adapt_legacy_capabilities(self.name, self._inner.capabilities())
+
+    def __getattr__(self, attribute: str):
+        return getattr(self._inner, attribute)
 
 
 @dataclass(frozen=True)
@@ -102,7 +200,28 @@ class RenderBackend(Protocol):
         ...
 
     def render_batch(self, request: BatchRenderRequest) -> "BatchRenderResult":
-        """Run one multi-view forward pass sharing per-Gaussian work."""
+        """Run one multi-view forward pass sharing per-Gaussian work.
+
+        Canonically ``execute_units(plan_batch(request), request)``; backends
+        with ``distributed_planning`` may instead plan inside their workers.
+        """
+        ...
+
+    def plan_batch(self, request: BatchRenderRequest) -> "RenderPlan":
+        """Step 1-2 for a batch: shared preprocessing, per-view projection,
+        tiling and fragment build, emitted as self-contained work units.
+
+        External schedulers (multi-tenant pools, async overlap) plan here and
+        hand the units to any executor; ``execute_units`` is the matching
+        second phase.
+        """
+        ...
+
+    def execute_units(
+        self, plan: "RenderPlan", request: BatchRenderRequest
+    ) -> "BatchRenderResult":
+        """Step 3 for a planned batch: rasterize the plan's work units and
+        stitch the :class:`BatchRenderResult` in view order."""
         ...
 
     def backward(
@@ -158,7 +277,29 @@ class BackendRegistry:
             raise ValueError(
                 f"unknown rasterizer backend {name!r}; expected one of {self.names()}"
             )
-        return factory(config)
+        backend = factory(config)
+        return self._validate(name, backend)
+
+    @staticmethod
+    def _validate(name: str, backend: RenderBackend) -> RenderBackend:
+        """Check the capability contract once, at instantiation.
+
+        Typed :class:`BackendCapabilities` pass through; legacy dict payloads
+        get the deprecation adapter; anything else is a registration bug and
+        fails loudly here rather than deep inside skip planning.
+        """
+        payload = backend.capabilities()
+        if isinstance(payload, BackendCapabilities):
+            return backend
+        if isinstance(payload, dict):
+            # Probe the adapter once so malformed dicts fail at create time.
+            adapter = _LegacyCapabilitiesAdapter(backend)
+            adapter.capabilities()
+            return adapter
+        raise TypeError(
+            f"backend {name!r}.capabilities() must return BackendCapabilities "
+            f"(or a legacy dict), got {type(payload).__name__}"
+        )
 
     def names(self) -> tuple[str, ...]:
         return tuple(self._factories)

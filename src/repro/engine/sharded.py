@@ -1,13 +1,15 @@
-"""``sharded``: multi-process execution of the batched render plan.
+"""``sharded``: multi-process, worker-planned execution of batched renders.
 
 The mapping workload is embarrassingly parallel across the views of a
-keyframe window, and the plan/execute split in :mod:`repro.gaussians.batch`
-makes that parallelism explicit: :func:`~repro.gaussians.batch.plan_batch_views`
-runs the shared per-Gaussian Step 1 and the per-view Step 1-2 once in the
-parent process and emits self-contained work units; this module executes
-those *same* units across a persistent pool of worker processes, so the
-sharded batch is bit-identical to the flat backend's serial execution by
-construction.
+keyframe window.  Earlier revisions of this backend planned every view's
+Step 1-2 (projection, tiling, fragment build) in the parent and shipped the
+finished work units to a worker pool; planning is now *worker-resident*: the
+parent computes only the view-independent Step 1 half
+(:func:`~repro.gaussians.projection.shared_preprocess`) and each worker runs
+its views' projection, tile assignment, sorting and fragment build itself —
+optionally through a worker-resident
+:class:`~repro.gaussians.geom_cache.GeometryCache`, which is what lets the
+sharded backend and the geometry cache compose on one render.
 
 Execution model
 ---------------
@@ -20,31 +22,50 @@ Execution model
   regardless of scheduling order.  Worker BLAS pools are pinned to one
   thread at spawn so shards do not oversubscribe the cores they were created
   to use.
-* **Forward** — the planner's per-view Step 1-2 products (projected
-  Gaussians, tile layout) are packed into one
-  :mod:`multiprocessing.shared_memory` block per batch instead of being
-  re-pickled per view; workers map it read-only, rasterize their views into
-  worker-local arenas, and write the small forward outputs (image, depth,
-  alpha, fragment counts) back into the same block.  The parent stitches
-  per-view :class:`~repro.gaussians.rasterizer.RenderResult` objects in view
-  order, attaching per-shard attribution
+* **Forward** — the parent packs the shared per-Gaussian Step 1 arrays (when
+  any worker will need to rebuild) plus per-view camera/pose metadata and
+  per-view output reservations into one :mod:`multiprocessing.shared_memory`
+  block; workers plan and rasterize their views, write the forward outputs
+  (image, depth, alpha, fragment counts) into the block and reply with the
+  small per-view planning products the parent-side bookkeeping needs
+  (visible-row indices, intersection pair counts, cache statuses, timings).
+  The parent stitches per-view
+  :class:`~repro.gaussians.rasterizer.RenderResult` objects in view order,
+  attaching per-shard attribution with ``plan_site="worker"``
   (:class:`~repro.gaussians.batch.ShardAttribution`).
+* **Worker-resident geometry cache** — when the request carries a
+  :class:`GeometryCache`, each worker holds its own cache (one per parent
+  cache, addressed by a namespace id) keyed by the *same*
+  :class:`GaussianCloud` mutation epochs; the parent ships the epoch scalars
+  and the full-cloud appearance arrays every batch (appearance splicing on
+  the refresh tier needs them) and the shared Step 1 arrays only when its
+  **classification mirror** — per-(worker, view-key)
+  :class:`~repro.gaussians.geom_cache.EntryMeta` records running the same
+  :func:`~repro.gaussians.geom_cache.classify_reuse` decision the workers
+  run — predicts at least one miss.  A worker that must rebuild without the
+  shared payload (mirror desync: a replaced pool, reassigned views) replies
+  with a ``desync`` marker and the parent retries once with the full
+  payload.  :meth:`ShardedBackend.invalidate_worker_caches` broadcasts
+  cache invalidation (densify / prune / ``notify_removed``) to every live
+  pool — epoch keying already makes stale entries unservable; the broadcast
+  eagerly frees their memory and keeps the mirror honest.
 * **Backward** — each worker retains the per-fragment tile caches of the
   views it rendered, so Step 4 *Rendering BP* runs in parallel where the
-  data already lives; workers return screen-space gradients (per-visible-
-  Gaussian, small) and the parent runs the one fused Step 5 pass
-  (:func:`~repro.gaussians.backward.preprocess_backward_batch`) exactly as
-  the flat backend does.
-* **Degradation** — ``workers <= 1``, single-view batches, geometry-cache
-  batches (cache entries are parent-resident) and platforms whose spawn
-  fails all fall back to the serial flat execution of the same plan.  A
-  worker that dies or errors mid-batch raises :class:`ShardWorkerError`
-  with the worker's traceback — a clean error, never a hang — and the
-  shared pool is discarded so the next batch starts fresh.
+  data already lives; workers return screen-space gradients and fill
+  parent-reserved shared-memory regions with the heavy projection
+  intermediates (camera-frame points, Jacobians, 3D covariances, conics,
+  opacities) that the parent's one fused Step 5 pass
+  (:func:`~repro.gaussians.backward.preprocess_backward_batch`) reads.
+* **Degradation** — ``workers <= 1``, single-view batches and platforms
+  whose spawn fails all fall back to the serial flat execution of the same
+  request (cache included, served by the parent-resident cache).  A worker
+  that dies or errors mid-batch raises :class:`ShardWorkerError` with the
+  worker's traceback — a clean error, never a hang — and the shared pool is
+  discarded so the next batch starts fresh.
 
-Sharded per-view results carry no parent-side tile caches (those are
-worker-resident); their backward pass must run through the engine/backend
-that produced them, which routes it to the owning worker.
+Sharded per-view results carry no parent-side tile caches or per-tile lists
+(those are worker-resident); their backward pass must run through the
+engine/backend that produced them, which routes it to the owning worker.
 """
 
 from __future__ import annotations
@@ -56,7 +77,7 @@ import time
 import traceback
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -73,18 +94,27 @@ from repro.gaussians.batch import (
     BatchRenderResult,
     RenderPlan,
     ShardAttribution,
-    ViewWorkUnit,
+    _normalise_backgrounds,
     execute_plan,
     plan_batch_views,
     render_backward_batch_views,
 )
 from repro.gaussians.fast_raster import rasterize_flat
+from repro.gaussians.geom_cache import classify_reuse, view_key
+from repro.gaussians.projection import (
+    ProjectedGaussians,
+    SharedGaussianData,
+    shared_preprocess,
+)
+from repro.gaussians.sorting import TileIntersections
+from repro.gaussians.tiling import TileGrid
 from repro.utils.random import derive_seed
 
 if TYPE_CHECKING:
     from repro.engine.config import EngineConfig
     from repro.gaussians.backward import CloudGradients, ScreenSpaceGradients
     from repro.gaussians.gaussian_model import GaussianCloud
+    from repro.gaussians.geom_cache import EntryMeta, GeometryCache
     from repro.gaussians.rasterizer import RenderResult
 
 # Pool sizing/behaviour knobs.  The default worker count is cpu-count aware
@@ -93,18 +123,31 @@ if TYPE_CHECKING:
 DEFAULT_MAX_WORKERS = 8
 _READY_TIMEOUT_S = 120.0
 _REQUEST_TIMEOUT_S = 600.0
-# Worker-retained batches (each holds its views' tile caches + the mapped
-# input block).  Two tolerates an interleaved second engine without letting a
-# long run accumulate arenas.
+# Worker-retained uncached batches (each holds its views' tile caches).  Two
+# tolerates an interleaved second engine without letting a long run
+# accumulate arenas.  Cached batches are retained per namespace instead: a
+# new cached render of a namespace supersedes (and drops) its predecessor,
+# whose tile caches alias the same worker-cache arena.
 _MAX_RETAINED_BATCHES = 2
 _SHM_ALIGN = 64
 
 _TOKENS = itertools.count(1)
+# Namespace ids link one parent GeometryCache to its worker-resident
+# counterparts; assigned lazily, the first time a cache rides a sharded batch.
+_NAMESPACE_IDS = itertools.count(1)
 
-# Per-view projected arrays shipped to workers: exactly what Step 3 forward
-# and Step 4 backward read.  The Step 5 inputs (Jacobians, 3D covariances,
-# camera-frame points) stay in the parent, which runs the fused Step 5.
-_PROJECTED_FIELDS = ("indices", "means2d", "depths", "conics", "opacities", "colors")
+#: Shared Step 1 arrays shipped parent -> worker when any view must rebuild.
+_SHARED_FIELDS = ("indices", "positions", "cov3d", "opacities", "colors")
+#: Heavy per-view projection intermediates shipped worker -> parent at
+#: backward time (everything Step 5 reads beyond what the parent already
+#: holds), keyed to the trailing shape after the visible-row dimension.
+_BACKWARD_PROJECTED_FIELDS = (
+    ("points_cam", (3,)),
+    ("jacobians", (2, 3)),
+    ("cov3d", (3, 3)),
+    ("conics", (2, 2)),
+    ("opacities", ()),
+)
 
 
 class ShardWorkerError(RuntimeError):
@@ -174,144 +217,284 @@ def _attach_shm(name: str):
             resource_tracker.register = original_register
 
 
-def _unit_payload(unit: ViewWorkUnit, layout: _ShmLayout) -> dict:
-    """Describe one work unit for a worker: small metadata + shm array specs."""
-    projected = unit.projected
-    camera = projected.camera
-    height, width = camera.height, camera.width
-    return {
-        "index": unit.index,
-        "camera": camera,
-        "pose_cw": projected.pose_cw,
-        "background": unit.background,
-        "tile_size": unit.tile_size,
-        "subtile_size": unit.subtile_size,
-        "tile_slices": list(unit.fragments.tile_slices),
-        "n_fragments": unit.fragments.n_fragments,
-        "max_per_pixel": unit.fragments.max_per_pixel,
-        "arrays": {
-            name: layout.add(getattr(projected, name)) for name in _PROJECTED_FIELDS
-        },
-        "tile_rows": [layout.add(rows) for rows in unit.fragments.tile_rows],
-        "tile_pixel_lin": [layout.add(lin) for lin in unit.fragments.tile_pixel_lin],
-        "outputs": {
-            "image": layout.reserve((height, width, 3), np.float64),
-            "depth": layout.reserve((height, width), np.float64),
-            "alpha": layout.reserve((height, width), np.float64),
-            "fragments_per_pixel": layout.reserve((height, width), np.int64),
-        },
-    }
+# -- parent-side stand-ins for worker-resident planning products ---------------
+def _stitched_projection(indices: np.ndarray, camera, pose_cw) -> ProjectedGaussians:
+    """Parent-side stand-in for a worker-resident projection.
 
-
-# -- worker process ------------------------------------------------------------
-def _rebuild_view_inputs(meta: dict, shm):
-    """Reconstruct the rasterization inputs of one work unit from shared memory.
-
-    The rebuilt :class:`ProjectedGaussians` carries only the fields Step 3/4
-    read (plus zero-row placeholders for the Step 5 inputs that never leave
-    the parent), backed zero-copy by the mapped block.
+    Carries the real visible-row ``indices`` (visibility recording and
+    ``n_visible`` accounting read them) and the view's camera/pose; the heavy
+    per-row intermediates stay in the worker and are swapped in by the
+    backward pass before the fused Step 5 runs.
     """
-    from repro.gaussians.fast_raster import FlatFragments
-    from repro.gaussians.projection import ProjectedGaussians
-    from repro.gaussians.sorting import TileIntersections
-    from repro.gaussians.tiling import TileGrid
-
-    arrays = {name: _shm_view(shm, spec) for name, spec in meta["arrays"].items()}
-    projected = ProjectedGaussians(
-        indices=arrays["indices"],
-        means2d=arrays["means2d"],
-        depths=arrays["depths"],
+    return ProjectedGaussians(
+        indices=np.asarray(indices),
+        means2d=np.zeros((0, 2)),
+        depths=np.zeros(0),
         cov2d=np.zeros((0, 2, 2)),
-        conics=arrays["conics"],
+        conics=np.zeros((0, 2, 2)),
         radii=np.zeros(0),
-        colors=arrays["colors"],
-        opacities=arrays["opacities"],
+        colors=np.zeros((0, 3)),
+        opacities=np.zeros(0),
         points_cam=np.zeros((0, 3)),
         jacobians=np.zeros((0, 2, 3)),
         cov3d=np.zeros((0, 3, 3)),
-        rotation_cw=np.eye(3),
-        camera=meta["camera"],
-        pose_cw=meta["pose_cw"],
+        rotation_cw=pose_cw.rotation,
+        camera=camera,
+        pose_cw=pose_cw,
     )
-    camera = meta["camera"]
-    grid = TileGrid(camera.width, camera.height, meta["tile_size"], meta["subtile_size"])
-    intersections = TileIntersections(grid=grid, per_tile=[], projected=projected)
-    fragments = FlatFragments(
-        width=camera.width,
-        tile_slices=[tuple(entry) for entry in meta["tile_slices"]],
-        tile_rows=[_shm_view(shm, spec) for spec in meta["tile_rows"]],
-        tile_pixel_lin=[_shm_view(shm, spec) for spec in meta["tile_pixel_lin"]],
-        n_fragments=meta["n_fragments"],
-        max_per_pixel=meta["max_per_pixel"],
-    )
-    return projected, intersections, fragments
+
+
+class _StitchedIntersections(TileIntersections):
+    """Intersections of a worker-planned view, seen from the parent.
+
+    The per-tile lists are worker-resident, but the worker reports the true
+    pair count so workload snapshots (which read ``n_pairs``) stay faithful.
+    """
+
+    def __init__(self, grid: TileGrid, projected: ProjectedGaussians, n_pairs: int):
+        super().__init__(grid=grid, per_tile=[], projected=projected)
+        self._n_pairs = int(n_pairs)
+
+    @property
+    def n_pairs(self) -> int:
+        return self._n_pairs
+
+
+def _cache_namespace(cache) -> int:
+    """The worker-side namespace id of ``cache``, assigned on first use."""
+    namespace = getattr(cache, "_shard_namespace", None)
+    if namespace is None:
+        namespace = next(_NAMESPACE_IDS)
+        cache._shard_namespace = namespace
+    return namespace
+
+
+# -- worker process ------------------------------------------------------------
+class _WorkerCloudView:
+    """Duck-typed stand-in for :class:`GaussianCloud` inside shard workers.
+
+    Carries exactly what the geometry cache reads when planning/building with
+    donated shared preprocessing: the mutation-epoch scalars classification
+    keys on, plus the full-cloud colours and post-sigmoid opacities that
+    appearance splicing gathers on the refresh tier.  Projection geometry
+    never touches it (``project_gaussians`` reads only the donated shared
+    arrays).
+    """
+
+    def __init__(self, meta: dict, colors: np.ndarray, opacities: np.ndarray):
+        self.uid = meta["uid"]
+        self.epoch = meta["epoch"]
+        self.structure_epoch = meta["structure_epoch"]
+        self.unbounded_epoch = meta["unbounded_epoch"]
+        self.cum_position_delta = meta["cum_position_delta"]
+        self.cum_log_scale_delta = meta["cum_log_scale_delta"]
+        self.cum_opacity_delta = meta["cum_opacity_delta"]
+        self.colors = colors
+        self._opacities = opacities
+
+    def opacities(self, rows: np.ndarray | None = None) -> np.ndarray:
+        if rows is None:
+            return np.array(self._opacities)
+        return self._opacities[rows]
 
 
 class _WorkerContext:
-    """Per-worker persistent state: retained batches and recycled arenas.
+    """Per-worker persistent state: retained batches, arenas, geometry caches.
 
-    Arenas rotate over ``_MAX_RETAINED_BATCHES`` slots and grow-only recycle
-    (the worker-side mirror of the parent's ``ensure_flat_arena`` recycling):
-    reusing a slot's warm, already-faulted pages instead of allocating a
-    fresh arena per batch, while guaranteeing a retained batch's tile caches
-    are never overwritten — the batch occupying a slot is dropped before its
-    arena is reused, which also bounds retention to the slot count.
+    Uncached batches rotate over ``_MAX_RETAINED_BATCHES`` grow-only arena
+    slots (the worker-side mirror of the parent's ``ensure_flat_arena``
+    recycling); the batch occupying a slot is dropped before its arena is
+    reused.  Cached batches render into their namespace's worker-resident
+    :class:`GeometryCache` arena instead, so a new cached batch of a
+    namespace drops that namespace's previous retained batch (whose tile
+    caches alias the same arena) rather than consuming a slot.
     """
 
     def __init__(self) -> None:
-        self.batches: OrderedDict = OrderedDict()  # token -> (results, shm, slot)
+        # token -> {"results": {index: RenderResult}, "slot": int | None,
+        #           "namespace": int | None}
+        self.batches: OrderedDict = OrderedDict()
         self.arenas: dict[int, object] = {}  # slot -> FlatArena
+        self.caches: dict[int, object] = {}  # namespace -> GeometryCache
         self.render_count = 0
 
 
-def _worker_handle_render(ctx: _WorkerContext, payload) -> tuple:
-    from repro.gaussians.fast_raster import ensure_flat_arena, rasterize_flat_into
+def _write_view_outputs(shm, outputs: dict, result) -> None:
+    _shm_view(shm, outputs["image"])[...] = result.image
+    _shm_view(shm, outputs["depth"])[...] = result.depth
+    _shm_view(shm, outputs["alpha"])[...] = result.alpha
+    _shm_view(shm, outputs["fragments_per_pixel"])[...] = result.fragments_per_pixel
 
-    token, shm_name, unit_metas = payload
-    shm = _attach_shm(shm_name)
-    try:
+
+def _worker_render_batch(ctx: _WorkerContext, token: int, shm, batch: dict) -> dict:
+    """Plan (Step 1-2) and rasterize this worker's views of one batch."""
+    from repro.gaussians.fast_raster import (
+        build_flat_fragments,
+        ensure_flat_arena,
+        rasterize_flat_into,
+    )
+    from repro.gaussians.geom_cache import GeometryCache, entry_meta
+    from repro.gaussians.projection import project_gaussians
+    from repro.gaussians.sorting import build_tile_lists
+
+    namespace = batch["namespace"]
+    active_only = batch["active_only"]
+    views = batch["views"]
+    shared = None
+    if batch["shared"] is not None:
+        shared = SharedGaussianData(
+            **{name: _shm_view(shm, batch["shared"][name]) for name in _SHARED_FIELDS}
+        )
+
+    view_replies: list[dict] = []
+    results: dict[int, object] = {}
+
+    if namespace is None:
+        if shared is None:
+            raise RuntimeError(
+                "uncached sharded batch arrived without shared preprocessing data"
+            )
         slot = ctx.render_count % _MAX_RETAINED_BATCHES
         ctx.render_count += 1
-        for stale_token, (_, _, used_slot) in list(ctx.batches.items()):
-            if used_slot == slot:
+        for stale_token, entry in list(ctx.batches.items()):
+            if entry["namespace"] is None and entry["slot"] == slot:
                 _worker_drop_batch(ctx, stale_token)
-        arena = ensure_flat_arena(
-            ctx.arenas.get(slot), sum(meta["n_fragments"] for meta in unit_metas)
-        )
-        ctx.arenas[slot] = arena
-        results: dict[int, object] = {}
-        timings: list[tuple[int, float]] = []
-        base = 0
-        for meta in unit_metas:
+        planned = []
+        total = 0
+        for meta in views:
             start = time.perf_counter()
-            projected, intersections, fragments = _rebuild_view_inputs(meta, shm)
+            # ``project_gaussians`` reads nothing from the cloud once shared
+            # data is donated, so no cloud object crosses the process line.
+            projected = project_gaussians(
+                None, meta["camera"], meta["pose_cw"], active_only=active_only, shared=shared
+            )
+            grid = TileGrid(
+                meta["camera"].width,
+                meta["camera"].height,
+                meta["tile_size"],
+                meta["subtile_size"],
+            )
+            intersections = build_tile_lists(projected, grid)
+            fragments = build_flat_fragments(intersections)
+            planned.append((projected, intersections, fragments, time.perf_counter() - start))
+            total += fragments.n_fragments
+        arena = ensure_flat_arena(ctx.arenas.get(slot), total)
+        ctx.arenas[slot] = arena
+        base = 0
+        for meta, (projected, intersections, fragments, plan_seconds) in zip(views, planned):
+            start = time.perf_counter()
             result = rasterize_flat_into(
                 projected, intersections, fragments, meta["background"], arena, base
             )
             base += fragments.n_fragments
-            outputs = meta["outputs"]
-            _shm_view(shm, outputs["image"])[...] = result.image
-            _shm_view(shm, outputs["depth"])[...] = result.depth
-            _shm_view(shm, outputs["alpha"])[...] = result.alpha
-            _shm_view(shm, outputs["fragments_per_pixel"])[...] = result.fragments_per_pixel
+            _write_view_outputs(shm, meta["outputs"], result)
             results[meta["index"]] = result
-            timings.append((meta["index"], time.perf_counter() - start))
-    except BaseException:
-        # The batch never registered in ctx.batches, so nothing would ever
-        # reclaim the mapping; drop every local that references it, then
-        # close it before the error reply goes out (worker-reported errors
-        # keep this worker alive and reusable).
-        results = result = projected = intersections = fragments = None
-        del results, result, projected, intersections, fragments
+            view_replies.append(
+                {
+                    "index": meta["index"],
+                    "indices": projected.indices,
+                    "n_pairs": int(intersections.n_pairs),
+                    "plan_seconds": plan_seconds,
+                    "raster_seconds": time.perf_counter() - start,
+                    "cache_status": "uncached",
+                    "meta": None,
+                }
+            )
+        ctx.batches[token] = {"results": results, "slot": slot, "namespace": None}
+        return {"views": view_replies, "evicted": [], "truncation_fallbacks": 0}
+
+    # Cached path: plan/build/render through this namespace's worker-resident
+    # cache.  The previous retained batch of the namespace aliases the cache
+    # arena this render writes, so it is dropped first.
+    for stale_token, entry in list(ctx.batches.items()):
+        if entry["namespace"] == namespace:
+            _worker_drop_batch(ctx, stale_token)
+    cache = ctx.caches.get(namespace)
+    if cache is None or cache.config != batch["cache_config"]:
+        cache = GeometryCache(batch["cache_config"])
+        ctx.caches[namespace] = cache
+    cloud = _WorkerCloudView(
+        batch["cloud_meta"],
+        colors=_shm_view(shm, batch["appearance"]["colors"]),
+        opacities=_shm_view(shm, batch["appearance"]["opacities"]),
+    )
+    known_keys = cache.entry_keys()
+    plans = []
+    for meta in views:
+        start = time.perf_counter()
+        plan = cache.plan_view(
+            cloud,
+            meta["camera"],
+            meta["pose_cw"],
+            meta["tile_size"],
+            meta["subtile_size"],
+            active_only,
+        )
+        if plan.status == "miss":
+            if shared is None:
+                # The parent's mirror predicted pure reuse and withheld the
+                # shared Step 1 payload; report the desync (a structured
+                # reply, not an error — the pool stays healthy) so it
+                # resends with the full payload.
+                return {"desync": [meta["index"]]}
+            cache.build_view(
+                plan,
+                cloud,
+                meta["camera"],
+                meta["pose_cw"],
+                meta["tile_size"],
+                meta["subtile_size"],
+                active_only,
+                shared=shared,
+            )
+        # Capture the fragment schedule now: rendering refines entries in
+        # place, and the cumulative bases must match this snapshot.
+        plans.append((plan, plan.fragments_used, time.perf_counter() - start))
+    total = sum(fragments.n_fragments for _, fragments, _ in plans)
+    arena = cache.ensure_arena(total)
+    truncation_before = cache.stats.truncation_fallbacks
+    base = 0
+    for meta, (plan, fragments, plan_seconds) in zip(views, plans):
+        start = time.perf_counter()
+        result = cache.render_view(plan, meta["background"], arena, base)
+        base += fragments.n_fragments
+        _write_view_outputs(shm, meta["outputs"], result)
+        results[meta["index"]] = result
+        view_replies.append(
+            {
+                "index": meta["index"],
+                "indices": result.projected.indices,
+                "n_pairs": int(result.intersections.n_pairs),
+                "plan_seconds": plan_seconds,
+                "raster_seconds": time.perf_counter() - start,
+                "cache_status": plan.status,
+                "meta": entry_meta(plan.entry),
+            }
+        )
+    ctx.batches[token] = {"results": results, "slot": None, "namespace": namespace}
+    return {
+        "views": view_replies,
+        "evicted": [key for key in known_keys if key not in cache.entry_keys()],
+        "truncation_fallbacks": cache.stats.truncation_fallbacks - truncation_before,
+    }
+
+
+def _worker_handle_render(ctx: _WorkerContext, payload) -> tuple:
+    token, shm_name, batch = payload
+    shm = _attach_shm(shm_name)
+    try:
+        reply = _worker_render_batch(ctx, token, shm, batch)
+    finally:
+        # Everything the render keeps from the block is gathered or copied
+        # (projection gathers candidate rows, outputs are copied in), so the
+        # mapping drops as soon as the handler finishes.  On an error the
+        # traceback frames can briefly pin views; the BufferError then leaves
+        # the mapping to die with the worker — rare and bounded.
         try:
             shm.close()
         except BufferError:
             pass
-        raise
-    # Retain this batch's state (tile caches + mapped inputs) for its
-    # backward pass.
-    ctx.batches[token] = (results, shm, slot)
-    return ("ok", timings)
+    return ("ok", reply)
 
 
 def _worker_handle_backward(ctx: _WorkerContext, payload) -> tuple:
@@ -321,19 +504,24 @@ def _worker_handle_backward(ctx: _WorkerContext, payload) -> tuple:
     entry = ctx.batches.get(token)
     if entry is None:
         raise RuntimeError(
-            f"batch {token} is no longer resident in this worker (evicted after "
-            f"{_MAX_RETAINED_BATCHES} newer batches); run the backward pass before "
-            "rendering further batches"
+            f"batch {token} is no longer resident in this worker (superseded by "
+            "newer batches); run the backward pass before rendering further batches"
         )
-    results = entry[0]
+    results = entry["results"]
     shm = _attach_shm(shm_name)
     try:
         replies = []
-        for view_index, image_spec, depth_spec in items:
+        for view_index, image_spec, depth_spec, projected_specs in items:
             start = time.perf_counter()
             dL_dimage = _shm_view(shm, image_spec)
             dL_ddepth = None if depth_spec is None else _shm_view(shm, depth_spec)
-            screen = rasterize_backward_flat(results[view_index], dL_dimage, dL_ddepth)
+            result = results[view_index]
+            screen = rasterize_backward_flat(result, dL_dimage, dL_ddepth)
+            # The parent's stitched views carry only the visible-row indices;
+            # fill its reservations with the heavy projection intermediates
+            # the fused Step 5 reads.
+            for name, spec in projected_specs.items():
+                _shm_view(shm, spec)[...] = getattr(result.projected, name)
             # trace.fragments_per_pixel is a copy of the forward counts the
             # parent already holds (stitched from this very render), so it
             # is rebuilt parent-side instead of pickled back per view.
@@ -360,17 +548,22 @@ def _worker_handle_backward(ctx: _WorkerContext, payload) -> tuple:
             pass
 
 
+def _worker_handle_invalidate(ctx: _WorkerContext, payload) -> tuple:
+    """Drop worker-resident cache state for one namespace (or all of them)."""
+    namespace = payload
+    if namespace is None:
+        ctx.caches.clear()
+    else:
+        ctx.caches.pop(namespace, None)
+    for token, entry in list(ctx.batches.items()):
+        if entry["namespace"] is not None and namespace in (None, entry["namespace"]):
+            _worker_drop_batch(ctx, token)
+    return ("ok", None)
+
+
 def _worker_drop_batch(ctx: _WorkerContext, token: int) -> None:
-    results, shm, _slot = ctx.batches.pop(token)
-    # Drop every reference into the mapped block before closing it; a stray
-    # exported buffer just leaves the mapping to die with the process.  The
-    # slot's arena is kept for recycling.
-    results.clear()
-    del results
-    try:
-        shm.close()
-    except BufferError:
-        pass
+    entry = ctx.batches.pop(token)
+    entry["results"].clear()
 
 
 def _worker_main(conn, worker_id: int, seed_base: int | None) -> None:
@@ -395,6 +588,8 @@ def _worker_main(conn, worker_id: int, seed_base: int | None) -> None:
                 reply = _worker_handle_render(ctx, message[1])
             elif command == "backward":
                 reply = _worker_handle_backward(ctx, message[1])
+            elif command == "invalidate":
+                reply = _worker_handle_invalidate(ctx, message[1])
             elif command == "ping":
                 reply = ("ok", worker_id)
             else:
@@ -568,7 +763,8 @@ class ShardedPool:
 
 # Pools are shared process-wide per (worker count, seed): spawn + numpy import
 # costs seconds per worker, and every engine pinned to the same configuration
-# can safely share workers because batch state is token-keyed.
+# can safely share workers because batch state is token-keyed and cache state
+# is namespace-keyed.
 _POOLS: dict[tuple[int, int | None], ShardedPool] = {}
 
 
@@ -619,12 +815,14 @@ def default_shard_workers() -> int:
 
 
 class ShardedBackend:
-    """Multi-process execution of the flat batch plan behind the backend seam.
+    """Multi-process worker-planned batch execution behind the backend seam.
 
-    Capabilities are honest: batches yes, geometry cache no — cache entries
-    (and their refinement state) are parent-resident, so cached batches and
-    single-view renders run the serial flat path unchanged.  Only genuinely
-    multi-view uncached batches are sharded.
+    Batches plan *and* rasterize inside the worker pool
+    (``distributed_planning``); geometry-cache entries live in the workers
+    (``worker_resident_cache``) keyed by the same cloud mutation epochs as
+    the parent cache, so sharding and caching compose on one render.
+    Single-view renders and degraded batches (no usable pool) run the serial
+    flat path with the parent-resident cache unchanged.
     """
 
     name = "sharded"
@@ -632,17 +830,27 @@ class ShardedBackend:
     def __init__(self, config: "EngineConfig"):
         self.config = config
         self._unavailable_reason: str | None = None
+        # Classification mirror: (worker_id, view key) -> EntryMeta of the
+        # entry that worker holds, valid for ``_mirror_pool`` only.  Lets the
+        # parent predict which views of the next batch will miss (and
+        # therefore whether the shared Step 1 payload must ship) by running
+        # the same classify_reuse the workers run.
+        self._mirror: dict[tuple[int, tuple], "EntryMeta"] = {}
+        self._mirror_pool: ShardedPool | None = None
 
     # -- capabilities / sizing ----------------------------------------------
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
-            supports_batch=True,
-            supports_cache=False,
+            batch=True,
+            cache=True,
+            distributed_planning=True,
+            worker_resident_cache=True,
             reference=False,
             description=(
-                "multi-process sharded execution of the flat batch plan "
-                "(repro.engine.sharded)"
+                "multi-process sharded execution with worker-resident Step 1-2 "
+                "planning and geometry caches (repro.engine.sharded)"
             ),
+            availability=self.availability(),
         )
 
     def resolved_workers(self) -> int:
@@ -712,8 +920,15 @@ class ShardedBackend:
             cache=request.cache,
         )
 
-    def render_batch(self, request: BatchRenderRequest) -> BatchRenderResult:
-        plan = plan_batch_views(
+    def plan_batch(self, request: BatchRenderRequest) -> RenderPlan:
+        """Parent-side Step 1-2 planning (the serial/external-scheduler seam).
+
+        With a live pool :meth:`render_batch` does *not* go through this plan
+        — planning is distributed to the workers (``distributed_planning``);
+        this seam covers the degraded serial path and callers that schedule
+        the units themselves.
+        """
+        return plan_batch_views(
             request.cloud,
             request.cameras,
             request.poses_cw,
@@ -723,11 +938,19 @@ class ShardedBackend:
             active_only=request.active_only,
             cache=request.cache,
         )
-        pool = None if plan.cache is not None else self._pool_for(plan.n_views)
+
+    def execute_units(
+        self, plan: RenderPlan, request: BatchRenderRequest
+    ) -> BatchRenderResult:
+        """Serial execution of a parent-side plan (see :meth:`plan_batch`)."""
+        return execute_plan(plan, arena=request.arena)
+
+    def render_batch(self, request: BatchRenderRequest) -> BatchRenderResult:
+        pool = self._pool_for(len(request.cameras))
         if pool is None:
-            return execute_plan(plan, arena=request.arena)
+            return self.execute_units(self.plan_batch(request), request)
         try:
-            return self._execute_sharded(plan, pool, request.arena)
+            return self._render_batch_sharded(request, pool)
         except ShardWorkerError:
             # Only a pool-level failure (worker death/timeout) requires a
             # respawn; a worker-*reported* error leaves the pool — and every
@@ -736,18 +959,136 @@ class ShardedBackend:
                 _discard_pool(pool)
             raise
 
-    def _execute_sharded(
-        self, plan: RenderPlan, pool: ShardedPool, arena
+    def _render_batch_sharded(
+        self, request: BatchRenderRequest, pool: ShardedPool
     ) -> BatchRenderResult:
+        """Worker-planned execution: predict misses, dispatch, stitch."""
+        cache = request.cache
+        cloud = request.cloud
+        n_views = len(request.cameras)
+        n_active = min(pool.n_workers, n_views)
+        keys: list[tuple] | None = None
+        if cache is not None:
+            if pool is not self._mirror_pool:
+                # A fresh pool means fresh (empty) worker caches; predictions
+                # from the previous pool's entries would desync immediately.
+                self._mirror = {}
+                self._mirror_pool = pool
+            keys = [
+                view_key(
+                    camera,
+                    pose_cw,
+                    request.tile_size,
+                    request.subtile_size,
+                    request.active_only,
+                    pose_quantum=cache.config.pose_quantum,
+                )
+                for camera, pose_cw in zip(request.cameras, request.poses_cw)
+            ]
+            need_shared = any(
+                classify_reuse(
+                    cache.config,
+                    self._mirror.get((index % n_active, key)),
+                    cloud,
+                    pose_cw,
+                )
+                == "miss"
+                for index, (key, pose_cw) in enumerate(zip(keys, request.poses_cw))
+            )
+        else:
+            need_shared = True
+
+        shared = None
+        shared_seconds = 0.0
+        if need_shared:
+            start = time.perf_counter()
+            shared = shared_preprocess(cloud, active_only=request.active_only)
+            shared_seconds = time.perf_counter() - start
+
+        for _attempt in range(2):
+            batch = self._dispatch_sharded(request, pool, shared, shared_seconds, keys)
+            if batch is not None:
+                return batch
+            # Worker cache state diverged from the prediction mirror (view
+            # reassignment, a recreated worker cache): resync by clearing the
+            # mirror and resending with the full Step 1 payload, after which
+            # every worker can rebuild and desync is impossible.
+            self._mirror.clear()
+            if shared is None:
+                start = time.perf_counter()
+                shared = shared_preprocess(cloud, active_only=request.active_only)
+                shared_seconds = time.perf_counter() - start
+        raise ShardWorkerError(
+            "shard workers reported a cache desync even with the full shared "
+            "payload; this is a bug in the sharded backend"
+        )
+
+    def _dispatch_sharded(
+        self,
+        request: BatchRenderRequest,
+        pool: ShardedPool,
+        shared: SharedGaussianData | None,
+        shared_seconds: float,
+        keys: "list[tuple] | None",
+    ) -> BatchRenderResult | None:
+        """One dispatch attempt; ``None`` signals a worker-cache desync."""
         from repro.gaussians.rasterizer import RenderResult
 
+        cache = request.cache
+        cameras = list(request.cameras)
+        poses_cw = list(request.poses_cw)
+        n_views = len(cameras)
+        backgrounds = _normalise_backgrounds(request.backgrounds, n_views)
         token = next(_TOKENS)
-        n_active = min(pool.n_workers, plan.n_views)
-        worker_of = {unit.index: unit.index % n_active for unit in plan.units}
+        n_active = min(pool.n_workers, n_views)
+        worker_of = {index: index % n_active for index in range(n_views)}
 
         dispatch_start = time.perf_counter()
         layout = _ShmLayout()
-        metas = [_unit_payload(unit, layout) for unit in plan.units]
+        shared_specs = None
+        if shared is not None:
+            shared_specs = {
+                name: layout.add(getattr(shared, name)) for name in _SHARED_FIELDS
+            }
+        namespace = cloud_meta = appearance_specs = cache_config = None
+        if cache is not None:
+            namespace = _cache_namespace(cache)
+            cache_config = cache.config
+            cloud = request.cloud
+            cloud_meta = {
+                "uid": cloud.uid,
+                "epoch": cloud.epoch,
+                "structure_epoch": cloud.structure_epoch,
+                "unbounded_epoch": cloud.unbounded_epoch,
+                "cum_position_delta": cloud.cum_position_delta,
+                "cum_log_scale_delta": cloud.cum_log_scale_delta,
+                "cum_opacity_delta": cloud.cum_opacity_delta,
+            }
+            # Appearance splicing (the refresh tier) gathers from the full
+            # cloud arrays, so they ship every cached batch.
+            appearance_specs = {
+                "colors": layout.add(cloud.colors),
+                "opacities": layout.add(cloud.opacities()),
+            }
+        view_metas = []
+        for index, (camera, pose_cw) in enumerate(zip(cameras, poses_cw)):
+            height, width = camera.height, camera.width
+            view_metas.append(
+                {
+                    "index": index,
+                    "camera": camera,
+                    "pose_cw": pose_cw,
+                    "background": backgrounds[index],
+                    "tile_size": request.tile_size,
+                    "subtile_size": request.subtile_size,
+                    "outputs": {
+                        "image": layout.reserve((height, width, 3), np.float64),
+                        "depth": layout.reserve((height, width), np.float64),
+                        "alpha": layout.reserve((height, width), np.float64),
+                        "fragments_per_pixel": layout.reserve((height, width), np.int64),
+                    },
+                }
+            )
         shm = layout.create()
         try:
             messages = {
@@ -756,7 +1097,19 @@ class ShardedBackend:
                     (
                         token,
                         shm.name,
-                        [metas[i] for i in sorted(worker_of) if worker_of[i] == worker_id],
+                        {
+                            "namespace": namespace,
+                            "cache_config": cache_config,
+                            "cloud_meta": cloud_meta,
+                            "shared": shared_specs,
+                            "appearance": appearance_specs,
+                            "active_only": request.active_only,
+                            "views": [
+                                view_metas[i]
+                                for i in range(n_views)
+                                if worker_of[i] == worker_id
+                            ],
+                        },
                     ),
                 )
                 for worker_id in range(n_active)
@@ -767,41 +1120,75 @@ class ShardedBackend:
             replies = pool.request_all(messages)
             shard_wall = time.perf_counter() - shard_start
 
+            if any(reply[1].get("desync") for reply in replies.values()):
+                return None
+
             stitch_start = time.perf_counter()
-            view_shard_seconds = [0.0] * plan.n_views
+            plan_seconds = [0.0] * n_views
+            raster_seconds = [0.0] * n_views
+            statuses = ["uncached"] * n_views
+            indices_by_view: dict[int, np.ndarray] = {}
+            n_pairs_by_view: dict[int, int] = {}
             worker_seconds = {worker_id: 0.0 for worker_id in range(n_active)}
             for worker_id, reply in replies.items():
-                for view_index, seconds in reply[1]:
-                    view_shard_seconds[view_index] = seconds
-                    worker_seconds[worker_id] += seconds
+                data = reply[1]
+                for view in data["views"]:
+                    index = view["index"]
+                    plan_seconds[index] = view["plan_seconds"]
+                    raster_seconds[index] = view["raster_seconds"]
+                    statuses[index] = view["cache_status"]
+                    indices_by_view[index] = np.asarray(view["indices"])
+                    n_pairs_by_view[index] = view["n_pairs"]
+                    worker_seconds[worker_id] += view["plan_seconds"] + view["raster_seconds"]
+                    if cache is not None:
+                        self._mirror[(worker_id, keys[index])] = view["meta"]
+                if cache is not None:
+                    for key in data["evicted"]:
+                        self._mirror.pop((worker_id, key), None)
+                    cache.stats.evictions += len(data["evicted"])
+                    cache.stats.truncation_fallbacks += data["truncation_fallbacks"]
+
             views: list[RenderResult] = []
-            for unit, meta in zip(plan.units, metas):
+            for index, meta in enumerate(view_metas):
+                camera = cameras[index]
+                pose_cw = poses_cw[index]
                 outputs = meta["outputs"]
                 background = (
                     np.zeros(3)
-                    if unit.background is None
-                    else np.asarray(unit.background, dtype=np.float64).reshape(3)
+                    if backgrounds[index] is None
+                    else np.asarray(backgrounds[index], dtype=np.float64).reshape(3)
+                )
+                projected = _stitched_projection(indices_by_view[index], camera, pose_cw)
+                grid = TileGrid(
+                    camera.width, camera.height, request.tile_size, request.subtile_size
                 )
                 view = RenderResult(
                     image=np.array(_shm_view(shm, outputs["image"])),
                     depth=np.array(_shm_view(shm, outputs["depth"])),
                     alpha=np.array(_shm_view(shm, outputs["alpha"])),
-                    fragments_per_pixel=np.array(_shm_view(shm, outputs["fragments_per_pixel"])),
-                    projected=unit.projected,
-                    intersections=unit.intersections,
+                    fragments_per_pixel=np.array(
+                        _shm_view(shm, outputs["fragments_per_pixel"])
+                    ),
+                    projected=projected,
+                    intersections=_StitchedIntersections(
+                        grid, projected, n_pairs_by_view[index]
+                    ),
                     tile_caches=[],
-                    camera=unit.projected.camera,
-                    pose_cw=unit.projected.pose_cw,
+                    camera=camera,
+                    pose_cw=pose_cw,
                     background=background,
                     backend="sharded",
+                    cache_status=statuses[index],
                 )
                 view.shard_info = _ShardHandle(
                     pool=pool,
                     token=token,
-                    worker_id=worker_of[unit.index],
-                    view_index=unit.index,
+                    worker_id=worker_of[index],
+                    view_index=index,
                 )
                 views.append(view)
+                if cache is not None:
+                    cache.stats.count(statuses[index])
         finally:
             shm.close()
             try:
@@ -809,28 +1196,61 @@ class ShardedBackend:
             except FileNotFoundError:
                 pass
 
-        batch = BatchRenderResult(
+        return BatchRenderResult(
             views=views,
-            shared=plan.shared,
+            shared=shared,
             # Workers own the arenas the views' tile caches live in; the
             # caller-supplied arena passes through untouched so a later
             # serial batch can still recycle it.
-            arena=arena,
-            shared_seconds=plan.shared_seconds,
+            arena=request.arena,
+            shared_seconds=shared_seconds,
             view_seconds=[
-                unit.plan_seconds + view_shard_seconds[unit.index] for unit in plan.units
+                plan_seconds[index] + raster_seconds[index] for index in range(n_views)
             ],
             sharding=ShardAttribution(
                 n_workers=n_active,
-                worker_ids=[worker_of[index] for index in range(plan.n_views)],
-                view_shard_seconds=view_shard_seconds,
+                worker_ids=[worker_of[index] for index in range(n_views)],
+                view_shard_seconds=raster_seconds,
                 worker_seconds=worker_seconds,
                 dispatch_seconds=dispatch_seconds,
                 stitch_seconds=time.perf_counter() - stitch_start,
                 shard_wall_seconds=shard_wall,
+                plan_site="worker",
+                view_plan_seconds=plan_seconds,
             ),
         )
-        return batch
+
+    # -- invalidation ---------------------------------------------------------
+    def invalidate_worker_caches(self, cache: "GeometryCache | None" = None) -> None:
+        """Broadcast geometry-cache invalidation to every live shard pool.
+
+        Epoch keying already guarantees stale worker entries can never be
+        *served* after a structural mutation; the broadcast eagerly frees
+        their memory and drops retained cached batches whose backward state
+        aliases them.  ``cache=None`` clears every namespace; passing a cache
+        that never rode a sharded batch is a no-op.  Best-effort: a broken
+        pool is discarded, not raised through (invalidation sites sit inside
+        densify/prune paths that must not fail on pool hiccups).
+        """
+        self._mirror.clear()
+        namespace = None
+        if cache is not None:
+            namespace = getattr(cache, "_shard_namespace", None)
+            if namespace is None:
+                return
+        for pool in list(_POOLS.values()):
+            if pool.broken:
+                continue
+            try:
+                pool.request_all(
+                    {
+                        worker_id: ("invalidate", namespace)
+                        for worker_id in range(pool.n_workers)
+                    }
+                )
+            except ShardWorkerError:
+                if pool.broken:
+                    _discard_pool(pool)
 
     # -- backward ------------------------------------------------------------
     def _shard_backward(
@@ -842,18 +1262,19 @@ class ShardedBackend:
         """Run Step 4 on the owning workers; returns per-view screen gradients.
 
         ``view_results`` maps each view index to its parent-side
-        :class:`RenderResult` (list or dict): the screen gradients reattach
-        the parent's ``projected`` and rebuild the trace's forward fragment
-        counts from the stitched result instead of shipping them back.
+        :class:`RenderResult` (list or dict).  Loss gradients ship worker-ward
+        and the heavy projection intermediates (everything the fused Step 5
+        reads that the stitched stub lacks) ship parent-ward through one
+        shared-memory block; the small screen-gradient arrays and traces ride
+        the reply pipes.
         """
         from repro.gaussians.backward import GradientTrace, ScreenSpaceGradients
 
         pool = handles[0].pool
         token = handles[0].token
-        # Loss gradients ship through one shared-memory block (a few MB per
-        # view: pickling them over the pipes would serialise in the parent).
         layout = _ShmLayout()
         per_worker: dict[int, list] = {}
+        projected_specs_by_view: dict[int, dict] = {}
         for handle, (view_index, dL_dimage, dL_ddepth) in zip(handles, items):
             image_spec = layout.add(np.asarray(dL_dimage, dtype=np.float64))
             depth_spec = (
@@ -861,8 +1282,14 @@ class ShardedBackend:
                 if dL_ddepth is None
                 else layout.add(np.asarray(dL_ddepth, dtype=np.float64))
             )
+            n_visible = int(view_results[view_index].projected.indices.shape[0])
+            projected_specs = {
+                name: layout.reserve((n_visible, *trailing), np.float64)
+                for name, trailing in _BACKWARD_PROJECTED_FIELDS
+            }
+            projected_specs_by_view[view_index] = projected_specs
             per_worker.setdefault(handle.worker_id, []).append(
-                (view_index, image_spec, depth_spec)
+                (view_index, image_spec, depth_spec, projected_specs)
             )
         shm = layout.create()
         try:
@@ -874,45 +1301,55 @@ class ShardedBackend:
                 replies = pool.request_all(messages)
             except ShardWorkerError:
                 # See render_batch: recoverable worker-reported errors (e.g.
-                # an evicted batch) must not tear down the shared pool.
+                # a superseded batch) must not tear down the shared pool.
                 if pool.broken:
                     _discard_pool(pool)
                 raise
+            screen_by_view: dict[int, ScreenSpaceGradients] = {}
+            for reply in replies.values():
+                for (
+                    view_index,
+                    colors,
+                    opacities,
+                    means2d,
+                    conics,
+                    depths,
+                    trace_tile_ids,
+                    trace_sources,
+                    trace_counts,
+                    _seconds,
+                ) in reply[1]:
+                    view_result = view_results[view_index]
+                    # Swap the worker's heavy projection intermediates into
+                    # the stitched stub so the fused Step 5 sees the same
+                    # arrays a parent-planned render would have kept.
+                    projected = replace(
+                        view_result.projected,
+                        **{
+                            name: np.array(_shm_view(shm, spec))
+                            for name, spec in projected_specs_by_view[view_index].items()
+                        },
+                    )
+                    screen_by_view[view_index] = ScreenSpaceGradients(
+                        projected=projected,
+                        colors=colors,
+                        opacities=opacities,
+                        means2d=means2d,
+                        conics=conics,
+                        depths=depths,
+                        trace=GradientTrace(
+                            tile_ids=list(trace_tile_ids),
+                            per_tile_source_indices=list(trace_sources),
+                            per_tile_pixel_counts=list(trace_counts),
+                            fragments_per_pixel=view_result.fragments_per_pixel.copy(),
+                        ),
+                    )
         finally:
             shm.close()
             try:
                 shm.unlink()
             except FileNotFoundError:
                 pass
-        screen_by_view: dict[int, ScreenSpaceGradients] = {}
-        for reply in replies.values():
-            for (
-                view_index,
-                colors,
-                opacities,
-                means2d,
-                conics,
-                depths,
-                trace_tile_ids,
-                trace_sources,
-                trace_counts,
-                _seconds,
-            ) in reply[1]:
-                view_result = view_results[view_index]
-                screen_by_view[view_index] = ScreenSpaceGradients(
-                    projected=view_result.projected,
-                    colors=colors,
-                    opacities=opacities,
-                    means2d=means2d,
-                    conics=conics,
-                    depths=depths,
-                    trace=GradientTrace(
-                        tile_ids=list(trace_tile_ids),
-                        per_tile_source_indices=list(trace_sources),
-                        per_tile_pixel_counts=list(trace_counts),
-                        fragments_per_pixel=view_result.fragments_per_pixel.copy(),
-                    ),
-                )
         return [screen_by_view[view_index] for view_index, _, _ in items]
 
     def backward(

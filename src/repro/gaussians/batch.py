@@ -54,7 +54,7 @@ sequential calls).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -110,6 +110,12 @@ class ShardAttribution:
     dispatch_seconds: float
     stitch_seconds: float  # parent-side gather + result assembly overhead
     shard_wall_seconds: float = 0.0  # wall-clock of the parallel phase (critical path)
+    # Where per-view Step 1-2 planning ran: "parent" (pre-planned units
+    # shipped to workers) or "worker" (workers project/tile/cache themselves).
+    plan_site: str = "parent"
+    # Per view: worker-side Step 1-2 plan + cache lookup wall-clock; empty
+    # when planning ran in the parent (plan time then lives in view_seconds).
+    view_plan_seconds: list[float] = field(default_factory=list)
 
 
 @dataclass

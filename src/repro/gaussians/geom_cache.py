@@ -121,10 +121,26 @@ class GeomCacheConfig:
     refine_margin: float = 8.0
     termination_margin: float = 0.25
     max_entries: int = 8
+    # Pose quantisation step for view keys (0 disables).  When > 0, the key
+    # uses the pose rounded to this step, so a lookup from a *nearby* pose
+    # (tracking drift across windows) lands on the existing entry and is
+    # served through the toleranced stale-geometry tier — the pose-induced
+    # screen drift is added to the entry's staleness bound, and cross-pose
+    # reuse never reports the exact tiers.  Requires ``tolerance_px > 0``.
+    pose_quantum: float = 0.0
 
     def __post_init__(self) -> None:
         if self.tolerance_px < 0:
             raise ValueError(f"tolerance_px must be >= 0, got {self.tolerance_px}")
+        if self.pose_quantum < 0:
+            raise ValueError(f"pose_quantum must be >= 0, got {self.pose_quantum}")
+        if self.pose_quantum > 0 and self.tolerance_px == 0:
+            raise ValueError(
+                "pose_quantum > 0 requires a non-zero tolerance_px: cross-pose "
+                "reuse is served through the toleranced stale-geometry tier, "
+                "which tolerance_px=0 disables — raise tolerance_px or set "
+                "pose_quantum=0"
+            )
         # A margin below 1 would raise the keep threshold above ALPHA_CUTOFF
         # and silently drop fragments that DO contribute (alpha drops are not
         # verified at render time the way truncation is).
@@ -187,9 +203,28 @@ class CacheStats:
         }
 
 
-def _view_key(
-    camera: Camera, pose_cw: SE3, tile_size: int, subtile_size: int, active_only: bool
+def view_key(
+    camera: Camera,
+    pose_cw: SE3,
+    tile_size: int,
+    subtile_size: int,
+    active_only: bool,
+    pose_quantum: float = 0.0,
 ) -> tuple:
+    """Cache key of one view; shared with the sharded parent-side mirror.
+
+    With ``pose_quantum > 0`` the pose enters the key as integer buckets
+    (``round(value / quantum)``), so any two poses inside the same bucket —
+    e.g. consecutive tracking estimates of one keyframe across windows — map
+    to the same key and the lookup lands on the existing entry, which
+    classification then serves through the toleranced stale-geometry tier.
+    """
+    if pose_quantum > 0.0:
+        rotation = np.round(pose_cw.rotation / pose_quantum).astype(np.int64).tobytes()
+        translation = np.round(pose_cw.translation / pose_quantum).astype(np.int64).tobytes()
+    else:
+        rotation = pose_cw.rotation.tobytes()
+        translation = pose_cw.translation.tobytes()
     return (
         camera.width,
         camera.height,
@@ -197,8 +232,8 @@ def _view_key(
         float(camera.fy),
         float(camera.cx),
         float(camera.cy),
-        pose_cw.rotation.tobytes(),
-        pose_cw.translation.tobytes(),
+        rotation,
+        translation,
         int(tile_size),
         int(subtile_size),
         bool(active_only),
@@ -222,6 +257,12 @@ class _CacheEntry:
     min_depth: float
     max_radius: float
     px_per_unit: float
+    # Exact pose the geometry was built at (the key may be pose-quantised)
+    # and the largest camera-frame point norm, which converts a rotation
+    # delta into a worst-case point displacement for cross-pose reuse.
+    build_rotation: np.ndarray
+    build_translation: np.ndarray
+    max_cam_norm: float
     projected: ProjectedGaussians
     intersections: TileIntersections
     fragments: FlatFragments
@@ -242,6 +283,136 @@ class _CacheEntry:
     @property
     def n_fragments(self) -> int:
         return self.fragments.n_fragments
+
+
+@dataclass(frozen=True)
+class EntryMeta:
+    """Classification-relevant metadata of one cache entry.
+
+    Everything :func:`classify_reuse` reads, and nothing heavy — shard
+    workers report one of these per built entry so the parent can mirror
+    worker-cache classification (predicting which views of the next batch
+    will miss and therefore need the shared preprocessing payload) without
+    holding the entries themselves.
+    """
+
+    cloud_uid: int
+    structure_epoch: int
+    built_epoch: int
+    built_position_delta: float
+    built_log_scale_delta: float
+    built_opacity_delta: float
+    min_depth: float
+    max_radius: float
+    px_per_unit: float
+    build_rotation: np.ndarray
+    build_translation: np.ndarray
+    max_cam_norm: float
+
+
+def entry_meta(entry: "_CacheEntry") -> EntryMeta:
+    """Extract the classification metadata of a cache entry."""
+    return EntryMeta(
+        cloud_uid=entry.cloud_uid,
+        structure_epoch=entry.structure_epoch,
+        built_epoch=entry.built_epoch,
+        built_position_delta=entry.built_position_delta,
+        built_log_scale_delta=entry.built_log_scale_delta,
+        built_opacity_delta=entry.built_opacity_delta,
+        min_depth=entry.min_depth,
+        max_radius=entry.max_radius,
+        px_per_unit=entry.px_per_unit,
+        build_rotation=entry.build_rotation,
+        build_translation=entry.build_translation,
+        max_cam_norm=entry.max_cam_norm,
+    )
+
+
+def pose_drift(entry, pose_cw: SE3) -> float:
+    """Worst-case camera-frame point displacement (world units) between the
+    entry's build pose and ``pose_cw``.
+
+    For relative rotation ``Q = R' R^T`` with angle ``theta`` and relative
+    translation ``dt = t' - Q t``, a point at camera-frame distance ``r``
+    moves by at most ``|dt| + 2 sin(theta/2) r``; the entry's largest build
+    distance bounds ``r``.  Exactly equal poses return 0.0, keeping the
+    bitwise tiers reachable only for same-pose lookups.
+    """
+    rotation = entry.build_rotation
+    translation = entry.build_translation
+    if np.array_equal(rotation, pose_cw.rotation) and np.array_equal(
+        translation, pose_cw.translation
+    ):
+        return 0.0
+    relative = pose_cw.rotation @ rotation.T
+    cos_theta = float(np.clip((np.trace(relative) - 1.0) / 2.0, -1.0, 1.0))
+    half_sine = float(np.sqrt(max(0.0, (1.0 - cos_theta) / 2.0)))
+    delta_t = pose_cw.translation - relative @ translation
+    return float(np.linalg.norm(delta_t)) + 2.0 * half_sine * entry.max_cam_norm
+
+
+def screen_drift(
+    entry, moved_position: float, moved_log_scale: float, pose_moved: float = 0.0
+) -> float:
+    """Conservative screen-space bound (pixels) on the entry's staleness.
+
+    A position shift of ``d`` world units moves a splat centre by at most
+    ``d * focal / depth`` pixels; the nearest cached depth (shrunk by the
+    shift itself, since points may have moved toward the camera) gives the
+    worst case.  A log-scale shift of ``s`` grows every splat radius by at
+    most a factor ``e^s``.  ``pose_moved`` (camera motion expressed as an
+    equivalent point displacement, see :func:`pose_drift`) adds to the
+    position shift.
+    """
+    if (
+        not np.isfinite(moved_position)
+        or not np.isfinite(moved_log_scale)
+        or not np.isfinite(pose_moved)
+    ):
+        return float("inf")
+    total_shift = moved_position + pose_moved
+    depth = entry.min_depth - total_shift
+    if depth <= 1e-3:
+        return float("inf")
+    shift = total_shift * entry.px_per_unit / depth
+    growth = entry.max_radius * float(np.expm1(moved_log_scale))
+    return shift + growth
+
+
+def classify_reuse(config: GeomCacheConfig, entry, cloud, pose_cw: SE3) -> str:
+    """Classify one lookup against an entry (or :class:`EntryMeta` mirror).
+
+    ``entry`` is duck-typed over the :class:`EntryMeta` fields and ``cloud``
+    over the mutation-epoch attributes of :class:`GaussianCloud`, so the
+    sharded parent can run the *same* decision procedure over its metadata
+    mirror that workers run over their resident entries.  A lookup whose pose
+    differs from the entry's build pose (possible only under pose-quantised
+    keys) is capped at the ``incremental`` tier: the cached geometry belongs
+    to another pose, so the exact tiers are unreachable by construction.
+    """
+    if (
+        entry is None
+        or entry.cloud_uid != cloud.uid
+        or entry.structure_epoch != cloud.structure_epoch
+        # Direct array edits (bump_epoch) carry no movement bound, so an
+        # entry predating one cannot be trusted for any reuse tier.
+        or entry.built_epoch < cloud.unbounded_epoch
+    ):
+        return "miss"
+    pose_moved = pose_drift(entry, pose_cw)
+    moved_position = cloud.cum_position_delta - entry.built_position_delta
+    moved_log_scale = cloud.cum_log_scale_delta - entry.built_log_scale_delta
+    if pose_moved == 0.0:
+        if entry.built_epoch == cloud.epoch:
+            return "hit"
+        if moved_position == 0.0 and moved_log_scale == 0.0:
+            return "refresh"
+    tolerance = config.tolerance_px
+    if tolerance <= 0.0:
+        return "miss"
+    if screen_drift(entry, moved_position, moved_log_scale, pose_moved) <= tolerance:
+        return "incremental"
+    return "miss"
 
 
 @dataclass
@@ -277,6 +448,11 @@ class GeometryCache:
     def clear(self) -> None:
         """Drop every cached entry (the arena's high-water mark is kept)."""
         self._entries.clear()
+
+    def entry_keys(self) -> set[tuple]:
+        """The view keys currently resident (shard workers diff these across
+        a batch to report LRU evictions back to the parent's mirror)."""
+        return set(self._entries)
 
     def ensure_arena(self, n_fragments: int) -> FlatArena:
         """Return the shared grow-only arena, grown to at least ``n_fragments``."""
@@ -315,9 +491,12 @@ class GeometryCache:
         :meth:`build_view`, optionally donating shared preprocessing) or one
         of the reuse tiers, in which case ``entry`` is ready to render.
         """
-        key = _view_key(camera, pose_cw, tile_size, subtile_size, active_only)
+        key = view_key(
+            camera, pose_cw, tile_size, subtile_size, active_only,
+            pose_quantum=self.config.pose_quantum,
+        )
         entry = self._entries.get(key)
-        status = self._classify(entry, cloud)
+        status = classify_reuse(self.config, entry, cloud, pose_cw)
         if status == "miss":
             return _ViewPlan(
                 key=key, status=status, entry=None, opacity_delta=cloud.cum_opacity_delta
@@ -367,6 +546,13 @@ class GeometryCache:
             min_depth=float(projected.depths.min()) if projected.n_visible else float("inf"),
             max_radius=float(projected.radii.max()) if projected.n_visible else 0.0,
             px_per_unit=float(max(camera.fx, camera.fy)),
+            build_rotation=pose_cw.rotation.copy(),
+            build_translation=pose_cw.translation.copy(),
+            max_cam_norm=(
+                float(np.linalg.norm(projected.points_cam, axis=1).max())
+                if projected.n_visible
+                else 0.0
+            ),
             projected=projected,
             intersections=intersections,
             fragments=fragments,
@@ -418,50 +604,6 @@ class GeometryCache:
         return result
 
     # -- internals ----------------------------------------------------------
-    def _classify(self, entry: _CacheEntry | None, cloud: GaussianCloud) -> str:
-        if (
-            entry is None
-            or entry.cloud_uid != cloud.uid
-            or entry.structure_epoch != cloud.structure_epoch
-            # Direct array edits (bump_epoch) carry no movement bound, so an
-            # entry predating one cannot be trusted for any reuse tier.
-            or entry.built_epoch < cloud.unbounded_epoch
-        ):
-            return "miss"
-        if entry.built_epoch == cloud.epoch:
-            return "hit"
-        moved_position = cloud.cum_position_delta - entry.built_position_delta
-        moved_log_scale = cloud.cum_log_scale_delta - entry.built_log_scale_delta
-        if moved_position == 0.0 and moved_log_scale == 0.0:
-            return "refresh"
-        tolerance = self.config.tolerance_px
-        if tolerance <= 0.0:
-            return "miss"
-        if self._screen_drift(entry, moved_position, moved_log_scale) <= tolerance:
-            return "incremental"
-        return "miss"
-
-    @staticmethod
-    def _screen_drift(
-        entry: _CacheEntry, moved_position: float, moved_log_scale: float
-    ) -> float:
-        """Conservative screen-space bound (pixels) on the entry's staleness.
-
-        A position shift of ``d`` world units moves a splat centre by at most
-        ``d * focal / depth`` pixels; the nearest cached depth (shrunk by the
-        shift itself, since points may have moved toward the camera) gives the
-        worst case.  A log-scale shift of ``s`` grows every splat radius by at
-        most a factor ``e^s``.
-        """
-        if not np.isfinite(moved_position) or not np.isfinite(moved_log_scale):
-            return float("inf")
-        depth = entry.min_depth - moved_position
-        if depth <= 1e-3:
-            return float("inf")
-        shift = moved_position * entry.px_per_unit / depth
-        growth = entry.max_radius * float(np.expm1(moved_log_scale))
-        return shift + growth
-
     def _splice_appearance(self, entry: _CacheEntry, cloud: GaussianCloud) -> None:
         """Adopt the cloud's current colours/opacities onto the cached entry.
 

@@ -110,6 +110,12 @@ class MappingConfig:
     # Headroom on the verified per-tile termination depth; 0 disables
     # fragment-list truncation.
     geom_cache_termination_margin: float = 0.25
+    # Pose quantisation step for cache keys (0 disables): cross-window
+    # tracking deltas smaller than the quantum re-key onto the previous
+    # window's entries and reuse them through the toleranced stale-geometry
+    # tier instead of rebuilding at each new pose.  Requires a non-zero
+    # geom_cache_tolerance_px.
+    geom_cache_pose_quantum: float = 0.0
 
 
 @dataclass
@@ -180,6 +186,7 @@ class StreamingMapper:
                 cache_refine_margin=config.geom_cache_refine_margin,
                 cache_termination_margin=config.geom_cache_termination_margin,
                 cache_max_entries=max(8, config.batch_views or config.keyframe_window),
+                cache_pose_quantum=config.geom_cache_pose_quantum,
             )
         )
 
@@ -437,6 +444,14 @@ class StreamingMapper:
                             0.0
                             if sharding is None
                             else sharding.stitch_seconds / max(len(window), 1)
+                        ),
+                        shard_plan_seconds=(
+                            sharding.view_plan_seconds[view_index]
+                            if sharding is not None and sharding.view_plan_seconds
+                            else 0.0
+                        ),
+                        plan_site=(
+                            "parent" if sharding is None else sharding.plan_site
                         ),
                     )
                 )

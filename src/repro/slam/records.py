@@ -63,6 +63,11 @@ class WorkloadSnapshot:
     shard_worker_id: int = 0
     shard_seconds: float = 0.0
     shard_stitch_seconds: float = 0.0
+    # Where this view's Step 1-2 planning ran: "parent" (serial and
+    # parent-planned batches) or "worker" (sharded batches with
+    # worker-resident planning), with the measured per-view planning time.
+    shard_plan_seconds: float = 0.0
+    plan_site: str = "parent"
 
     @staticmethod
     def from_iteration(
@@ -83,6 +88,8 @@ class WorkloadSnapshot:
         shard_worker_id: int = 0,
         shard_seconds: float = 0.0,
         shard_stitch_seconds: float = 0.0,
+        shard_plan_seconds: float = 0.0,
+        plan_site: str = "parent",
     ) -> "WorkloadSnapshot":
         """Build a snapshot from a render result and (optionally) its gradients.
 
@@ -129,6 +136,8 @@ class WorkloadSnapshot:
             shard_worker_id=shard_worker_id,
             shard_seconds=shard_seconds,
             shard_stitch_seconds=shard_stitch_seconds,
+            shard_plan_seconds=shard_plan_seconds,
+            plan_site=plan_site,
         )
 
     # -- aggregate statistics -------------------------------------------------

@@ -35,7 +35,12 @@ cache on and off, an engine render (and its backward) must be bit-identical
 to the legacy free-function implementation it wraps, and
 :meth:`DifferentialRunner.verify_sharded` pins the sharded batch — forward
 views, fragment counts, fused backward gradients and per-view pose twists —
-bitwise against the flat batch on every scenario.
+bitwise against the flat batch on every scenario, cache off *and* on: the
+sharded backend's worker-resident geometry caches must stay bit-identical to
+the parent-resident flat cache through miss, hit and refresh rounds, and the
+pose-quantised cross-window re-key tier must agree bitwise between the two
+cache sites while staying within its documented screen-space tolerance of an
+exact render.
 """
 
 from __future__ import annotations
@@ -469,9 +474,10 @@ class DifferentialRunner:
                 return cache.render_single(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
             return rasterize_flat(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
         if backend == "sharded":
-            # Single-view sharded renders degrade to the flat fast path by
-            # contract (no cache: the backend reports supports_cache=False,
-            # so the engine never hands it one).
+            # Single-view sharded renders run the serial flat fast path by
+            # contract, parent-resident cache included.
+            if cache is not None:
+                return cache.render_single(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
             return rasterize_flat(spec.cloud, spec.camera, spec.pose_cw, **kwargs)
         return None
 
@@ -503,7 +509,7 @@ class DifferentialRunner:
                         **_EXACT_ENGINE_CACHE,
                     )
                 )
-                supports_cache = engine.capabilities().supports_cache
+                supports_cache = engine.capabilities().cache
                 legacy_cache = (
                     GeometryCache(GeomCacheConfig(**_EXACT_CACHE))
                     if cached and supports_cache
@@ -652,7 +658,248 @@ class DifferentialRunner:
                 f"sharded batch: per-view pose twists differ from the flat batch "
                 f"(max diff {worst:.3e})"
             )
+        cached_failures = self._verify_sharded_cached(spec, diffs)
+        failures.extend(cached_failures)
         return diffs, failures
+
+    def _verify_sharded_cached(self, spec: SceneSpec, diffs: dict[str, float]) -> list[str]:
+        """Pin worker-resident sharded caching bitwise against the flat cache.
+
+        The same batch rendered through a sharded engine (worker-resident
+        geometry caches, exact configuration) and a flat engine (parent-
+        resident cache, same configuration) must agree bitwise on every
+        forward output, report identical per-view cache statuses, and produce
+        bitwise-equal fused backward gradients — across a miss round, a hit
+        round and a refresh round (appearance-only mutation).  A second pair
+        of engines with pose-quantised keys then re-renders the window at
+        nudged poses: both cache sites must make the same re-key decision
+        (predicted parent-side from the quantised buckets), agree bitwise
+        with each other, and stay within the configured screen-space
+        tolerance of an exact uncached render.
+        """
+        from repro.gaussians.geom_cache import view_key
+
+        failures: list[str] = []
+        poses = spec.view_poses(self.n_batch_views)
+        cameras = [spec.camera] * self.n_batch_views
+        backgrounds = [spec.background] * self.n_batch_views
+        cloud = spec.cloud.copy()
+
+        sharded_engine = RenderEngine(
+            EngineConfig(
+                backend=self.sharded_backend,
+                geom_cache=True,
+                shard_workers=self.n_shard_workers,
+                **_EXACT_ENGINE_CACHE,
+            )
+        )
+        flat_engine = RenderEngine(
+            EngineConfig(
+                backend=self.candidate_backend, geom_cache=True, **_EXACT_ENGINE_CACHE
+            )
+        )
+
+        def batch_through(engine: RenderEngine):
+            return engine.render_batch(
+                cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+
+        def compare_round(label: str, expected_statuses: set[str]) -> None:
+            sharded = batch_through(sharded_engine)
+            flat = batch_through(flat_engine)
+            sharded_statuses = [view.cache_status for view in sharded.views]
+            flat_statuses = [view.cache_status for view in flat.views]
+            if sharded_statuses != flat_statuses:
+                failures.append(
+                    f"sharded cache {label}: statuses {sharded_statuses} != "
+                    f"flat cache statuses {flat_statuses}"
+                )
+            if not set(sharded_statuses) <= expected_statuses:
+                failures.append(
+                    f"sharded cache {label}: statuses {sharded_statuses} outside "
+                    f"expected {sorted(expected_statuses)}"
+                )
+            for index, (sharded_view, flat_view) in enumerate(
+                zip(sharded.views, flat.views)
+            ):
+                for name in ("image", "depth", "alpha"):
+                    a = getattr(sharded_view, name)
+                    b = getattr(flat_view, name)
+                    if not np.array_equal(a, b):
+                        worst = _max_abs_diff(a, b)
+                        diffs["sharded_image"] = max(diffs["sharded_image"], worst)
+                        failures.append(
+                            f"sharded cache {label} view {index}: {name} differs "
+                            f"from the flat-cached batch (max diff {worst:.3e})"
+                        )
+                if not np.array_equal(
+                    sharded_view.fragments_per_pixel, flat_view.fragments_per_pixel
+                ):
+                    failures.append(
+                        f"sharded cache {label} view {index}: fragment counts "
+                        "differ from the flat-cached batch"
+                    )
+            losses = [
+                self._loss_arrays(spec, view.image.shape, view.depth.shape, salt=53 + index)
+                for index, view in enumerate(flat.views)
+            ]
+            sharded_grads = sharded_engine.backward_batch(
+                sharded,
+                cloud,
+                [dL_dimage for dL_dimage, _ in losses],
+                [dL_ddepth for _, dL_ddepth in losses],
+                compute_pose_gradient=True,
+            )
+            flat_grads = flat_engine.backward_batch(
+                flat,
+                cloud,
+                [dL_dimage for dL_dimage, _ in losses],
+                [dL_ddepth for _, dL_ddepth in losses],
+                compute_pose_gradient=True,
+            )
+            for name in GRADIENT_FIELDS:
+                a = np.asarray(getattr(sharded_grads.cloud, name))
+                b = np.asarray(getattr(flat_grads.cloud, name))
+                if not np.array_equal(a, b):
+                    worst = _max_abs_diff(a, b)
+                    diffs["sharded_grad"] = max(diffs["sharded_grad"], worst)
+                    failures.append(
+                        f"sharded cache {label}: gradient {name} differs from the "
+                        f"flat-cached batch (max diff {worst:.3e})"
+                    )
+
+        compare_round("miss", {"miss"})
+        compare_round("hit", {"hit"})
+        if len(cloud):
+            cloud.apply_parameter_step(
+                d_colors=np.full((len(cloud), 3), 0.01),
+            )
+            compare_round("refresh", {"refresh"})
+        # Eagerly free the per-scenario worker-resident entries (also
+        # exercises the cross-process invalidation broadcast).
+        sharded_engine.invalidate_cache()
+
+        # Pose-quantised cross-window re-keying: nudged poses must re-key
+        # onto the built entries and serve the toleranced stale-geometry
+        # tier, identically at both cache sites.
+        quantum, tolerance_px = 0.05, 2.0
+        quantised_config = dict(
+            geom_cache=True,
+            cache_tolerance_px=tolerance_px,
+            cache_refine_margin=0.0,
+            cache_termination_margin=0.0,
+            cache_pose_quantum=quantum,
+        )
+        sharded_quantised = RenderEngine(
+            EngineConfig(
+                backend=self.sharded_backend,
+                shard_workers=self.n_shard_workers,
+                **quantised_config,
+            )
+        )
+        flat_quantised = RenderEngine(
+            EngineConfig(backend=self.candidate_backend, **quantised_config)
+        )
+        build_cloud = spec.cloud.copy()
+        nudge = 1e-5
+        nudged_poses = [
+            type(pose)(pose.rotation, pose.translation + nudge) for pose in poses
+        ]
+        # Pose buckets predict each view's tier: a nudge that stays inside
+        # the build pose's quantised bucket re-keys (incremental); the rare
+        # boundary crossing is an honest miss at both sites.
+        expected = [
+            "incremental"
+            if view_key(
+                camera, built, spec.tile_size, spec.subtile_size, True,
+                pose_quantum=quantum,
+            )
+            == view_key(
+                camera, nudged, spec.tile_size, spec.subtile_size, True,
+                pose_quantum=quantum,
+            )
+            else "miss"
+            for camera, built, nudged in zip(cameras, poses, nudged_poses)
+        ]
+        for engine in (sharded_quantised, flat_quantised):
+            built = engine.render_batch(
+                build_cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+            engine.release(built)
+        sharded_nudged = sharded_quantised.render_batch(
+            build_cloud,
+            cameras,
+            nudged_poses,
+            backgrounds=backgrounds,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+        flat_nudged = flat_quantised.render_batch(
+            build_cloud,
+            cameras,
+            nudged_poses,
+            backgrounds=backgrounds,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+        statuses = [view.cache_status for view in sharded_nudged.views]
+        if statuses != expected:
+            failures.append(
+                f"sharded pose-quantised re-key: statuses {statuses} != "
+                f"bucket-predicted {expected}"
+            )
+        if statuses != [view.cache_status for view in flat_nudged.views]:
+            failures.append(
+                "sharded pose-quantised re-key: statuses diverge from the "
+                "flat-cached engine"
+            )
+        uncached_engine = self.engine_for(self.candidate_backend)
+        exact = uncached_engine.render_batch(
+            build_cloud,
+            cameras,
+            nudged_poses,
+            backgrounds=backgrounds,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+            managed=False,
+        )
+        # The re-keyed tier serves geometry built at the quantised pose: it
+        # is approximate, bounded by the configured screen-space tolerance
+        # (generous here, so the documented bound is what gates).
+        documented_bound = 0.05
+        for index, (sharded_view, flat_view, exact_view) in enumerate(
+            zip(sharded_nudged.views, flat_nudged.views, exact.views)
+        ):
+            for name in ("image", "depth", "alpha"):
+                a = getattr(sharded_view, name)
+                if not np.array_equal(a, getattr(flat_view, name)):
+                    worst = _max_abs_diff(a, getattr(flat_view, name))
+                    diffs["sharded_image"] = max(diffs["sharded_image"], worst)
+                    failures.append(
+                        f"sharded pose-quantised view {index}: {name} differs "
+                        f"from the flat-cached engine (max diff {worst:.3e})"
+                    )
+            drift = _max_abs_diff(sharded_view.image, exact_view.image)
+            if not drift <= documented_bound:
+                failures.append(
+                    f"sharded pose-quantised view {index}: image drift "
+                    f"{drift:.3e} vs an exact render exceeds the documented "
+                    f"bound {documented_bound:.1e} (tolerance_px={tolerance_px})"
+                )
+        sharded_quantised.release(sharded_nudged)
+        flat_quantised.release(flat_nudged)
+        sharded_quantised.invalidate_cache()
+        return failures
 
     def run_scenario(self, scenario: Scenario) -> ScenarioReport:
         """Render + backprop ``scenario`` through both backends and compare."""

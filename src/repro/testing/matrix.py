@@ -23,9 +23,11 @@ per-view :class:`~repro.slam.records.WorkloadSnapshot` attribution.
 Cells a backend *cannot* execute are skipped with a machine-readable reason
 instead of silently running a substitute:
 
-* ``capability:*`` — the backend reports ``supports_cache=False`` /
-  ``supports_batch=False`` (e.g. tile batch cells, where the engine would
-  silently fall back to a flat batch and the cell would not exercise tile);
+* ``capability:*`` — the backend's typed capabilities report ``cache=False``
+  / ``batch=False`` (e.g. tile batch cells, where the engine would silently
+  fall back to a flat batch and the cell would not exercise tile; sharded
+  cache-on cells execute — worker-resident caches — so tile is the only
+  backend skipping cache cells);
 * ``backend-unavailable:*`` — :meth:`repro.engine.RenderEngine.availability`
   reported a config/host limitation (e.g. the sharded backend resolving to
   fewer than two worker processes, with the knob and core count named).
@@ -152,6 +154,19 @@ class ScenarioCellResult:
         """Skips must carry a machine-readable reason; pass/fail are explained."""
         return self.status != "skip" or bool(self.skip_reason)
 
+    @property
+    def plan_site(self) -> str:
+        """Where Step 1-2 planning ran for this cell's renders.
+
+        ``worker`` when any snapshot reports worker-resident planning (sharded
+        batches), ``parent`` for executed serial/parent-planned cells, ``-``
+        for skips and cells that emitted no snapshots.
+        """
+        sites = {snap.plan_site for snap in self.snapshots}
+        if not sites:
+            return "-"
+        return "worker" if "worker" in sites else "parent"
+
     def attribution(self) -> dict[str, object]:
         """Aggregate of the per-view workload snapshots (JSON-friendly)."""
         workers = {snap.shard_workers for snap in self.snapshots}
@@ -162,6 +177,7 @@ class ScenarioCellResult:
             "n_snapshots": len(self.snapshots),
             "shard_workers": sorted(workers) if workers else [1],
             "cache_statuses": statuses,
+            "plan_site": self.plan_site,
         }
 
     def to_json(self) -> dict[str, object]:
@@ -182,6 +198,7 @@ class ScenarioCellResult:
             "n_views": self.n_views,
             "failures": self.failures,
             "notes": self.notes,
+            "plan_site": self.plan_site,
             "attribution": self.attribution(),
         }
 
@@ -293,18 +310,18 @@ class ScenarioMatrix:
         if unavailable is not None:
             return f"backend-unavailable:{unavailable}"
         capabilities = engine.capabilities()
-        if cell.cache_enabled and not capabilities.supports_cache:
+        if cell.cache_enabled and not capabilities.cache:
             return (
                 f"capability:no-cache-support (backend {cell.backend!r} reports "
-                "supports_cache=False)"
+                "cache=False)"
             )
         if (cell.batch == "multi" or cell.mapping == "mapper") and not (
-            capabilities.supports_batch
+            capabilities.batch
         ):
             return (
                 f"capability:no-batch-support (backend {cell.backend!r} reports "
-                "supports_batch=False; the engine would silently substitute a "
-                "flat batch, so the cell would not exercise this backend)"
+                "batch=False; the engine would silently substitute a flat "
+                "batch, so the cell would not exercise this backend)"
             )
         return None
 
@@ -570,6 +587,12 @@ class ScenarioMatrix:
                             if sharding is None
                             else sharding.stitch_seconds / max(len(renders), 1)
                         ),
+                        shard_plan_seconds=(
+                            sharding.view_plan_seconds[index]
+                            if sharding is not None and sharding.view_plan_seconds
+                            else 0.0
+                        ),
+                        plan_site="parent" if sharding is None else sharding.plan_site,
                     )
                 )
         finally:
@@ -672,9 +695,9 @@ def summary_table(results: list[ScenarioCellResult]) -> str:
         f"{counts['pass']} passed, {counts['fail']} failed, "
         f"{counts['skip']} skipped — {counts['unexplained_skips']} UNEXPLAINED",
         "",
-        "| scenario | backend | cache | batch | mapping | status | max diff | tolerance "
-        "| wall (ms) | fragments | detail |",
-        "|---|---|---|---|---|---|---|---|---|---|---|",
+        "| scenario | backend | cache | batch | mapping | plan_site | status "
+        "| max diff | tolerance | wall (ms) | fragments | detail |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for result in results:
         cell = result.cell
@@ -687,9 +710,9 @@ def summary_table(results: list[ScenarioCellResult]) -> str:
         detail = detail.replace("|", "\\|")
         lines.append(
             f"| {cell.scenario} | {cell.backend} | {cell.cache} | {cell.batch} "
-            f"| {cell.mapping} | {result.status} | {result.max_abs_diff:.2e} "
-            f"| {result.tolerance:.1e} | {result.wall_seconds * 1e3:.1f} "
-            f"| {result.n_fragments} | {detail} |"
+            f"| {cell.mapping} | {result.plan_site} | {result.status} "
+            f"| {result.max_abs_diff:.2e} | {result.tolerance:.1e} "
+            f"| {result.wall_seconds * 1e3:.1f} | {result.n_fragments} | {detail} |"
         )
     return "\n".join(lines)
 

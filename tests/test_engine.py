@@ -211,6 +211,40 @@ class TestEngineConfig:
         for value in ("0", "false", "OFF"):
             assert not geom_cache_enabled_from_env({"REPRO_GEOM_CACHE": value})
 
+    def test_from_env_cache_pose_quantum(self):
+        assert EngineConfig.from_env({}).cache_pose_quantum == 0.0
+        assert (
+            EngineConfig.from_env({"REPRO_GEOM_CACHE_POSE_QUANTUM": ""}).cache_pose_quantum
+            == 0.0
+        )
+        config = EngineConfig.from_env({"REPRO_GEOM_CACHE_POSE_QUANTUM": "0.05"})
+        assert config.cache_pose_quantum == 0.05
+        assert config.cache_config().pose_quantum == 0.05
+
+    def test_from_env_rejects_bad_cache_pose_quantum(self):
+        with pytest.raises(ValueError, match="REPRO_GEOM_CACHE_POSE_QUANTUM"):
+            EngineConfig.from_env({"REPRO_GEOM_CACHE_POSE_QUANTUM": "tiny"})
+        with pytest.raises(ValueError, match="REPRO_GEOM_CACHE_POSE_QUANTUM"):
+            EngineConfig.from_env({"REPRO_GEOM_CACHE_POSE_QUANTUM": "-0.1"})
+
+    def test_pose_quantum_without_tolerance_is_a_named_conflict(self):
+        # Pose-requantised entries are served through the toleranced tier;
+        # with cache_tolerance_px=0 that tier is disabled, so the combination
+        # must fail at config time naming BOTH knobs, not silently miss on
+        # every cross-window lookup.
+        with pytest.raises(ValueError, match="cache_pose_quantum") as excinfo:
+            EngineConfig(cache_pose_quantum=0.05, cache_tolerance_px=0.0)
+        assert "cache_tolerance_px" in str(excinfo.value)
+        assert "REPRO_GEOM_CACHE_POSE_QUANTUM" in str(excinfo.value)
+        # Same conflict surfaced when assembled purely from the environment.
+        with pytest.raises(ValueError, match="cache_tolerance_px"):
+            EngineConfig.from_env(
+                {"REPRO_GEOM_CACHE_POSE_QUANTUM": "0.05"}, cache_tolerance_px=0.0
+            )
+        # A non-zero tolerance resolves it.
+        config = EngineConfig(cache_pose_quantum=0.05, cache_tolerance_px=1.0)
+        assert config.cache_config().pose_quantum == 0.05
+
 
 class TestEngineRendering:
     def test_engine_matches_internal_backends_bitwise(self):
@@ -392,6 +426,60 @@ class TestBackendRegistry:
     def test_unregister_unknown_rejected(self):
         with pytest.raises(ValueError, match="not registered"):
             REGISTRY.unregister("nope")
+
+    def test_typed_capabilities_reported_through_engine(self):
+        from repro.engine import BackendCapabilities
+
+        engine = RenderEngine(EngineConfig(backend="flat", geom_cache=False))
+        capabilities = engine.capabilities("flat")
+        assert isinstance(capabilities, BackendCapabilities)
+        assert capabilities.batch and capabilities.cache
+        assert not capabilities.distributed_planning
+        assert not capabilities.worker_resident_cache
+        assert capabilities.availability is None
+        # Legacy spellings stay readable while callers migrate.
+        assert capabilities.supports_batch and capabilities.supports_cache
+        assert capabilities.available
+        tile = engine.capabilities("tile")
+        assert tile.reference and not tile.batch
+
+    def test_legacy_dict_capabilities_adapted_with_deprecation_warning(self):
+        class _DictBackend(_EchoBackend):
+            name = "dictcaps"
+
+            def capabilities(self):
+                return {"supports_batch": True, "supports_cache": False,
+                        "description": "legacy dict payload"}
+
+        register_backend("dictcaps", _DictBackend)
+        try:
+            with pytest.warns(DeprecationWarning, match="capabilities dict"):
+                engine = RenderEngine(EngineConfig(backend="dictcaps", geom_cache=False))
+                capabilities = engine.capabilities("dictcaps")
+            assert capabilities.batch
+            assert not capabilities.cache
+            assert capabilities.description == "legacy dict payload"
+            # The adapter is invisible past the probe: renders pass through.
+            spec = _spec("single_gaussian")
+            render = _render(engine, spec)
+            assert np.isfinite(render.image).all()
+        finally:
+            REGISTRY.unregister("dictcaps")
+
+    def test_legacy_dict_capabilities_with_unknown_keys_rejected(self):
+        class _TypoBackend(_EchoBackend):
+            name = "typocaps"
+
+            def capabilities(self):
+                return {"suports_batch": True}
+
+        register_backend("typocaps", _TypoBackend)
+        try:
+            engine = RenderEngine(EngineConfig(backend="typocaps", geom_cache=False))
+            with pytest.raises(ValueError, match="unknown keys"):
+                engine.capabilities("typocaps")
+        finally:
+            REGISTRY.unregister("typocaps")
 
 
 class TestDeprecatedShims:

@@ -86,7 +86,8 @@ class TestMatrixCoverage:
 
     def test_every_scenario_has_executed_cells(self):
         # Each scenario must actually execute on flat (all 8 cells), the tile
-        # reference (single render) and sharded (all cache-off cells).
+        # reference (single render) and sharded (all 8 cells — cache-on cells
+        # run against the worker-resident geometry caches).
         for name in matrix_library().names():
             executed = {
                 (cell.backend, cell.cache, cell.batch, cell.mapping)
@@ -95,7 +96,7 @@ class TestMatrixCoverage:
             }
             assert ("tile", "off", "single", "render") in executed
             assert sum(1 for key in executed if key[0] == "flat") == 8
-            assert sum(1 for key in executed if key[0] == "sharded") == 4
+            assert sum(1 for key in executed if key[0] == "sharded") == 8
 
     def test_no_unexplained_skips_anywhere(self):
         for cell in MATRIX.cells(tier="all"):
@@ -121,11 +122,18 @@ class TestSkipPlanning:
         assert "silently substitute" in reason
 
     def test_cache_cells_skip_on_cacheless_backends(self):
-        for backend in ("tile", "sharded"):
-            reason = MATRIX.plan_cell(
-                MatrixCell("single_gaussian", backend, "on", "single", "render")
-            )
-            assert reason is not None and reason.startswith("capability:no-cache-support")
+        # Only the tile reference lacks cache support now: the sharded
+        # backend composes with the geometry cache via worker-resident
+        # entries, so its cache-on cells execute instead of skipping.
+        reason = MATRIX.plan_cell(
+            MatrixCell("single_gaussian", "tile", "on", "single", "render")
+        )
+        assert reason is not None and reason.startswith("capability:no-cache-support")
+
+    def test_sharded_cache_cells_execute(self):
+        for batch in ("single", "multi"):
+            cell = MatrixCell("single_gaussian", "sharded", "on", batch, "render")
+            assert MATRIX.plan_cell(cell) is None, f"{cell.id} should execute"
 
     def test_underprovisioned_sharded_workers_skip_with_core_count(self):
         starved = ScenarioMatrix(shard_workers=1)
@@ -176,10 +184,32 @@ class TestFiltersAndReporting:
         )
         table = summary_table(results)
         assert "| scenario | backend | cache |" in table
+        assert "| plan_site |" in table
         assert table.count("| single_gaussian |") == len(results)
         counts = summarize(results)
         assert counts["unexplained_skips"] == 0
         assert counts["pass"] > 0 and counts["fail"] == 0
+
+    def test_summary_table_attributes_the_plan_site(self):
+        # Sharded multi-view cells plan inside the workers; flat cells plan
+        # in the parent — and the per-cell report says which.
+        results = MATRIX.run(
+            filters={
+                "scenario": {"single_gaussian"},
+                "backend": {"flat", "sharded"},
+                "batch": {"multi"},
+                "mapping": {"render"},
+            }
+        )
+        by_backend = {
+            (result.cell.backend, result.cell.cache): result for result in results
+        }
+        for cache in ("off", "on"):
+            assert by_backend[("sharded", cache)].plan_site == "worker"
+            assert by_backend[("flat", cache)].plan_site == "parent"
+            assert by_backend[("sharded", cache)].to_json()["attribution"]["plan_site"] == "worker"
+        table = summary_table(results)
+        assert "| worker |" in table and "| parent |" in table
 
     def test_cell_results_serialize(self):
         result = MATRIX.run_cell(

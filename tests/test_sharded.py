@@ -18,6 +18,8 @@ import pickle
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine import EngineConfig, RenderEngine, ShardWorkerError
 from repro.gaussians.batch import (
@@ -28,7 +30,7 @@ from repro.gaussians.batch import (
     rasterize_batch_views,
 )
 from repro.gaussians.fast_raster import allocate_flat_arena
-from repro.gaussians.geom_cache import GeometryCache
+from repro.gaussians.geom_cache import GeomCacheConfig, GeometryCache
 from repro.testing.scenarios import DEFAULT_LIBRARY
 
 N_WORKERS = 2
@@ -240,20 +242,38 @@ class TestShardedBackend:
         assert batch.sharding is None
         engine.release(batch)
 
-    def test_cache_carrying_requests_stay_serial(self):
+    def test_cache_carrying_requests_shard_with_worker_resident_entries(self):
+        """Cached batches shard: planning and cache entries live in the workers."""
         spec = _spec()
         args, kwargs = _batch_args(spec, n_views=2)
         engine = _sharded_engine()
-        batch = engine.render_batch(*args, **kwargs, cache=GeometryCache(), managed=False)
-        assert batch.sharding is None
+        # Exact configuration: every tier is bitwise against uncached (the
+        # default refinement drops zero-contribution pairs, a documented
+        # 1-ulp regrouping shared with the parent-resident cache).
+        cache = GeometryCache(
+            GeomCacheConfig(tolerance_px=0.0, refine_margin=0.0, termination_margin=0.0)
+        )
+        batch = engine.render_batch(*args, **kwargs, cache=cache, managed=False)
+        assert batch.sharding is not None
+        assert batch.sharding.plan_site == "worker"
+        assert [view.cache_status for view in batch.views] == ["miss", "miss"]
         uncached = rasterize_batch_views(*args, **kwargs)
         _assert_views_equal(batch.views, uncached.views)
+        # Parent-side stats mirror the worker-reported statuses, and the
+        # repeat window is served from the worker-resident entries.
+        assert cache.stats.misses == 2
+        repeat = engine.render_batch(*args, **kwargs, cache=cache, managed=False)
+        assert [view.cache_status for view in repeat.views] == ["hit", "hit"]
+        assert cache.stats.hits == 2
+        _assert_views_equal(repeat.views, uncached.views)
 
     def test_sharded_capabilities_are_honest(self):
         engine = _sharded_engine()
         capabilities = engine.capabilities("sharded")
-        assert capabilities.supports_batch
-        assert not capabilities.supports_cache
+        assert capabilities.batch
+        assert capabilities.cache
+        assert capabilities.distributed_planning
+        assert capabilities.worker_resident_cache
         assert not capabilities.reference
 
     def test_worker_side_eviction_raises_clean_error(self):
@@ -345,6 +365,262 @@ class TestShardedBackend:
             )
 
 
+class TestPlanExecuteSeam:
+    """The formalised RenderBackend plan/execute protocol methods."""
+
+    def _request(self, spec, n_views: int = 2):
+        from repro.engine.registry import BatchRenderRequest
+
+        poses = spec.view_poses(n_views)
+        return BatchRenderRequest(
+            cloud=spec.cloud,
+            cameras=[spec.camera] * n_views,
+            poses_cw=poses,
+            backgrounds=[spec.background] * n_views,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+
+    def test_flat_render_batch_is_plan_then_execute(self):
+        spec = _spec()
+        request = self._request(spec)
+        backend = _flat_engine().backend("flat")
+        direct = backend.render_batch(request)
+        composed = backend.execute_units(backend.plan_batch(request), request)
+        _assert_views_equal(composed.views, direct.views)
+
+    def test_sharded_serial_fallback_uses_the_same_seam(self):
+        spec = _spec()
+        request = self._request(spec)
+        backend = _sharded_engine(workers=0).backend("sharded")
+        plan = backend.plan_batch(request)
+        assert plan.total_fragments == sum(unit.n_fragments for unit in plan.units)
+        composed = backend.execute_units(plan, request)
+        direct = _flat_engine().backend("flat").render_batch(request)
+        _assert_views_equal(composed.views, direct.views)
+
+    def test_external_scheduler_can_reorder_units(self):
+        """plan_batch units stay self-contained under the protocol methods too."""
+        spec = _spec()
+        request = self._request(spec, n_views=3)
+        backend = _flat_engine().backend("flat")
+        plan = backend.plan_batch(request)
+        shuffled = RenderPlan(
+            units=list(reversed(plan.units)),
+            shared=plan.shared,
+            shared_seconds=plan.shared_seconds,
+            total_fragments=plan.total_fragments,
+        )
+        stitched = backend.execute_units(shuffled, request)
+        direct = backend.render_batch(request)
+        _assert_views_equal(stitched.views, direct.views)
+
+    def test_tile_backend_refuses_the_seam(self):
+        spec = _spec("single_gaussian")
+        request = self._request(spec)
+        backend = RenderEngine(EngineConfig(backend="tile", geom_cache=False)).backend(
+            "tile"
+        )
+        with pytest.raises(NotImplementedError, match="batched"):
+            backend.plan_batch(request)
+
+
+class TestWorkerResidentCache:
+    """Cross-process cache coherence: worker-resident entries never go stale."""
+
+    def _adversarial(self, name: str):
+        from repro.testing.scenarios import ADVERSARIAL_LIBRARY
+
+        return ADVERSARIAL_LIBRARY.get(name).build()
+
+    def _cached_sharded_engine(self) -> RenderEngine:
+        # Exact cache configuration: every served tier must be bitwise
+        # against an uncached render, so a stale worker entry cannot hide
+        # behind refinement's documented 1-ulp regrouping.
+        return RenderEngine(
+            EngineConfig(
+                backend="sharded",
+                geom_cache=True,
+                shard_workers=N_WORKERS,
+                cache_tolerance_px=0.0,
+                cache_refine_margin=0.0,
+                cache_termination_margin=0.0,
+            )
+        )
+
+    def _assert_matches_uncached(self, engine, cloud, spec, n_views: int = 3):
+        """Render a window cached+sharded and pin it bitwise to uncached flat.
+
+        Bitwise equality holds on miss rounds (entries rebuilt from the live
+        cloud), which is exactly what every mid-window mutation must produce;
+        serving a pre-mutation worker entry would diverge visibly.
+        """
+        poses = spec.view_poses(n_views)
+        kwargs = dict(
+            backgrounds=[spec.background] * n_views,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+        cached = engine.render_batch(cloud, [spec.camera] * n_views, poses, **kwargs)
+        uncached = rasterize_batch_views(cloud, [spec.camera] * n_views, poses, **kwargs)
+        _assert_views_equal(cached.views, uncached.views)
+        statuses = [view.cache_status for view in cached.views]
+        engine.release(cached)
+        return statuses
+
+    @pytest.mark.parametrize("scenario", ["densify_churn", "aggressive_motion"])
+    def test_densify_mid_window_invalidates_worker_entries(self, scenario):
+        spec = self._adversarial(scenario)
+        cloud = spec.cloud.copy()
+        engine = self._cached_sharded_engine()
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["hit"] * 3
+        from repro.gaussians import GaussianCloud
+
+        cloud.extend(
+            GaussianCloud.from_points(
+                np.array([[0.02, -0.05, 0.1], [-0.08, 0.04, 0.15]]),
+                np.array([[0.9, 0.2, 0.1], [0.1, 0.4, 0.8]]),
+                scale=0.1,
+                opacity=0.8,
+            )
+        )
+        # Densification mid-window: the structure epoch moved, so every
+        # worker-resident entry must re-key to a miss — never a stale serve.
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+
+    @pytest.mark.parametrize("scenario", ["densify_churn", "aggressive_motion"])
+    def test_prune_mid_window_invalidates_worker_entries(self, scenario):
+        spec = self._adversarial(scenario)
+        cloud = spec.cloud.copy()
+        engine = self._cached_sharded_engine()
+        self._assert_matches_uncached(engine, cloud, spec)
+        cloud.remove(np.array([0, len(cloud) - 1]))
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+
+    def test_notify_removed_mid_window_invalidates_worker_entries(self):
+        spec = self._adversarial("densify_churn")
+        cloud = spec.cloud.copy()
+        engine = self._cached_sharded_engine()
+        self._assert_matches_uncached(engine, cloud, spec)
+        cloud.mask(np.array([1, 3]))
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+        # remove_inactive compacts the masked rows away (the notify_removed
+        # path); the worker entries keyed on the old structure must miss.
+        cloud.remove_inactive()
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+
+    def test_invalidate_cache_broadcasts_to_worker_pools(self):
+        spec = _spec()
+        cloud = spec.cloud.copy()
+        engine = self._cached_sharded_engine()
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["hit"] * 3
+        engine.invalidate_cache()
+        # The broadcast dropped the worker-resident namespace: the next
+        # window rebuilds instead of hitting ghost entries.
+        assert self._assert_matches_uncached(engine, cloud, spec) == ["miss"] * 3
+
+    def test_worker_cache_matches_parent_cache_through_appearance_refresh(self):
+        """Worker-resident and parent-resident caches agree bitwise per tier."""
+        spec = _spec()
+        cloud = spec.cloud.copy()
+        sharded_engine = self._cached_sharded_engine()
+        flat_engine = RenderEngine(
+            EngineConfig(
+                backend="flat",
+                geom_cache=True,
+                cache_tolerance_px=0.0,
+                cache_refine_margin=0.0,
+                cache_termination_margin=0.0,
+            )
+        )
+        n_views = 3
+        poses = spec.view_poses(n_views)
+        kwargs = dict(
+            backgrounds=[spec.background] * n_views,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+
+        def round_trip(expected_status):
+            sharded = sharded_engine.render_batch(
+                cloud, [spec.camera] * n_views, poses, **kwargs
+            )
+            flat = flat_engine.render_batch(cloud, [spec.camera] * n_views, poses, **kwargs)
+            assert [v.cache_status for v in sharded.views] == [expected_status] * n_views
+            assert [v.cache_status for v in flat.views] == [expected_status] * n_views
+            _assert_views_equal(sharded.views, flat.views)
+            sharded_engine.release(sharded)
+            flat_engine.release(flat)
+
+        round_trip("miss")
+        round_trip("hit")
+        cloud.apply_parameter_step(d_colors=np.full((len(cloud), 3), 0.015))
+        round_trip("refresh")
+
+
+class TestPoseQuantisedKeys:
+    """Property: pose-quantised view keys bucket poses stably."""
+
+    def _key(self, translation, quantum):
+        from repro.gaussians.camera import Camera
+        from repro.gaussians.geom_cache import view_key
+        from repro.gaussians.se3 import SE3
+
+        camera = Camera.from_fov(16, 12, fov_x_degrees=60.0)
+        pose = SE3(np.eye(3), np.asarray(translation, dtype=np.float64))
+        return view_key(camera, pose, 16, 4, True, pose_quantum=quantum)
+
+    @given(
+        base=st.lists(
+            st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            min_size=3,
+            max_size=3,
+        ),
+        quantum=st.sampled_from([0.01, 0.05, 0.25, 1.0]),
+        jitter=st.floats(min_value=-1.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_in_bucket_nudges_preserve_the_key(self, base, quantum, jitter):
+        translation = np.asarray(base)
+        buckets = np.round(translation / quantum)
+        # Keep the sample safely inside its bucket so a sub-half-quantum
+        # nudge provably cannot cross a rounding boundary.
+        centred = (buckets + 0.2 * jitter) * quantum
+        nudge = 0.2 * jitter * quantum
+        assert self._key(centred, quantum) == self._key(centred + nudge, quantum)
+
+    @given(
+        base=st.lists(
+            st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            min_size=3,
+            max_size=3,
+        ),
+        quantum=st.sampled_from([0.01, 0.05, 0.25, 1.0]),
+        shift_buckets=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_cross_bucket_shifts_change_the_key(self, base, quantum, shift_buckets):
+        translation = (np.round(np.asarray(base) / quantum) + 0.1) * quantum
+        shifted = translation + shift_buckets * quantum
+        assert self._key(translation, quantum) != self._key(shifted, quantum)
+
+    @given(
+        base=st.lists(
+            st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            min_size=3,
+            max_size=3,
+        ),
+        nudge=st.floats(min_value=1e-12, max_value=1e-3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_zero_quantum_keys_are_exact(self, base, nudge):
+        translation = np.asarray(base)
+        assert self._key(translation, 0.0) == self._key(translation.copy(), 0.0)
+        assert self._key(translation, 0.0) != self._key(translation + nudge, 0.0)
+
+
 class TestShardedMapping:
     @pytest.fixture(scope="class")
     def sequence(self):
@@ -392,6 +668,10 @@ class TestShardedMapping:
             assert 0 <= snapshot.shard_worker_id < N_WORKERS
             assert snapshot.shard_seconds >= 0.0
             assert snapshot.shard_stitch_seconds >= 0.0
+            # Step 1-2 planning ran inside the workers, and the measured
+            # per-view plan time rides along on the snapshot.
+            assert snapshot.plan_site == "worker"
+            assert snapshot.shard_plan_seconds >= 0.0
 
     def test_mapping_config_threads_shard_workers_into_engine(self):
         from repro.slam import MappingConfig, StreamingMapper
