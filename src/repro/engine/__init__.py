@@ -42,8 +42,17 @@ from repro.engine.registry import (
 # Importing the built-in backends populates the registry as a side effect;
 # keep these imports before anything that resolves backend names.
 from repro.engine.backends import FlatBackend, TileBackend  # noqa: E402
+from repro.engine.faults import (  # noqa: E402
+    ENV_SHARD_FAULTS,
+    FaultPlan,
+    FaultSite,
+    active_fault_plan,
+    fault_plan,
+    set_fault_plan,
+)
 from repro.engine.sharded import (  # noqa: E402
     ShardedBackend,
+    ShardPoolLostError,
     ShardWorkerError,
     shutdown_shard_pools,
 )
@@ -60,19 +69,26 @@ __all__ = [
     "BackendRegistry",
     "BatchRenderRequest",
     "ENGINE_ENV_VARS",
+    "ENV_SHARD_FAULTS",
     "EngineConfig",
+    "FaultPlan",
+    "FaultSite",
     "FlatBackend",
     "REGISTRY",
     "RenderBackend",
     "RenderEngine",
     "RenderRequest",
+    "ShardPoolLostError",
     "ShardWorkerError",
     "ShardedBackend",
     "TileBackend",
+    "active_fault_plan",
     "backend_names",
     "default_engine",
+    "fault_plan",
     "geom_cache_enabled_from_env",
     "register_backend",
     "set_default_engine",
+    "set_fault_plan",
     "shutdown_shard_pools",
 ]

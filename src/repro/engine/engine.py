@@ -402,6 +402,10 @@ class RenderEngine:
         shard_stitch_seconds: float = 0.0,
         shard_plan_seconds: float = 0.0,
         plan_site: str = "parent",
+        fault_events: int = 0,
+        fault_retries: int = 0,
+        fault_quarantines: int = 0,
+        fault_escalated: bool = False,
     ) -> "WorkloadSnapshot":
         """Build the workload snapshot of a render and forward it to the sink."""
         from repro.slam.records import WorkloadSnapshot
@@ -426,6 +430,10 @@ class RenderEngine:
             shard_stitch_seconds=shard_stitch_seconds,
             shard_plan_seconds=shard_plan_seconds,
             plan_site=plan_site,
+            fault_events=fault_events,
+            fault_retries=fault_retries,
+            fault_quarantines=fault_quarantines,
+            fault_escalated=fault_escalated,
         )
         if self.config.profiling_sink is not None:
             self.config.profiling_sink(snap)

@@ -58,10 +58,39 @@ Execution model
   (:func:`~repro.gaussians.backward.preprocess_backward_batch`) reads.
 * **Degradation** — ``workers <= 1``, single-view batches and platforms
   whose spawn fails all fall back to the serial flat execution of the same
-  request (cache included, served by the parent-resident cache).  A worker
-  that dies or errors mid-batch raises :class:`ShardWorkerError` with the
-  worker's traceback — a clean error, never a hang — and the shared pool is
-  discarded so the next batch starts fresh.
+  request (cache included, served by the parent-resident cache).
+* **Fault tolerance** — a dispatched batch *always completes*.  Each
+  dispatch round waits ``shard_deadline_s + round * shard_backoff_s``
+  (:class:`~repro.engine.config.EngineConfig` /
+  ``REPRO_SHARD_DEADLINE_S``/``REPRO_SHARD_BACKOFF_S``) for replies; a
+  worker that dies, times out, or returns a structurally invalid
+  ("poisoned") reply is **quarantined** (killed, pipe closed) and its views
+  are **redispatched** to the surviving workers under a fresh token, with
+  dead slots respawned between rounds (each respawn bumps the slot's
+  *epoch*, which purges the parent's classification-mirror entries for that
+  worker so a rebuilt worker is never predicted to hold geometry it lost).
+  After ``shard_retry_limit`` redispatch rounds (``REPRO_SHARD_RETRIES``) —
+  or when no live worker remains — the unfinished views **escalate to
+  serial flat execution in the parent**, which runs the exact plan+raster
+  sequence a worker would have run, so the stitched batch is bitwise
+  identical to an all-healthy run (cached batches served through exact-tier
+  cache configs included; toleranced tiers degrade lost views to a rebuild,
+  which is *more* accurate, not less).  Every retry, quarantine, respawn
+  and escalation is recorded on
+  :attr:`~repro.gaussians.batch.ShardAttribution.fault_events` and flows
+  into :class:`~repro.slam.records.WorkloadSnapshot` ``fault_*`` fields.
+  A worker-*reported* error (an ``("error", traceback)`` reply from a
+  healthy worker) is not a fault: render errors re-raise from the parent's
+  serial re-execution of those views, and backward errors (e.g. a
+  legitimately superseded batch) raise :class:`ShardWorkerError` with the
+  worker traceback.  Deterministic fault injection for all of the above
+  lives in :mod:`repro.engine.faults` (``REPRO_SHARD_FAULTS``).
+* **Backward under faults** — a view whose owning worker was quarantined,
+  respawned (epoch mismatch) or had its retained batch superseded by an
+  in-batch redispatch recomputes its backward pass in the parent
+  (re-deriving the worker's exact tile caches from the cloud, which is
+  unchanged between forward and backward in every engine consumer), again
+  bitwise-identical to the worker result.
 
 Sharded per-view results carry no parent-side tile caches or per-tile lists
 (those are worker-resident); their backward pass must run through the
@@ -82,6 +111,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.engine.faults import active_fault_plan
 from repro.engine.registry import (
     BackendCapabilities,
     BatchRenderRequest,
@@ -152,6 +182,32 @@ _BACKWARD_PROJECTED_FIELDS = (
 
 class ShardWorkerError(RuntimeError):
     """A shard worker died, timed out, or reported an error mid-request."""
+
+
+class ShardPoolLostError(ShardWorkerError):
+    """Every worker slot is gone and could not be respawned.
+
+    Internal control flow: :meth:`ShardedBackend.render_batch` catches it
+    and completes the batch on the serial flat path, so callers never see
+    it for plain worker faults.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One observed worker failure during a :meth:`ShardedPool.gather`."""
+
+    kind: str  # "died" | "timeout" | "send-failed" | "error"
+    worker_id: int
+    detail: str
+
+
+class _WorkerGone(Exception):
+    """Internal: transport-level loss of one worker (died / timeout / EOF)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
 
 
 # -- shared-memory packing ----------------------------------------------------
@@ -479,11 +535,50 @@ def _worker_render_batch(ctx: _WorkerContext, token: int, shm, batch: dict) -> d
     }
 
 
+def _apply_worker_faults(faults) -> tuple[list, "str | None"]:
+    """Blindly execute fault payloads shipped by the parent (test-only).
+
+    Returns ``(fired slow/hang site keys, poison site key or None)``.
+    ``crash`` never returns; an un-delayed ``hang`` sleeps until the
+    parent's deadline quarantines (and kills) this worker.  ``wedge`` makes
+    the process ignore ``SIGTERM`` first, so only ``kill()`` can stop it —
+    that is what exercises the terminate->kill escalation paths.
+    """
+    if not faults:
+        return [], None
+    import signal
+
+    slow_keys: list = []
+    poison_key: str | None = None
+    for site in faults:
+        if site.get("wedge"):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        kind = site["kind"]
+        if kind == "crash":
+            os._exit(23)
+        elif kind == "hang":
+            time.sleep(site.get("delay") or 3600.0)
+            slow_keys.append(site["key"])
+        elif kind == "slow":
+            time.sleep(site.get("delay") or 0.05)
+            slow_keys.append(site["key"])
+        elif kind == "poison" and poison_key is None:
+            poison_key = site["key"]
+    return slow_keys, poison_key
+
+
 def _worker_handle_render(ctx: _WorkerContext, payload) -> tuple:
     token, shm_name, batch = payload
+    # Faults fire before the block is attached so a crashing/hanging worker
+    # never holds a mapping the parent's unlink would have to wait out.
+    slow_keys, poison_key = _apply_worker_faults(batch.get("faults"))
+    if poison_key is not None:
+        return ("ok", {"poisoned": True, "fault_sites": slow_keys + [poison_key]})
     shm = _attach_shm(shm_name)
     try:
         reply = _worker_render_batch(ctx, token, shm, batch)
+        if slow_keys:
+            reply["fault_sites"] = slow_keys
     finally:
         # Everything the render keeps from the block is gathered or copied
         # (projection gathers candidate rows, outputs are copied in), so the
@@ -500,22 +595,28 @@ def _worker_handle_render(ctx: _WorkerContext, payload) -> tuple:
 def _worker_handle_backward(ctx: _WorkerContext, payload) -> tuple:
     from repro.gaussians.fast_raster import rasterize_backward_flat
 
-    token, shm_name, items = payload
-    entry = ctx.batches.get(token)
-    if entry is None:
-        raise RuntimeError(
-            f"batch {token} is no longer resident in this worker (superseded by "
-            "newer batches); run the backward pass before rendering further batches"
-        )
-    results = entry["results"]
+    shm_name, items, faults = payload
+    slow_keys, poison_key = _apply_worker_faults(faults)
+    if poison_key is not None:
+        return ("ok", {"poisoned": True, "fault_sites": slow_keys + [poison_key]})
     shm = _attach_shm(shm_name)
     try:
         replies = []
-        for view_index, image_spec, depth_spec, projected_specs in items:
+        # Items carry per-view tokens: after an in-batch redispatch one
+        # worker can hold views of the same logical batch under several
+        # tokens.
+        for token, view_index, image_spec, depth_spec, projected_specs in items:
+            entry = ctx.batches.get(token)
+            if entry is None:
+                raise RuntimeError(
+                    f"batch {token} is no longer resident in this worker "
+                    "(superseded by newer batches); run the backward pass "
+                    "before rendering further batches"
+                )
             start = time.perf_counter()
             dL_dimage = _shm_view(shm, image_spec)
             dL_ddepth = None if depth_spec is None else _shm_view(shm, depth_spec)
-            result = results[view_index]
+            result = entry["results"][view_index]
             screen = rasterize_backward_flat(result, dL_dimage, dL_ddepth)
             # The parent's stitched views carry only the visible-row indices;
             # fill its reservations with the heavy projection intermediates
@@ -540,7 +641,7 @@ def _worker_handle_backward(ctx: _WorkerContext, payload) -> tuple:
                 )
             )
             del dL_dimage, dL_ddepth
-        return ("ok", replies)
+        return ("ok", {"views": replies, "fault_sites": slow_keys})
     finally:
         try:
             shm.close()
@@ -634,10 +735,23 @@ class _Worker:
     process: object
     conn: object
     worker_id: int
+    # Bumped on every respawn of this slot.  A handle/mirror entry recorded
+    # against an older epoch refers to state the rebuilt worker no longer
+    # holds.
+    epoch: int = 0
+    quarantined: bool = False
 
 
 class ShardedPool:
-    """Persistent pool of spawn-started shard workers with pipe transports."""
+    """Persistent pool of spawn-started shard workers with pipe transports.
+
+    Worker failures no longer condemn the pool: a dead/hung worker is
+    *quarantined* (killed, pipe closed, slot marked) and
+    :meth:`ensure_workers` respawns quarantined slots — deterministically,
+    same ``worker_id`` and ``seed_base`` — bumping the slot's epoch.  The
+    pool is ``broken`` only once closed or when every slot is quarantined
+    and respawn failed.
+    """
 
     def __init__(
         self,
@@ -647,97 +761,230 @@ class ShardedPool:
     ):
         import multiprocessing
 
-        context = multiprocessing.get_context("spawn")
+        self._context = multiprocessing.get_context("spawn")
         self.n_workers = int(n_workers)
         self.seed_base = seed_base
-        self._broken = False
+        self._start_timeout = start_timeout
+        self._closed = False
         self._workers: list[_Worker] = []
         try:
             with _single_threaded_blas_for_children():
                 for worker_id in range(self.n_workers):
-                    parent_conn, child_conn = context.Pipe()
-                    process = context.Process(
-                        target=_worker_main,
-                        args=(child_conn, worker_id, seed_base),
-                        name=f"repro-shard-{worker_id}",
-                        daemon=True,
-                    )
-                    process.start()
-                    child_conn.close()
-                    self._workers.append(_Worker(process, parent_conn, worker_id))
+                    self._workers.append(self._spawn(worker_id))
             for worker in self._workers:
-                reply = self._receive(worker, timeout=start_timeout)
-                if reply != ("ready", worker.worker_id):
-                    raise ShardWorkerError(
-                        f"shard worker {worker.worker_id} sent unexpected handshake "
-                        f"{reply!r}"
-                    )
+                self._handshake(worker)
         except BaseException:
             self.close()
             raise
 
+    def _spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, self.seed_base),
+            name=f"repro-shard-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn, worker_id)
+
+    def _handshake(self, worker: _Worker) -> None:
+        reply = self._receive(worker, timeout=self._start_timeout)
+        if reply != ("ready", worker.worker_id):
+            raise ShardWorkerError(
+                f"shard worker {worker.worker_id} sent unexpected handshake "
+                f"{reply!r}"
+            )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     @property
     def broken(self) -> bool:
-        """True once any worker died/timed out; the pool must be replaced."""
-        return self._broken
+        """True when the pool cannot serve requests and must be replaced."""
+        return self._closed or not self.live_worker_ids()
 
-    def request_all(self, messages: dict[int, tuple]) -> dict[int, tuple]:
-        """Send one message per worker id, then gather every reply.
+    def live_worker_ids(self) -> list[int]:
+        """Ids of workers currently able to take requests."""
+        return [
+            worker.worker_id
+            for worker in self._workers
+            if not worker.quarantined and worker.process.is_alive()
+        ]
+
+    def worker_epoch(self, worker_id: int) -> int:
+        return self._workers[worker_id].epoch
+
+    def worker_usable(self, worker_id: int, epoch: int) -> bool:
+        """Can worker ``worker_id`` still serve state recorded at ``epoch``?"""
+        if self._closed or worker_id >= len(self._workers):
+            return False
+        worker = self._workers[worker_id]
+        return (
+            not worker.quarantined
+            and worker.epoch == epoch
+            and worker.process.is_alive()
+        )
+
+    def quarantine(self, worker_id: int) -> None:
+        """Take a worker out of service: kill it and close its pipe.
+
+        Escalates ``terminate()`` -> ``kill()`` so a SIGTERM-ignoring hung
+        worker cannot leak; idempotent.  The slot stays in the pool for
+        :meth:`ensure_workers` to respawn.
+        """
+        worker = self._workers[worker_id]
+        if worker.quarantined:
+            return
+        worker.quarantined = True
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def ensure_workers(self) -> list[int]:
+        """Health-check every slot and respawn the quarantined/dead ones.
+
+        Returns the ids respawned (their epochs are bumped).  A slot whose
+        respawn fails stays quarantined; callers work around it via
+        :meth:`live_worker_ids` and the pool reads ``broken`` once no slot
+        is live.
+        """
+        if self._closed:
+            raise ShardWorkerError("shard pool is closed")
+        for worker in self._workers:
+            if not worker.quarantined and not worker.process.is_alive():
+                self.quarantine(worker.worker_id)
+        respawned: list[int] = []
+        for index, worker in enumerate(self._workers):
+            if not worker.quarantined:
+                continue
+            try:
+                with _single_threaded_blas_for_children():
+                    fresh = self._spawn(worker.worker_id)
+            except Exception:
+                continue
+            try:
+                self._handshake(fresh)
+            except Exception:
+                if fresh.process.is_alive():
+                    fresh.process.kill()
+                    fresh.process.join(timeout=5.0)
+                try:
+                    fresh.conn.close()
+                except OSError:
+                    pass
+                continue
+            fresh.epoch = worker.epoch + 1
+            self._workers[index] = fresh
+            respawned.append(worker.worker_id)
+        return respawned
+
+    def gather(
+        self, messages: dict[int, tuple], timeout: float = _REQUEST_TIMEOUT_S
+    ) -> tuple[dict[int, object], list[WorkerFault]]:
+        """Send one message per worker id, then drain replies without raising.
 
         All sends complete before the first receive so the shards execute
-        concurrently.  A dead, hung or erroring worker raises
-        :class:`ShardWorkerError`; pool-level failures (death/timeout) mark
-        the pool broken, worker-reported errors leave it usable — every
-        healthy worker's reply is drained first so the pipes stay in sync
-        for the next request.
+        concurrently; ``timeout`` is one absolute deadline for the whole
+        drain.  Transport failures (send failure, death, timeout, EOF)
+        quarantine the worker and come back as :class:`WorkerFault` records;
+        an ``("error", traceback)`` reply comes back as a kind-``"error"``
+        fault but leaves the worker in service — the worker is healthy, the
+        request was bad.  Successful payloads land in the first mapping.
         """
+        faults: list[WorkerFault] = []
+        sent: list[int] = []
         for worker_id, message in messages.items():
             worker = self._workers[worker_id]
+            if worker.quarantined:
+                faults.append(
+                    WorkerFault("send-failed", worker_id, "worker is quarantined")
+                )
+                continue
             try:
                 worker.conn.send(message)
+                sent.append(worker_id)
             except (BrokenPipeError, OSError) as error:
-                self._broken = True
-                raise ShardWorkerError(
-                    f"shard worker {worker_id} is gone (send failed: {error})"
-                ) from None
-        replies: dict[int, tuple] = {}
-        first_error: ShardWorkerError | None = None
-        for worker_id in messages:
+                self.quarantine(worker_id)
+                faults.append(
+                    WorkerFault(
+                        "send-failed",
+                        worker_id,
+                        f"shard worker {worker_id} is gone (send failed: {error})",
+                    )
+                )
+        replies: dict[int, object] = {}
+        deadline = time.monotonic() + timeout
+        for worker_id in sent:
+            worker = self._workers[worker_id]
             try:
-                replies[worker_id] = self._receive(self._workers[worker_id])
-            except ShardWorkerError as error:
-                if self._broken:
-                    # Death/timeout desynchronises the pipes regardless; the
-                    # pool is done for, so stop draining.
-                    raise
-                if first_error is None:
-                    first_error = error
-        if first_error is not None:
-            raise first_error
+                reply = self._receive_until(worker, deadline)
+            except _WorkerGone as error:
+                self.quarantine(worker_id)
+                faults.append(WorkerFault(error.kind, worker_id, str(error)))
+                continue
+            if reply and reply[0] == "error":
+                faults.append(WorkerFault("error", worker_id, reply[1]))
+            else:
+                replies[worker_id] = reply[1] if reply else None
+        return replies, faults
+
+    def request_all(
+        self, messages: dict[int, tuple], timeout: float = _REQUEST_TIMEOUT_S
+    ) -> dict[int, object]:
+        """Raising wrapper over :meth:`gather` (invalidation/ping paths).
+
+        Any fault raises :class:`ShardWorkerError` after every healthy
+        reply has been drained (the pipes stay in sync); transport-level
+        losses have already quarantined the worker by then.
+        """
+        replies, faults = self.gather(messages, timeout=timeout)
+        if faults:
+            fault = faults[0]
+            if fault.kind == "error":
+                raise ShardWorkerError(
+                    f"shard worker {fault.worker_id} failed:\n{fault.detail}"
+                )
+            raise ShardWorkerError(fault.detail)
         return replies
 
-    def _receive(self, worker: _Worker, timeout: float = _REQUEST_TIMEOUT_S) -> tuple:
-        deadline = time.monotonic() + timeout
+    def _receive_until(self, worker: _Worker, deadline: float):
         while not worker.conn.poll(0.02):
             if not worker.process.is_alive():
-                self._broken = True
-                raise ShardWorkerError(
+                raise _WorkerGone(
+                    "died",
                     f"shard worker {worker.worker_id} died before replying "
-                    f"(exit code {worker.process.exitcode})"
+                    f"(exit code {worker.process.exitcode})",
                 )
             if time.monotonic() > deadline:
-                self._broken = True
-                raise ShardWorkerError(
-                    f"shard worker {worker.worker_id} did not reply within "
-                    f"{timeout:.0f}s"
+                raise _WorkerGone(
+                    "timeout",
+                    f"shard worker {worker.worker_id} did not reply before "
+                    "the dispatch deadline",
                 )
         try:
-            reply = worker.conn.recv()
+            return worker.conn.recv()
         except (EOFError, OSError) as error:
-            self._broken = True
-            raise ShardWorkerError(
-                f"shard worker {worker.worker_id} hung up mid-reply: {error}"
+            raise _WorkerGone(
+                "died",
+                f"shard worker {worker.worker_id} hung up mid-reply: {error}",
             ) from None
+
+    def _receive(self, worker: _Worker, timeout: float = _REQUEST_TIMEOUT_S) -> tuple:
+        try:
+            reply = self._receive_until(worker, time.monotonic() + timeout)
+        except _WorkerGone as error:
+            raise ShardWorkerError(str(error)) from None
         if reply and reply[0] == "error":
             raise ShardWorkerError(
                 f"shard worker {worker.worker_id} failed:\n{reply[1]}"
@@ -745,20 +992,31 @@ class ShardedPool:
         return reply
 
     def close(self) -> None:
-        """Shut every worker down; terminate any that do not exit promptly."""
+        """Shut every worker down; escalate terminate() -> kill() on stragglers."""
         for worker in self._workers:
+            if worker.quarantined:
+                continue
             try:
                 worker.conn.send(("shutdown",))
             except (BrokenPipeError, OSError):
                 pass
         for worker in self._workers:
-            worker.process.join(timeout=2.0)
-            if worker.process.is_alive():
-                worker.process.terminate()
+            if not worker.quarantined:
                 worker.process.join(timeout=2.0)
-            worker.conn.close()
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    # A wedged (SIGTERM-ignoring) worker must not outlive the
+                    # pool: SIGKILL cannot be ignored.
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
         self._workers.clear()
-        self._broken = True
+        self._closed = True
 
 
 # Pools are shared process-wide per (worker count, seed): spawn + numpy import
@@ -801,17 +1059,103 @@ atexit.register(shutdown_shard_pools)
 # -- the backend ---------------------------------------------------------------
 @dataclass
 class _ShardHandle:
-    """Links a parent-side view result to the worker holding its tile caches."""
+    """Links a parent-side view result to the worker holding its tile caches.
+
+    ``epoch`` pins the worker incarnation that rendered the view; ``lost``
+    marks a handle whose retained batch was superseded worker-side by an
+    in-batch redispatch.  Backward treats an unusable handle (lost, stale
+    epoch, quarantined/dead worker, closed pool) as a fault and recomputes
+    the view's backward pass in the parent instead of asking the worker.
+    """
 
     pool: ShardedPool
     token: int
     worker_id: int
     view_index: int
+    epoch: int = 0
+    active_only: bool = True
+    lost: bool = False
+
+    def usable(self) -> bool:
+        return not self.lost and self.pool.worker_usable(self.worker_id, self.epoch)
 
 
 def default_shard_workers() -> int:
     """The cpu-count-aware worker default used when ``shard_workers`` is unset."""
     return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+
+
+def _assign_round_robin(
+    worker_ids: Sequence[int], view_ids: Sequence[int]
+) -> dict[int, list[int]]:
+    """Deal ``view_ids`` round-robin over ``worker_ids`` (at most one worker
+    per view); preserves the historical ``index % n_active`` assignment when
+    every worker is live."""
+    active = list(worker_ids)[: max(1, min(len(worker_ids), len(view_ids)))]
+    assignment: dict[int, list[int]] = {}
+    for slot, view_id in enumerate(view_ids):
+        assignment.setdefault(active[slot % len(active)], []).append(view_id)
+    return assignment
+
+
+_RENDER_REPLY_VIEW_FIELDS = (
+    "indices",
+    "n_pairs",
+    "plan_seconds",
+    "raster_seconds",
+    "cache_status",
+    "meta",
+)
+
+
+def _validate_render_reply(payload, expected_views: Sequence[int]) -> "str | None":
+    """Structural check of one worker render reply; a reason string if bad.
+
+    A reply that fails this check is *poisoned*: the parent cannot trust
+    anything about the worker's state, so the caller quarantines it and
+    recovers the views elsewhere.
+    """
+    if not isinstance(payload, dict):
+        return f"reply payload is {type(payload).__name__}, not a mapping"
+    if payload.get("poisoned"):
+        return "worker returned a poisoned reply"
+    if payload.get("desync"):
+        return None
+    views = payload.get("views")
+    if not isinstance(views, list):
+        return "reply carries no view list"
+    if not isinstance(payload.get("evicted"), list):
+        return "reply carries no eviction list"
+    got: list[int] = []
+    for view in views:
+        if not isinstance(view, dict) or "index" not in view:
+            return "malformed per-view reply"
+        got.append(view["index"])
+        for field_name in _RENDER_REPLY_VIEW_FIELDS:
+            if field_name not in view:
+                return f"per-view reply missing {field_name!r}"
+    if sorted(got) != sorted(expected_views):
+        return f"reply covers views {sorted(got)}, expected {sorted(expected_views)}"
+    return None
+
+
+def _validate_backward_reply(payload, expected_views: Sequence[int]) -> "str | None":
+    """Structural check of one worker backward reply; a reason string if bad."""
+    if not isinstance(payload, dict):
+        return f"reply payload is {type(payload).__name__}, not a mapping"
+    if payload.get("poisoned"):
+        return "worker returned a poisoned reply"
+    views = payload.get("views")
+    if not isinstance(views, list):
+        return "reply carries no view list"
+    got: list[int] = []
+    for item in views:
+        if not isinstance(item, tuple) or len(item) != 10:
+            return "malformed per-view gradient reply"
+        got.append(item[0])
+    if sorted(got) != sorted(expected_views):
+        return f"reply covers views {sorted(got)}, expected {sorted(expected_views)}"
+    return None
 
 
 class ShardedBackend:
@@ -837,6 +1181,15 @@ class ShardedBackend:
         # the same classify_reuse the workers run.
         self._mirror: dict[tuple[int, tuple], "EntryMeta"] = {}
         self._mirror_pool: ShardedPool | None = None
+        # Worker epochs the mirror entries were recorded against; an epoch
+        # change (respawn) purges that worker's entries so a rebuilt worker
+        # is never predicted to hold geometry it lost.
+        self._mirror_epochs: dict[int, int] = {}
+        # Fault-injection bookkeeping (no-ops unless a FaultPlan is active):
+        # dispatch-operation counter and the once-sites already consumed.
+        self._fault_op_counter = 0
+        self._fault_fired: set = set()
+        self._fault_plan_seen = None
 
     # -- capabilities / sizing ----------------------------------------------
     def capabilities(self) -> BackendCapabilities:
@@ -951,29 +1304,77 @@ class ShardedBackend:
             return self.execute_units(self.plan_batch(request), request)
         try:
             return self._render_batch_sharded(request, pool)
-        except ShardWorkerError:
-            # Only a pool-level failure (worker death/timeout) requires a
-            # respawn; a worker-*reported* error leaves the pool — and every
-            # other batch's worker-resident state — intact.
+        except ShardPoolLostError:
+            # Completion guarantee, last line of defence: every worker slot
+            # is gone and respawn failed, so finish the batch on the serial
+            # flat path.  The next batch starts a fresh pool.
             if pool.broken:
                 _discard_pool(pool)
-            raise
+            return self.execute_units(self.plan_batch(request), request)
+
+    def _next_fault_op(self):
+        """The active fault plan (if any) and this dispatch's operation index.
+
+        A plan swap (tests installing a new schedule) resets the operation
+        counter and the consumed once-sites so site coordinates stay
+        predictable.
+        """
+        plan = active_fault_plan()
+        if plan is not self._fault_plan_seen:
+            self._fault_plan_seen = plan
+            self._fault_fired = set()
+            self._fault_op_counter = 0
+        op_index = self._fault_op_counter
+        self._fault_op_counter += 1
+        return plan, op_index
+
+    def _disarm_fault_sites(self, plan, fault_sites: dict[int, list[dict]]) -> None:
+        if plan is None:
+            return
+        sticky = plan.sticky_keys()
+        for sites in fault_sites.values():
+            for site in sites:
+                if site["key"] not in sticky:
+                    self._fault_fired.add(site["key"])
+
+    def _sync_mirror_epochs(self, pool: ShardedPool) -> None:
+        """Purge mirror entries of workers whose epoch moved (respawned)."""
+        for worker_id in range(pool.n_workers):
+            epoch = pool.worker_epoch(worker_id)
+            if self._mirror_epochs.get(worker_id) != epoch:
+                self._mirror = {
+                    key: meta
+                    for key, meta in self._mirror.items()
+                    if key[0] != worker_id
+                }
+                self._mirror_epochs[worker_id] = epoch
 
     def _render_batch_sharded(
         self, request: BatchRenderRequest, pool: ShardedPool
     ) -> BatchRenderResult:
-        """Worker-planned execution: predict misses, dispatch, stitch."""
+        """Worker-planned execution: heal the pool, predict misses, dispatch."""
         cache = request.cache
         cloud = request.cloud
         n_views = len(request.cameras)
-        n_active = min(pool.n_workers, n_views)
+        fault_log: list[dict] = []
+        for worker_id in pool.ensure_workers():
+            fault_log.append(
+                {"event": "respawn", "worker": worker_id, "phase": "render"}
+            )
+        live = pool.live_worker_ids()
+        if not live:
+            raise ShardPoolLostError(
+                "no live shard worker remains and respawn failed"
+            )
         keys: list[tuple] | None = None
         if cache is not None:
             if pool is not self._mirror_pool:
                 # A fresh pool means fresh (empty) worker caches; predictions
                 # from the previous pool's entries would desync immediately.
                 self._mirror = {}
+                self._mirror_epochs = {}
                 self._mirror_pool = pool
+            self._sync_mirror_epochs(pool)
             keys = [
                 view_key(
                     camera,
@@ -985,10 +1386,16 @@ class ShardedBackend:
                 )
                 for camera, pose_cw in zip(request.cameras, request.poses_cw)
             ]
+            predicted = _assign_round_robin(live, list(range(n_views)))
+            worker_of = {
+                view: worker_id
+                for worker_id, views in predicted.items()
+                for view in views
+            }
             need_shared = any(
                 classify_reuse(
                     cache.config,
-                    self._mirror.get((index % n_active, key)),
+                    self._mirror.get((worker_of[index], key)),
                     cloud,
                     pose_cw,
                 )
@@ -1006,7 +1413,9 @@ class ShardedBackend:
             shared_seconds = time.perf_counter() - start
 
         for _attempt in range(2):
-            batch = self._dispatch_sharded(request, pool, shared, shared_seconds, keys)
+            batch = self._dispatch_sharded(
+                request, pool, shared, shared_seconds, keys, fault_log
+            )
             if batch is not None:
                 return batch
             # Worker cache state diverged from the prediction mirror (view
@@ -1023,6 +1432,46 @@ class ShardedBackend:
             "payload; this is a bug in the sharded backend"
         )
 
+    def _render_view_serial(self, request, meta: dict, shared: SharedGaussianData):
+        """Escalated serial execution of one lost view.
+
+        Runs exactly the worker's uncached plan+raster sequence
+        (project -> tile -> fragments -> ``rasterize_flat_into``) against a
+        private arena, so the escalated result is bitwise-identical to what
+        a healthy worker would have stitched in.
+        """
+        from repro.gaussians.fast_raster import (
+            allocate_flat_arena,
+            build_flat_fragments,
+            rasterize_flat_into,
+        )
+        from repro.gaussians.projection import project_gaussians
+        from repro.gaussians.sorting import build_tile_lists
+
+        start = time.perf_counter()
+        projected = project_gaussians(
+            None,
+            meta["camera"],
+            meta["pose_cw"],
+            active_only=request.active_only,
+            shared=shared,
+        )
+        grid = TileGrid(
+            meta["camera"].width,
+            meta["camera"].height,
+            meta["tile_size"],
+            meta["subtile_size"],
+        )
+        intersections = build_tile_lists(projected, grid)
+        fragments = build_flat_fragments(intersections)
+        plan_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        arena = allocate_flat_arena(fragments.n_fragments)
+        result = rasterize_flat_into(
+            projected, intersections, fragments, meta["background"], arena, 0
+        )
+        return result, plan_seconds, time.perf_counter() - start
+
     def _dispatch_sharded(
         self,
         request: BatchRenderRequest,
@@ -1030,8 +1479,16 @@ class ShardedBackend:
         shared: SharedGaussianData | None,
         shared_seconds: float,
         keys: "list[tuple] | None",
+        fault_log: list[dict],
     ) -> BatchRenderResult | None:
-        """One dispatch attempt; ``None`` signals a worker-cache desync."""
+        """One self-healing dispatch attempt; ``None`` signals a cache desync.
+
+        Round 0 fans the views out over the live workers; views lost to a
+        quarantined worker are redispatched (fresh token, grown deadline)
+        for up to ``shard_retry_limit`` rounds with dead slots respawned in
+        between, then escalate to serial parent execution.  The stitched
+        result is total: every view completes on some path.
+        """
         from repro.gaussians.rasterizer import RenderResult
 
         cache = request.cache
@@ -1039,9 +1496,10 @@ class ShardedBackend:
         poses_cw = list(request.poses_cw)
         n_views = len(cameras)
         backgrounds = _normalise_backgrounds(request.backgrounds, n_views)
-        token = next(_TOKENS)
-        n_active = min(pool.n_workers, n_views)
-        worker_of = {index: index % n_active for index in range(n_views)}
+        retry_limit = self.config.shard_retry_limit
+        deadline_s = self.config.shard_deadline_s
+        backoff_s = self.config.shard_backoff_s
+        plan, op_index = self._next_fault_op()
 
         dispatch_start = time.perf_counter()
         layout = _ShmLayout()
@@ -1090,66 +1548,231 @@ class ShardedBackend:
                 }
             )
         shm = layout.create()
+        plan_seconds = [0.0] * n_views
+        raster_seconds = [0.0] * n_views
+        statuses = ["uncached"] * n_views
+        indices_by_view: dict[int, np.ndarray] = {}
+        n_pairs_by_view: dict[int, int] = {}
+        local_results: dict[int, "RenderResult"] = {}  # escalated views
+        handle_info: dict[int, tuple[int, int, int]] = {}  # view -> (worker, token, epoch)
+        rendered_tokens: dict[int, list[int]] = {}  # worker -> tokens it rendered
+        worker_seconds: dict[int, float] = {}
+        to_escalate: set[int] = set()
+        retries = 0
+        shard_wall = 0.0
+        desync = False
         try:
-            messages = {
-                worker_id: (
-                    "render",
-                    (
-                        token,
-                        shm.name,
-                        {
-                            "namespace": namespace,
-                            "cache_config": cache_config,
-                            "cloud_meta": cloud_meta,
-                            "shared": shared_specs,
-                            "appearance": appearance_specs,
-                            "active_only": request.active_only,
-                            "views": [
-                                view_metas[i]
-                                for i in range(n_views)
-                                if worker_of[i] == worker_id
-                            ],
-                        },
-                    ),
-                )
-                for worker_id in range(n_active)
-            }
+            live = pool.live_worker_ids()
+            pending = _assign_round_robin(live, list(range(n_views)))
+            n_active = len(pending)
+            for worker_id in pending:
+                worker_seconds.setdefault(worker_id, 0.0)
             dispatch_seconds = time.perf_counter() - dispatch_start
+            round_index = 0
+            while pending:
+                # A fresh token per round: a worker surviving round 0 must
+                # not have a redispatched round-1 payload collide with the
+                # batch entry it already retains under the old token.
+                token = next(_TOKENS)
+                fault_sites = (
+                    {}
+                    if plan is None
+                    else plan.sites_for(
+                        op_index=op_index,
+                        phase="render",
+                        assignment=pending,
+                        fired=self._fault_fired,
+                    )
+                )
+                messages = {
+                    worker_id: (
+                        "render",
+                        (
+                            token,
+                            shm.name,
+                            {
+                                "namespace": namespace,
+                                "cache_config": cache_config,
+                                "cloud_meta": cloud_meta,
+                                "shared": shared_specs,
+                                "appearance": appearance_specs,
+                                "active_only": request.active_only,
+                                "views": [view_metas[i] for i in view_ids],
+                                "faults": fault_sites.get(worker_id),
+                            },
+                        ),
+                    )
+                    for worker_id, view_ids in pending.items()
+                }
+                shard_start = time.perf_counter()
+                replies, faults = pool.gather(
+                    messages, timeout=deadline_s + round_index * backoff_s
+                )
+                shard_wall += time.perf_counter() - shard_start
+                self._disarm_fault_sites(plan, fault_sites)
 
-            shard_start = time.perf_counter()
-            replies = pool.request_all(messages)
-            shard_wall = time.perf_counter() - shard_start
+                lost: list[int] = []
+                for fault in faults:
+                    fault_views = pending[fault.worker_id]
+                    if fault.kind == "error":
+                        # Healthy worker, failed render: escalate so a
+                        # deterministic render bug re-raises with a clean
+                        # parent-side traceback instead of burning retries.
+                        fault_log.append(
+                            {
+                                "event": "worker-error",
+                                "worker": fault.worker_id,
+                                "phase": "render",
+                                "views": list(fault_views),
+                                "detail": fault.detail,
+                            }
+                        )
+                        to_escalate.update(fault_views)
+                    else:
+                        fault_log.append(
+                            {
+                                "event": fault.kind,
+                                "worker": fault.worker_id,
+                                "phase": "render",
+                                "views": list(fault_views),
+                                "detail": fault.detail,
+                            }
+                        )
+                        lost.extend(fault_views)
+                for worker_id, payload in replies.items():
+                    reply_views = pending[worker_id]
+                    problem = _validate_render_reply(payload, reply_views)
+                    if problem is not None:
+                        # Poisoned/malformed reply: the worker's state can't
+                        # be trusted — quarantine it and recover the views.
+                        pool.quarantine(worker_id)
+                        fault_log.append(
+                            {
+                                "event": "poisoned",
+                                "worker": worker_id,
+                                "phase": "render",
+                                "views": list(reply_views),
+                                "detail": problem,
+                            }
+                        )
+                        lost.extend(reply_views)
+                        continue
+                    if payload.get("fault_sites"):
+                        fault_log.append(
+                            {
+                                "event": "slow",
+                                "worker": worker_id,
+                                "phase": "render",
+                                "views": list(reply_views),
+                                "detail": ",".join(map(str, payload["fault_sites"])),
+                            }
+                        )
+                    if payload.get("desync"):
+                        desync = True
+                        continue
+                    epoch = pool.worker_epoch(worker_id)
+                    rendered_tokens.setdefault(worker_id, []).append(token)
+                    for view in payload["views"]:
+                        index = view["index"]
+                        plan_seconds[index] = view["plan_seconds"]
+                        raster_seconds[index] = view["raster_seconds"]
+                        statuses[index] = view["cache_status"]
+                        indices_by_view[index] = np.asarray(view["indices"])
+                        n_pairs_by_view[index] = view["n_pairs"]
+                        worker_seconds[worker_id] = (
+                            worker_seconds.get(worker_id, 0.0)
+                            + view["plan_seconds"]
+                            + view["raster_seconds"]
+                        )
+                        handle_info[index] = (worker_id, token, epoch)
+                        if cache is not None:
+                            self._mirror[(worker_id, keys[index])] = view["meta"]
+                    if cache is not None:
+                        for key in payload["evicted"]:
+                            self._mirror.pop((worker_id, key), None)
+                        cache.stats.evictions += len(payload["evicted"])
+                        cache.stats.truncation_fallbacks += payload[
+                            "truncation_fallbacks"
+                        ]
+                if desync:
+                    return None
+                if not lost:
+                    break
+                if round_index >= retry_limit:
+                    to_escalate.update(lost)
+                    break
+                for worker_id in pool.ensure_workers():
+                    fault_log.append(
+                        {"event": "respawn", "worker": worker_id, "phase": "render"}
+                    )
+                if cache is not None:
+                    # Epoch re-broadcast: a respawned worker holds nothing —
+                    # purge its mirror entries so no future batch predicts a
+                    # hit against geometry it lost.
+                    self._sync_mirror_epochs(pool)
+                live = pool.live_worker_ids()
+                if not live:
+                    to_escalate.update(lost)
+                    break
+                round_index += 1
+                retries += 1
+                pending = _assign_round_robin(live, sorted(lost))
 
-            if any(reply[1].get("desync") for reply in replies.values()):
-                return None
+            # Escalation: finish every unrecovered view in the parent,
+            # running exactly the worker's uncached plan+raster sequence so
+            # the batch output stays bitwise-identical.
+            if to_escalate:
+                if shared is None:
+                    start = time.perf_counter()
+                    shared = shared_preprocess(
+                        request.cloud, active_only=request.active_only
+                    )
+                    shared_seconds += time.perf_counter() - start
+                for index in sorted(to_escalate):
+                    fault_log.append(
+                        {
+                            "event": "escalated",
+                            "worker": -1,
+                            "phase": "render",
+                            "views": [index],
+                            "detail": "serial parent execution",
+                        }
+                    )
+                    result, view_plan_s, view_raster_s = self._render_view_serial(
+                        request, view_metas[index], shared
+                    )
+                    local_results[index] = result
+                    plan_seconds[index] = view_plan_s
+                    raster_seconds[index] = view_raster_s
+                    statuses[index] = "uncached"
+
+            # Handles superseded worker-side by an in-batch redispatch: a
+            # cached batch keeps only a worker's most recent token (the new
+            # render rewrote the namespace's cache arena), an uncached batch
+            # its last _MAX_RETAINED_BATCHES arena slots.  Marking them lost
+            # here routes their backward pass to the parent recompute path
+            # instead of a worker that would answer "no longer resident".
+            retained = 1 if cache is not None else _MAX_RETAINED_BATCHES
+            valid_tokens = {
+                worker_id: set(tokens[-retained:])
+                for worker_id, tokens in rendered_tokens.items()
+            }
 
             stitch_start = time.perf_counter()
-            plan_seconds = [0.0] * n_views
-            raster_seconds = [0.0] * n_views
-            statuses = ["uncached"] * n_views
-            indices_by_view: dict[int, np.ndarray] = {}
-            n_pairs_by_view: dict[int, int] = {}
-            worker_seconds = {worker_id: 0.0 for worker_id in range(n_active)}
-            for worker_id, reply in replies.items():
-                data = reply[1]
-                for view in data["views"]:
-                    index = view["index"]
-                    plan_seconds[index] = view["plan_seconds"]
-                    raster_seconds[index] = view["raster_seconds"]
-                    statuses[index] = view["cache_status"]
-                    indices_by_view[index] = np.asarray(view["indices"])
-                    n_pairs_by_view[index] = view["n_pairs"]
-                    worker_seconds[worker_id] += view["plan_seconds"] + view["raster_seconds"]
-                    if cache is not None:
-                        self._mirror[(worker_id, keys[index])] = view["meta"]
-                if cache is not None:
-                    for key in data["evicted"]:
-                        self._mirror.pop((worker_id, key), None)
-                    cache.stats.evictions += len(data["evicted"])
-                    cache.stats.truncation_fallbacks += data["truncation_fallbacks"]
-
             views: list[RenderResult] = []
             for index, meta in enumerate(view_metas):
+                if index in local_results:
+                    view = local_results[index]
+                    # Stays "sharded" so the engine routes the batch's
+                    # backward pass through this backend's mixed handling.
+                    # The escalation marker keeps the detached-view guards
+                    # honest: an escalated view of an empty/all-culled scene
+                    # legitimately has no tile caches AND no worker handle.
+                    view.backend = "sharded"
+                    view.cache_status = "uncached"
+                    view.shard_escalated = True
+                    views.append(view)
+                    continue
                 camera = cameras[index]
                 pose_cw = poses_cw[index]
                 outputs = meta["outputs"]
@@ -1180,11 +1803,15 @@ class ShardedBackend:
                     backend="sharded",
                     cache_status=statuses[index],
                 )
+                worker_id, view_token, epoch = handle_info[index]
                 view.shard_info = _ShardHandle(
                     pool=pool,
-                    token=token,
-                    worker_id=worker_of[index],
+                    token=view_token,
+                    worker_id=worker_id,
                     view_index=index,
+                    epoch=epoch,
+                    active_only=request.active_only,
+                    lost=view_token not in valid_tokens.get(worker_id, set()),
                 )
                 views.append(view)
                 if cache is not None:
@@ -1196,6 +1823,16 @@ class ShardedBackend:
             except FileNotFoundError:
                 pass
 
+        quarantined = sorted(
+            {
+                event["worker"]
+                for event in fault_log
+                if event["event"] in ("died", "timeout", "poisoned", "send-failed")
+            }
+        )
+        respawned = sorted(
+            {event["worker"] for event in fault_log if event["event"] == "respawn"}
+        )
         return BatchRenderResult(
             views=views,
             shared=shared,
@@ -1209,7 +1846,10 @@ class ShardedBackend:
             ],
             sharding=ShardAttribution(
                 n_workers=n_active,
-                worker_ids=[worker_of[index] for index in range(n_views)],
+                worker_ids=[
+                    -1 if index in local_results else handle_info[index][0]
+                    for index in range(n_views)
+                ],
                 view_shard_seconds=raster_seconds,
                 worker_seconds=worker_seconds,
                 dispatch_seconds=dispatch_seconds,
@@ -1217,6 +1857,11 @@ class ShardedBackend:
                 shard_wall_seconds=shard_wall,
                 plan_site="worker",
                 view_plan_seconds=plan_seconds,
+                fault_events=fault_log,
+                fault_retries=retries,
+                fault_quarantined_workers=quarantined,
+                fault_respawned_workers=respawned,
+                escalated_views=sorted(local_results),
             ),
         )
 
@@ -1233,6 +1878,7 @@ class ShardedBackend:
         densify/prune paths that must not fail on pool hiccups).
         """
         self._mirror.clear()
+        self._mirror_epochs.clear()
         namespace = None
         if cache is not None:
             namespace = getattr(cache, "_shard_namespace", None)
@@ -1245,7 +1891,7 @@ class ShardedBackend:
                 pool.request_all(
                     {
                         worker_id: ("invalidate", namespace)
-                        for worker_id in range(pool.n_workers)
+                        for worker_id in pool.live_worker_ids()
                     }
                 )
             except ShardWorkerError:
@@ -1255,27 +1901,36 @@ class ShardedBackend:
     # -- backward ------------------------------------------------------------
     def _shard_backward(
         self,
-        handles: "list[_ShardHandle]",
+        entries: "list[tuple[_ShardHandle, int, np.ndarray, np.ndarray | None]]",
         view_results,
-        items: list[tuple[int, np.ndarray, "np.ndarray | None"]],
-    ) -> "list[ScreenSpaceGradients]":
-        """Run Step 4 on the owning workers; returns per-view screen gradients.
+        fault_log: list[dict],
+    ) -> "tuple[dict[int, ScreenSpaceGradients], list[int]]":
+        """Run Step 4 on the owning workers; ``(screens, failed view ids)``.
 
-        ``view_results`` maps each view index to its parent-side
-        :class:`RenderResult` (list or dict).  Loss gradients ship worker-ward
-        and the heavy projection intermediates (everything the fused Step 5
-        reads that the stitched stub lacks) ship parent-ward through one
-        shared-memory block; the small screen-gradient arrays and traces ride
-        the reply pipes.
+        ``entries`` holds ``(handle, view_index, dL_dimage, dL_ddepth)``
+        tuples whose handles are usable on one pool; ``view_results`` maps
+        each view index to its parent-side :class:`RenderResult`.  Loss
+        gradients ship worker-ward and the heavy projection intermediates
+        (everything the fused Step 5 reads that the stitched stub lacks)
+        ship parent-ward through one shared-memory block; the small
+        screen-gradient arrays and traces ride the reply pipes.
+
+        A worker that dies, times out or replies poisoned is quarantined and
+        its views come back in the failed list for the caller's parent-side
+        recompute.  A worker-*reported* error raises
+        :class:`ShardWorkerError` — the worker is healthy and the request
+        was bad (e.g. a legitimately superseded batch), a usage error the
+        healing paths must not mask.
         """
         from repro.gaussians.backward import GradientTrace, ScreenSpaceGradients
 
-        pool = handles[0].pool
-        token = handles[0].token
+        pool = entries[0][0].pool
+        plan, op_index = self._next_fault_op()
         layout = _ShmLayout()
         per_worker: dict[int, list] = {}
+        views_by_worker: dict[int, list[int]] = {}
         projected_specs_by_view: dict[int, dict] = {}
-        for handle, (view_index, dL_dimage, dL_ddepth) in zip(handles, items):
+        for handle, view_index, dL_dimage, dL_ddepth in entries:
             image_spec = layout.add(np.asarray(dL_dimage, dtype=np.float64))
             depth_spec = (
                 None
@@ -1288,25 +1943,77 @@ class ShardedBackend:
                 for name, trailing in _BACKWARD_PROJECTED_FIELDS
             }
             projected_specs_by_view[view_index] = projected_specs
+            # Per-item tokens: after an in-batch redispatch one worker can
+            # hold views of this batch under several tokens.
             per_worker.setdefault(handle.worker_id, []).append(
-                (view_index, image_spec, depth_spec, projected_specs)
+                (handle.token, view_index, image_spec, depth_spec, projected_specs)
             )
+            views_by_worker.setdefault(handle.worker_id, []).append(view_index)
+        fault_sites = (
+            {}
+            if plan is None
+            else plan.sites_for(
+                op_index=op_index,
+                phase="backward",
+                assignment=views_by_worker,
+                fired=self._fault_fired,
+            )
+        )
+        screen_by_view: dict[int, ScreenSpaceGradients] = {}
+        failed: list[int] = []
         shm = layout.create()
         try:
             messages = {
-                worker_id: ("backward", (token, shm.name, worker_items))
+                worker_id: (
+                    "backward",
+                    (shm.name, worker_items, fault_sites.get(worker_id)),
+                )
                 for worker_id, worker_items in per_worker.items()
             }
-            try:
-                replies = pool.request_all(messages)
-            except ShardWorkerError:
-                # See render_batch: recoverable worker-reported errors (e.g.
-                # a superseded batch) must not tear down the shared pool.
-                if pool.broken:
-                    _discard_pool(pool)
-                raise
-            screen_by_view: dict[int, ScreenSpaceGradients] = {}
-            for reply in replies.values():
+            replies, faults = pool.gather(
+                messages, timeout=self.config.shard_deadline_s
+            )
+            self._disarm_fault_sites(plan, fault_sites)
+            for fault in faults:
+                if fault.kind == "error":
+                    raise ShardWorkerError(
+                        f"shard worker {fault.worker_id} failed:\n{fault.detail}"
+                    )
+                fault_log.append(
+                    {
+                        "event": fault.kind,
+                        "worker": fault.worker_id,
+                        "phase": "backward",
+                        "views": list(views_by_worker[fault.worker_id]),
+                        "detail": fault.detail,
+                    }
+                )
+                failed.extend(views_by_worker[fault.worker_id])
+            for worker_id, payload in replies.items():
+                problem = _validate_backward_reply(payload, views_by_worker[worker_id])
+                if problem is not None:
+                    pool.quarantine(worker_id)
+                    fault_log.append(
+                        {
+                            "event": "poisoned",
+                            "worker": worker_id,
+                            "phase": "backward",
+                            "views": list(views_by_worker[worker_id]),
+                            "detail": problem,
+                        }
+                    )
+                    failed.extend(views_by_worker[worker_id])
+                    continue
+                if payload.get("fault_sites"):
+                    fault_log.append(
+                        {
+                            "event": "slow",
+                            "worker": worker_id,
+                            "phase": "backward",
+                            "views": list(views_by_worker[worker_id]),
+                            "detail": ",".join(map(str, payload["fault_sites"])),
+                        }
+                    )
                 for (
                     view_index,
                     colors,
@@ -1318,7 +2025,7 @@ class ShardedBackend:
                     trace_sources,
                     trace_counts,
                     _seconds,
-                ) in reply[1]:
+                ) in payload["views"]:
                     view_result = view_results[view_index]
                     # Swap the worker's heavy projection intermediates into
                     # the stitched stub so the fused Step 5 sees the same
@@ -1350,7 +2057,46 @@ class ShardedBackend:
                 shm.unlink()
             except FileNotFoundError:
                 pass
-        return [screen_by_view[view_index] for view_index, _, _ in items]
+        return screen_by_view, failed
+
+    def _recompute_backward_view(
+        self,
+        cloud: "GaussianCloud",
+        view: "RenderResult",
+        dL_dimage: np.ndarray,
+        dL_ddepth: "np.ndarray | None",
+        active_only: bool,
+        shared: "SharedGaussianData | None" = None,
+    ) -> "ScreenSpaceGradients":
+        """Parent-side backward for a view whose worker state is gone.
+
+        Re-derives the worker's exact forward plan (projection, tile lists,
+        fragments, tile caches) from the cloud — which is unchanged between
+        forward and backward in every engine consumer (mapping applies
+        updates only after the backward pass) — then runs the flat Step 4,
+        so the gradients are bitwise-identical to the worker's.
+        """
+        from repro.gaussians.fast_raster import (
+            allocate_flat_arena,
+            build_flat_fragments,
+            rasterize_backward_flat,
+            rasterize_flat_into,
+        )
+        from repro.gaussians.projection import project_gaussians
+        from repro.gaussians.sorting import build_tile_lists
+
+        if shared is None:
+            shared = shared_preprocess(cloud, active_only=active_only)
+        projected = project_gaussians(
+            None, view.camera, view.pose_cw, active_only=active_only, shared=shared
+        )
+        intersections = build_tile_lists(projected, view.grid)
+        fragments = build_flat_fragments(intersections)
+        arena = allocate_flat_arena(fragments.n_fragments)
+        fresh = rasterize_flat_into(
+            projected, intersections, fragments, view.background, arena, 0
+        )
+        return rasterize_backward_flat(fresh, dL_dimage, dL_ddepth)
 
     def backward(
         self,
@@ -1362,21 +2108,38 @@ class ShardedBackend:
     ) -> "CloudGradients":
         handle = getattr(result, "shard_info", None)
         if handle is None:
-            if getattr(result, "backend", None) == "sharded":
+            if (
+                getattr(result, "backend", None) == "sharded"
+                and not result.tile_caches
+                and not getattr(result, "shard_escalated", False)
+            ):
                 raise ShardWorkerError(
                     "sharded render result carries no worker handle (was it "
                     "copied or unpickled?); its backward pass cannot run"
                 )
+            # Escalated views (and plain flat results routed here) carry
+            # parent-resident tile caches: run the local flat backward.
             from repro.engine.backends import _render_backward_core
 
             return _render_backward_core(
                 "flat", result, cloud, dL_dimage, dL_ddepth, compute_pose_gradient
             )
         self._check_loss_shapes(result, dL_dimage, dL_ddepth)
-        screen = self._shard_backward(
-            [handle], {handle.view_index: result},
-            [(handle.view_index, dL_dimage, dL_ddepth)],
-        )[0]
+        screen = None
+        if handle.usable():
+            screens, failed = self._shard_backward(
+                [(handle, handle.view_index, dL_dimage, dL_ddepth)],
+                {handle.view_index: result},
+                [],
+            )
+            if handle.view_index not in failed:
+                screen = screens[handle.view_index]
+        if screen is None:
+            # Worker quarantined, respawned (stale epoch), lost to an
+            # in-batch redispatch, or failed mid-request: recompute locally.
+            screen = self._recompute_backward_view(
+                cloud, result, dL_dimage, dL_ddepth, handle.active_only
+            )
         return preprocess_backward(screen, cloud, compute_pose_gradient=compute_pose_gradient)
 
     def backward_batch(
@@ -1387,8 +2150,24 @@ class ShardedBackend:
         dL_ddepths: "Sequence[np.ndarray | None] | None",
         compute_pose_gradient: bool,
     ) -> BatchGradients:
+        from repro.gaussians.fast_raster import rasterize_backward_flat
+
         handles = [getattr(view, "shard_info", None) for view in batch.views]
-        if all(handle is None for handle in handles):
+        for view, handle in zip(batch.views, handles):
+            if (
+                handle is None
+                and getattr(view, "backend", None) == "sharded"
+                and not view.tile_caches
+                and not getattr(view, "shard_escalated", False)
+            ):
+                raise ShardWorkerError(
+                    "some views of this sharded batch carry no worker handle "
+                    "(were they copied or unpickled?); its backward pass "
+                    "cannot run"
+                )
+        if all(handle is None for handle in handles) and all(
+            getattr(view, "backend", None) != "sharded" for view in batch.views
+        ):
             # Serial-fallback batches (and flat batches routed here
             # explicitly) have parent-resident tile caches.
             return render_backward_batch_views(
@@ -1397,11 +2176,6 @@ class ShardedBackend:
                 dL_dimages,
                 dL_ddepths,
                 compute_pose_gradient=compute_pose_gradient,
-            )
-        if any(handle is None for handle in handles):
-            raise ShardWorkerError(
-                "some views of this sharded batch carry no worker handle (were "
-                "they copied or unpickled?); its backward pass cannot run"
             )
         dL_dimages = list(dL_dimages)
         if len(dL_dimages) != batch.n_views:
@@ -1419,11 +2193,74 @@ class ShardedBackend:
         for view, dL_dimage, dL_ddepth in zip(batch.views, dL_dimages, dL_ddepths):
             self._check_loss_shapes(view, dL_dimage, dL_ddepth)
 
-        screen = self._shard_backward(
-            handles,
-            batch.views,
-            list(zip(range(batch.n_views), dL_dimages, dL_ddepths)),
+        sharding = getattr(batch, "sharding", None)
+        fault_log: list[dict] = (
+            sharding.fault_events if sharding is not None else []
         )
+        # Partition: worker-resident views run Step 4 where the tile caches
+        # live; escalated/local views run it here; views whose worker state
+        # is gone (stale handle, in-batch supersession, mid-request fault)
+        # recompute here — same gradients, different path.
+        worker_entries = []
+        recompute: list[int] = []
+        screens: dict[int, object] = {}
+        for index, (view, handle, dL_dimage, dL_ddepth) in enumerate(
+            zip(batch.views, handles, dL_dimages, dL_ddepths)
+        ):
+            if handle is None:
+                screens[index] = rasterize_backward_flat(view, dL_dimage, dL_ddepth)
+            elif handle.usable():
+                worker_entries.append((handle, index, dL_dimage, dL_ddepth))
+            else:
+                fault_log.append(
+                    {
+                        "event": "stale-handle",
+                        "worker": handle.worker_id,
+                        "phase": "backward",
+                        "views": [index],
+                        "detail": (
+                            "worker state lost (quarantine/respawn/supersession); "
+                            "recomputing backward in the parent"
+                        ),
+                    }
+                )
+                recompute.append(index)
+        if worker_entries:
+            worker_screens, failed = self._shard_backward(
+                worker_entries, batch.views, fault_log
+            )
+            screens.update(worker_screens)
+            recompute.extend(failed)
+        if recompute:
+            shared = shared_preprocess(
+                cloud, active_only=worker_entries[0][0].active_only
+                if worker_entries
+                else next(
+                    handle.active_only for handle in handles if handle is not None
+                ),
+            )
+            for index in sorted(set(recompute)):
+                handle = handles[index]
+                screens[index] = self._recompute_backward_view(
+                    cloud,
+                    batch.views[index],
+                    dL_dimages[index],
+                    dL_ddepths[index],
+                    handle.active_only,
+                    shared,
+                )
+        if sharding is not None and recompute:
+            quarantined = {
+                event["worker"]
+                for event in fault_log
+                if event["phase"] == "backward"
+                and event["event"] in ("died", "timeout", "poisoned", "send-failed")
+            }
+            sharding.fault_quarantined_workers = sorted(
+                set(sharding.fault_quarantined_workers) | quarantined
+            )
+
+        screen = [screens[index] for index in range(batch.n_views)]
         cloud_grads, per_view_twists = preprocess_backward_batch(
             screen, cloud, compute_pose_gradient=compute_pose_gradient
         )

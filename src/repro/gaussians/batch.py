@@ -116,6 +116,19 @@ class ShardAttribution:
     # Per view: worker-side Step 1-2 plan + cache lookup wall-clock; empty
     # when planning ran in the parent (plan time then lives in view_seconds).
     view_plan_seconds: list[float] = field(default_factory=list)
+    # -- fault accounting (all empty/zero on a healthy run) ------------------
+    # Chronological fault log: dicts with at least ``event`` (died | timeout |
+    # send-failed | poisoned | slow | worker-error | respawn | escalated |
+    # stale-handle), ``worker``, ``phase`` ("render" | "backward") and
+    # ``views``.  The backward pass appends to this same list, so snapshots
+    # built after a mapping iteration see both phases.
+    fault_events: list = field(default_factory=list)
+    fault_retries: int = 0  # redispatch rounds beyond the first
+    fault_quarantined_workers: list[int] = field(default_factory=list)
+    fault_respawned_workers: list[int] = field(default_factory=list)
+    # Views that fell back to serial flat execution in the parent (their
+    # worker_ids entry is -1 and they carry no worker handle).
+    escalated_views: list[int] = field(default_factory=list)
 
 
 @dataclass

@@ -135,6 +135,19 @@ def batch_amortization_report(
         "stitch_s": float(sum(s.shard_stitch_seconds for s in sharded_views)),
         "unsharded_s": unsharded,
         "shard_amortization": unsharded / batched if batched > 0 else 1.0,
+        # -- fault accounting (zero on a healthy run) ------------------------
+        # Batch-level counts are duplicated on every view of a batch, so sum
+        # them from the view_index == 0 snapshots only; escalation is per view.
+        "fault_events": float(
+            sum(s.fault_events for s in mapping if s.view_index == 0)
+        ),
+        "fault_retries": float(
+            sum(s.fault_retries for s in mapping if s.view_index == 0)
+        ),
+        "fault_quarantines": float(
+            sum(s.fault_quarantines for s in mapping if s.view_index == 0)
+        ),
+        "fault_escalated_views": float(sum(s.fault_escalated for s in mapping)),
     }
 
 

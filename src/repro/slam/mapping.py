@@ -453,6 +453,24 @@ class StreamingMapper:
                         plan_site=(
                             "parent" if sharding is None else sharding.plan_site
                         ),
+                        # Batch-level fault counts ride on every view of the
+                        # window (aggregate from view_index == 0 to avoid
+                        # double counting); escalation is per view.
+                        fault_events=(
+                            0 if sharding is None else len(sharding.fault_events)
+                        ),
+                        fault_retries=(
+                            0 if sharding is None else sharding.fault_retries
+                        ),
+                        fault_quarantines=(
+                            0
+                            if sharding is None
+                            else len(sharding.fault_quarantined_workers)
+                        ),
+                        fault_escalated=(
+                            sharding is not None
+                            and view_index in sharding.escalated_views
+                        ),
                     )
                 )
         # The fused gradients are summed over views; average them so the

@@ -68,6 +68,15 @@ class WorkloadSnapshot:
     # worker-resident planning), with the measured per-view planning time.
     shard_plan_seconds: float = 0.0
     plan_site: str = "parent"
+    # Fault accounting of the sharded batch behind this snapshot (engine
+    # ShardAttribution.fault_*).  The batch-level counts are carried on every
+    # view of the batch — aggregate them from ``view_index == 0`` snapshots to
+    # avoid double counting.  ``fault_escalated`` is per view: True when this
+    # view fell back to serial flat execution in the parent.
+    fault_events: int = 0
+    fault_retries: int = 0
+    fault_quarantines: int = 0
+    fault_escalated: bool = False
 
     @staticmethod
     def from_iteration(
@@ -90,6 +99,10 @@ class WorkloadSnapshot:
         shard_stitch_seconds: float = 0.0,
         shard_plan_seconds: float = 0.0,
         plan_site: str = "parent",
+        fault_events: int = 0,
+        fault_retries: int = 0,
+        fault_quarantines: int = 0,
+        fault_escalated: bool = False,
     ) -> "WorkloadSnapshot":
         """Build a snapshot from a render result and (optionally) its gradients.
 
@@ -138,6 +151,10 @@ class WorkloadSnapshot:
             shard_stitch_seconds=shard_stitch_seconds,
             shard_plan_seconds=shard_plan_seconds,
             plan_site=plan_site,
+            fault_events=fault_events,
+            fault_retries=fault_retries,
+            fault_quarantines=fault_quarantines,
+            fault_escalated=fault_escalated,
         )
 
     # -- aggregate statistics -------------------------------------------------

@@ -40,7 +40,11 @@ sharded backend's worker-resident geometry caches must stay bit-identical to
 the parent-resident flat cache through miss, hit and refresh rounds, and the
 pose-quantised cross-window re-key tier must agree bitwise between the two
 cache sites while staying within its documented screen-space tolerance of an
-exact render.
+exact render.  A runner constructed with a ``fault_schedule``
+(:mod:`repro.engine.faults` grammar) additionally re-renders each scenario's
+window under that schedule and requires the self-healing sharded dispatch to
+complete it bitwise-identical to the healthy run — the CI chaos job and the
+fault-injection tests drive this phase.
 """
 
 from __future__ import annotations
@@ -109,6 +113,9 @@ class ScenarioReport:
     engine_gradient_diff: float = 0.0
     sharded_image_diff: float = 0.0
     sharded_gradient_diff: float = 0.0
+    fault_image_diff: float = 0.0
+    fault_gradient_diff: float = 0.0
+    fault_events: int = 0  # fault events observed during the fault phase
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -130,6 +137,12 @@ class ScenarioReport:
             f"cache={self.cache_image_diff:.3e}/{self.cache_gradient_diff:.3e} "
             f"engine={self.engine_image_diff:.3e}/{self.engine_gradient_diff:.3e} "
             f"sharded={self.sharded_image_diff:.3e}/{self.sharded_gradient_diff:.3e}"
+            + (
+                f" faults={self.fault_events}"
+                f" fault={self.fault_image_diff:.3e}/{self.fault_gradient_diff:.3e}"
+                if self.fault_events
+                else ""
+            )
         )
 
 
@@ -157,6 +170,13 @@ class DifferentialRunner:
     sharded_backend: str = "sharded"  # multi-process backend pinned to flat batches
     n_batch_views: int = 3  # views of the multi-view batch-vs-sequential check
     n_shard_workers: int = 2  # worker processes of the sharded checks
+    # A REPRO_SHARD_FAULTS schedule (repro.engine.faults grammar).  When set,
+    # verify_sharded adds a fault phase: the same batch re-rendered under the
+    # schedule must complete, stay bitwise-identical to the healthy flat
+    # batch (forward and fused backward), and surface its fault events on the
+    # attribution.  None (the default) skips the phase.
+    fault_schedule: str | None = None
+    fault_deadline_s: float = 20.0  # shard deadline of the fault-phase engine
 
     def __post_init__(self) -> None:
         self._engines: dict[str, RenderEngine] = {}
@@ -580,7 +600,13 @@ class DifferentialRunner:
         degradation's equivalence.
         """
         failures: list[str] = []
-        diffs = {"sharded_image": 0.0, "sharded_grad": 0.0}
+        diffs = {
+            "sharded_image": 0.0,
+            "sharded_grad": 0.0,
+            "fault_image": 0.0,
+            "fault_grad": 0.0,
+            "fault_events": 0.0,
+        }
         if self.sharded_backend not in REGISTRY:
             return diffs, failures
         sharded_engine = self.engine_for(self.sharded_backend)
@@ -658,9 +684,93 @@ class DifferentialRunner:
                 f"sharded batch: per-view pose twists differ from the flat batch "
                 f"(max diff {worst:.3e})"
             )
+        if self.fault_schedule:
+            failures.extend(
+                self._verify_sharded_faulted(spec, flat, losses, flat_grads, diffs)
+            )
         cached_failures = self._verify_sharded_cached(spec, diffs)
         failures.extend(cached_failures)
         return diffs, failures
+
+    def _verify_sharded_faulted(
+        self, spec: SceneSpec, flat, losses, flat_grads, diffs: dict[str, float]
+    ) -> list[str]:
+        """The fault phase: the batch under ``fault_schedule`` must still match.
+
+        Re-renders the same window through a dedicated sharded engine (short
+        deadline, so injected hangs cost seconds, not minutes) while the
+        runner's fault schedule is active.  The self-healing dispatch must
+        complete the batch with forward outputs and fused backward gradients
+        **bit-identical** to the healthy flat batch, and any events it logged
+        must be visible on the attribution.
+        """
+        from repro.engine import fault_plan
+
+        failures: list[str] = []
+        engine = RenderEngine(
+            EngineConfig(
+                backend=self.sharded_backend,
+                geom_cache=False,
+                shard_workers=self.n_shard_workers,
+                shard_deadline_s=self.fault_deadline_s,
+                shard_backoff_s=1.0,
+            )
+        )
+        poses = spec.view_poses(self.n_batch_views)
+        with fault_plan(self.fault_schedule):
+            faulted = engine.render_batch(
+                spec.cloud,
+                [spec.camera] * self.n_batch_views,
+                poses,
+                backgrounds=[spec.background] * self.n_batch_views,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+                managed=False,
+            )
+        for index, (faulted_view, flat_view) in enumerate(zip(faulted.views, flat.views)):
+            for name in ("image", "depth", "alpha"):
+                a = getattr(faulted_view, name)
+                b = getattr(flat_view, name)
+                if not np.array_equal(a, b):
+                    worst = _max_abs_diff(a, b)
+                    diffs["fault_image"] = max(diffs["fault_image"], worst)
+                    failures.append(
+                        f"fault phase view {index}: {name} differs from the "
+                        f"healthy flat batch (max diff {worst:.3e})"
+                    )
+            if not np.array_equal(
+                faulted_view.fragments_per_pixel, flat_view.fragments_per_pixel
+            ):
+                failures.append(
+                    f"fault phase view {index}: fragment counts differ from "
+                    "the healthy flat batch"
+                )
+        if faulted.sharding is not None:
+            diffs["fault_events"] += float(len(faulted.sharding.fault_events))
+        faulted_grads = engine.backward_batch(
+            faulted,
+            spec.cloud,
+            [dL_dimage for dL_dimage, _ in losses],
+            [dL_ddepth for _, dL_ddepth in losses],
+            compute_pose_gradient=True,
+        )
+        for name in GRADIENT_FIELDS:
+            a = np.asarray(getattr(faulted_grads.cloud, name))
+            b = np.asarray(getattr(flat_grads.cloud, name))
+            if not np.array_equal(a, b):
+                worst = _max_abs_diff(a, b)
+                diffs["fault_grad"] = max(diffs["fault_grad"], worst)
+                failures.append(
+                    f"fault phase: gradient {name} differs from the healthy "
+                    f"flat batch (max diff {worst:.3e})"
+                )
+        if not np.array_equal(
+            faulted_grads.per_view_pose_twists, flat_grads.per_view_pose_twists
+        ):
+            failures.append(
+                "fault phase: per-view pose twists differ from the healthy flat batch"
+            )
+        return failures
 
     def _verify_sharded_cached(self, spec: SceneSpec, diffs: dict[str, float]) -> list[str]:
         """Pin worker-resident sharded caching bitwise against the flat cache.
@@ -970,6 +1080,9 @@ class DifferentialRunner:
             engine_gradient_diff=engine_diffs["engine_grad"],
             sharded_image_diff=sharded_diffs["sharded_image"],
             sharded_gradient_diff=sharded_diffs["sharded_grad"],
+            fault_image_diff=sharded_diffs["fault_image"],
+            fault_gradient_diff=sharded_diffs["fault_grad"],
+            fault_events=int(sharded_diffs["fault_events"]),
             failures=failures,
         )
 

@@ -30,7 +30,11 @@ instead of silently running a substitute:
   backend skipping cache cells);
 * ``backend-unavailable:*`` — :meth:`repro.engine.RenderEngine.availability`
   reported a config/host limitation (e.g. the sharded backend resolving to
-  fewer than two worker processes, with the knob and core count named).
+  fewer than two worker processes, with the knob and core count named);
+* ``fault-schedule:*`` — the cell is not meaningfully comparable under an
+  active fault schedule (cache-on mapper cells: losing worker-resident
+  entries to a fault legitimately diverges from an uninterrupted cached
+  reference at Adam-amplified ulp scale).
 
 Tolerances are inherited from :class:`repro.testing.differential
 .DifferentialRunner` and documented per cell: flat and sharded cells must
@@ -43,10 +47,19 @@ amplifies the cached backward's last-ulp regrouping unboundedly on
 near-degenerate scenes, so cache-vs-uncached equivalence is pinned at render
 level instead.
 
+A matrix constructed with a ``fault_schedule`` (the
+:mod:`repro.engine.faults` grammar, also reachable via ``--faults`` or the
+``REPRO_SHARD_FAULTS`` environment variable) runs every cell with that fault
+plan active: sharded cells exercise the self-healing dispatch
+(retry/redispatch/quarantine/escalation) and must still pass their bitwise
+gates, and each cell's fault-event counts land in the attribution of the
+markdown/JSON reports — this is the CI ``chaos`` job.
+
 CLI::
 
     python -m repro.testing.matrix --filter backend=sharded
     python -m repro.testing.matrix --tier long --markdown matrix.md --json matrix.json
+    python -m repro.testing.matrix --faults "random:1234:0.25" --filter backend=sharded
 """
 
 from __future__ import annotations
@@ -54,11 +67,12 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.engine import EngineConfig, RenderEngine
+from repro.engine import EngineConfig, RenderEngine, fault_plan
 from repro.testing.differential import (
     _EXACT_ENGINE_CACHE,
     DifferentialRunner,
@@ -167,6 +181,11 @@ class ScenarioCellResult:
             return "-"
         return "worker" if "worker" in sites else "parent"
 
+    @property
+    def fault_events(self) -> int:
+        """Total fault events of this cell's batches (0 on a healthy run)."""
+        return sum(snap.fault_events for snap in self.snapshots if snap.view_index == 0)
+
     def attribution(self) -> dict[str, object]:
         """Aggregate of the per-view workload snapshots (JSON-friendly)."""
         workers = {snap.shard_workers for snap in self.snapshots}
@@ -178,6 +197,24 @@ class ScenarioCellResult:
             "shard_workers": sorted(workers) if workers else [1],
             "cache_statuses": statuses,
             "plan_site": self.plan_site,
+            # Batch-level fault counts ride on every view of a batch, so sum
+            # them from view_index == 0 snapshots; escalation is per view.
+            "faults": {
+                "events": self.fault_events,
+                "retries": sum(
+                    snap.fault_retries
+                    for snap in self.snapshots
+                    if snap.view_index == 0
+                ),
+                "quarantines": sum(
+                    snap.fault_quarantines
+                    for snap in self.snapshots
+                    if snap.view_index == 0
+                ),
+                "escalated_views": sum(
+                    1 for snap in self.snapshots if snap.fault_escalated
+                ),
+            },
         }
 
     def to_json(self) -> dict[str, object]:
@@ -219,6 +256,7 @@ class ScenarioMatrix:
         runner: DifferentialRunner | None = None,
         shard_workers: int | None = 2,
         backends: tuple[str, ...] | None = None,
+        fault_schedule: str | None = None,
     ):
         self.library = library if library is not None else matrix_library()
         self.shard_workers = shard_workers
@@ -226,6 +264,9 @@ class ScenarioMatrix:
             n_shard_workers=shard_workers if shard_workers else 2
         )
         self.backends = backends if backends is not None else AXES["backend"]
+        # A repro.engine.faults schedule kept active while cells execute (the
+        # chaos job): sharded cells must heal and still pass their gates.
+        self.fault_schedule = fault_schedule
         self._cache_engines: dict[str, RenderEngine] = {}
         self._specs: dict[str, SceneSpec] = {}
         self._frames: dict[str, list] = {}
@@ -322,6 +363,28 @@ class ScenarioMatrix:
                 f"capability:no-batch-support (backend {cell.backend!r} reports "
                 "batch=False; the engine would silently substitute a flat "
                 "batch, so the cell would not exercise this backend)"
+            )
+        if (
+            self.fault_schedule
+            and cell.cache_enabled
+            and cell.mapping == "mapper"
+            and cell.backend == self.runner.sharded_backend
+        ):
+            # A fault irrecoverably loses worker-resident cache entries, so
+            # later iterations legitimately rebuild tiers the healthy cached
+            # reference serves from its retained fragment schedule; the
+            # cached backward's last-ulp regrouping then diverges, and Adam
+            # amplifies it unboundedly on near-degenerate scenes (the same
+            # reason cache-on mapper cells are pinned against an independent
+            # *cached* run rather than an uncached one).  Faulted cached
+            # coverage stays at render granularity, where every tier is
+            # bitwise.
+            return (
+                "fault-schedule:cached-mapper-not-comparable (a fault drops "
+                "worker-resident cache entries, so the run legitimately "
+                "diverges from an uninterrupted cached mapper at Adam-"
+                "amplified ulp scale; faulted cache-on coverage is pinned "
+                "at render granularity instead)"
             )
         return None
 
@@ -498,10 +561,11 @@ class ScenarioMatrix:
         )
         start = time.perf_counter()
         try:
-            if cell.mapping == "render":
-                self._execute_render_cell(cell, result)
-            else:
-                self._execute_mapper_cell(cell, result)
+            with fault_plan(self.fault_schedule) if self.fault_schedule else nullcontext():
+                if cell.mapping == "render":
+                    self._execute_render_cell(cell, result)
+                else:
+                    self._execute_mapper_cell(cell, result)
         except Exception as error:  # a crashing cell fails; the sweep continues
             result.failures.append(f"crashed: {error!r}")
         result.wall_seconds = time.perf_counter() - start
@@ -593,6 +657,21 @@ class ScenarioMatrix:
                             else 0.0
                         ),
                         plan_site="parent" if sharding is None else sharding.plan_site,
+                        fault_events=(
+                            0 if sharding is None else len(sharding.fault_events)
+                        ),
+                        fault_retries=(
+                            0 if sharding is None else sharding.fault_retries
+                        ),
+                        fault_quarantines=(
+                            0
+                            if sharding is None
+                            else len(sharding.fault_quarantined_workers)
+                        ),
+                        fault_escalated=(
+                            sharding is not None
+                            and index in sharding.escalated_views
+                        ),
                     )
                 )
         finally:
@@ -696,8 +775,8 @@ def summary_table(results: list[ScenarioCellResult]) -> str:
         f"{counts['skip']} skipped — {counts['unexplained_skips']} UNEXPLAINED",
         "",
         "| scenario | backend | cache | batch | mapping | plan_site | status "
-        "| max diff | tolerance | wall (ms) | fragments | detail |",
-        "|---|---|---|---|---|---|---|---|---|---|---|---|",
+        "| faults | max diff | tolerance | wall (ms) | fragments | detail |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for result in results:
         cell = result.cell
@@ -711,6 +790,7 @@ def summary_table(results: list[ScenarioCellResult]) -> str:
         lines.append(
             f"| {cell.scenario} | {cell.backend} | {cell.cache} | {cell.batch} "
             f"| {cell.mapping} | {result.plan_site} | {result.status} "
+            f"| {result.fault_events} "
             f"| {result.max_abs_diff:.2e} | {result.tolerance:.1e} "
             f"| {result.wall_seconds * 1e3:.1f} | {result.n_fragments} | {detail} |"
         )
@@ -744,6 +824,14 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes pinned for the sharded backend (default: 2; "
         "0 defers to the backend's cpu-count default)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SCHEDULE",
+        default=None,
+        help="run every cell under this fault schedule (repro.engine.faults "
+        "grammar, e.g. 'random:1234:0.25'); sharded cells must self-heal and "
+        "still pass their bitwise gates (the CI chaos job)",
+    )
     parser.add_argument("--list", action="store_true", help="list selected cell ids and exit")
     parser.add_argument(
         "--markdown", metavar="PATH", help="write the per-cell markdown summary table here"
@@ -758,7 +846,9 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         parser.error(str(error))
 
-    matrix = ScenarioMatrix(shard_workers=args.shard_workers or None)
+    matrix = ScenarioMatrix(
+        shard_workers=args.shard_workers or None, fault_schedule=args.faults
+    )
     cells = matrix.cells(tier=args.tier, filters=filters)
     if args.list:
         for cell in cells:

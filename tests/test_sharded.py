@@ -3,25 +3,43 @@
 Covers: work-unit self-containment (pickling round-trip, out-of-order
 execution, disjoint arena reservations), the sharded backend's bitwise
 equivalence to the flat path (forward + fused backward), its graceful
-degradations (workers<=1, cached batches, single views), worker-crash
-behaviour (clean ``ShardWorkerError``, no hang, engine stays usable),
-worker-side batch eviction, and the shard attribution threaded through
-``StreamingMapper`` snapshots.
+degradations (workers<=1, cached batches, single views), worker-side batch
+eviction, the shard attribution threaded through ``StreamingMapper``
+snapshots, and the self-healing dispatch: injected crash/hang/slow/poison
+faults (``repro.engine.faults``) must never lose a batch — every schedule
+completes bitwise-identical to the healthy flat path, with retries,
+quarantines, respawns and serial escalations surfaced on the attribution.
+The ``_no_shm_leak`` fixture additionally pins every failure path to "no
+shared-memory segment left behind in /dev/shm".
 
 All sharded tests run on a small shared 2-worker pool (pools are shared
 process-wide per worker count), so the spawn cost is paid once per session.
+Fault tests use engines with short deadlines/backoffs so injected hangs
+cost seconds; the pool they share self-heals before each dispatch, so
+leaving it quarantined never poisons a later test.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import EngineConfig, RenderEngine, ShardWorkerError
+from repro.engine import (
+    EngineConfig,
+    RenderEngine,
+    ShardWorkerError,
+    fault_plan,
+)
 from repro.gaussians.batch import (
     RenderPlan,
     execute_plan,
@@ -80,6 +98,40 @@ def _assert_views_equal(views_a, views_b):
         np.testing.assert_array_equal(a.depth, b.depth, err_msg=f"depth {index}")
         np.testing.assert_array_equal(a.alpha, b.alpha, err_msg=f"alpha {index}")
         assert np.array_equal(a.fragments_per_pixel, b.fragments_per_pixel), index
+
+
+def _shm_segments() -> set[str] | None:
+    """Names of the POSIX shared-memory segments currently backing /dev/shm.
+
+    Returns ``None`` where /dev/shm does not exist (non-Linux); the leak
+    fixture degrades to a no-op there.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return None
+    return {entry.name for entry in shm_dir.iterdir() if entry.name.startswith("psm_")}
+
+
+@pytest.fixture
+def _no_shm_leak():
+    """Fail the test if it leaves a shared-memory segment behind.
+
+    Every dispatch creates one segment and must unlink it on *every* path —
+    healthy, faulted, escalated.  Unlink is parent-side and immediate, but a
+    short grace loop absorbs segments owned by a concurrently-respawning
+    worker handshake.
+    """
+    before = _shm_segments()
+    yield
+    if before is None:
+        return
+    leaked: set[str] = set()
+    for _ in range(50):
+        leaked = (_shm_segments() or set()) - before
+        if not leaked:
+            return
+        time.sleep(0.1)
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 class TestPlanExecute:
@@ -302,46 +354,86 @@ class TestShardedBackend:
         assert fresh.views[0].shard_info.pool is pool
         assert np.isfinite(grads.cloud.positions).all()
 
-    def test_worker_crash_during_render_raises_clean_error_and_recovers(self):
+    def test_worker_crash_before_render_heals_and_completes(self):
+        """Externally killed workers are respawned, not surfaced as errors.
+
+        One dead slot: the pre-dispatch health check (``ensure_workers``)
+        respawns it in place — same pool, a ``respawn`` event, no ``died``
+        because no request was lost mid-flight.  Every slot dead: the shared
+        pool reads ``broken`` and is replaced wholesale.  Either way the
+        batch completes bitwise-identical to flat.
+        """
         spec = _spec("single_gaussian")
         args, kwargs = _batch_args(spec, n_views=2)
         engine = _sharded_engine()
+        flat = _flat_engine().render_batch(*args, **kwargs, managed=False)
         warm = engine.render_batch(*args, **kwargs, managed=False)
         pool = warm.views[0].shard_info.pool
+
+        # -- one worker killed: in-place respawn keeps the pool ------------
+        pool._workers[0].process.terminate()
+        pool._workers[0].process.join(timeout=5.0)
+        healed = engine.render_batch(*args, **kwargs, managed=False)
+        sharding = healed.sharding
+        assert sharding is not None
+        _assert_views_equal(healed.views, flat.views)
+        events = [event["event"] for event in sharding.fault_events]
+        assert events == ["respawn"]
+        assert sharding.fault_respawned_workers == [0]
+        assert sharding.fault_retries == 0
+        assert not sharding.escalated_views
+        assert healed.views[0].shard_info.pool is pool
+        assert sorted(pool.live_worker_ids()) == list(range(N_WORKERS))
+
+        # -- every worker killed: the broken pool is replaced wholesale ----
         for worker in pool._workers:
             worker.process.terminate()
             worker.process.join(timeout=5.0)
-        with pytest.raises(ShardWorkerError, match="shard worker"):
-            engine.render_batch(*args, **kwargs, managed=False)
-        # The broken pool was discarded: the next batch spawns a fresh one
-        # and the engine remains fully usable.
-        recovered = engine.render_batch(*args, **kwargs, managed=False)
-        assert recovered.sharding is not None
-        flat = _flat_engine().render_batch(*args, **kwargs, managed=False)
-        _assert_views_equal(recovered.views, flat.views)
+        replaced = engine.render_batch(*args, **kwargs, managed=False)
+        assert replaced.sharding is not None
+        _assert_views_equal(replaced.views, flat.views)
+        fresh_pool = replaced.views[0].shard_info.pool
+        assert fresh_pool is not pool
+        assert sorted(fresh_pool.live_worker_ids()) == list(range(N_WORKERS))
 
-    def test_worker_crash_during_backward_keeps_engine_arena_consistent(self):
-        """A managed batch whose backward dies can be released and re-rendered."""
-        from repro.engine import ArenaInUseError
+    def test_worker_crash_during_backward_recomputes_in_parent(self):
+        """A managed batch whose workers died still completes its backward.
 
+        The worker handles read unusable (dead process), so every view falls
+        back to the parent-side recompute path — gradients stay bitwise
+        against flat, the stale handles are logged, and the successful
+        backward consumes the managed claim exactly as on the serial path.
+        """
         spec = _spec("single_gaussian")
         args, kwargs = _batch_args(spec, n_views=2)
         engine = _sharded_engine()
+        flat_engine = _flat_engine()
         batch = engine.render_batch(*args, **kwargs)  # managed: claims ownership
         assert batch.sharding is not None
+        flat = flat_engine.render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(batch.views, flat.views)
         pool = batch.views[0].shard_info.pool
         for worker in pool._workers:
             worker.process.terminate()
             worker.process.join(timeout=5.0)
-        with pytest.raises(ShardWorkerError):
-            engine.backward_batch(
-                batch, spec.cloud, [np.zeros_like(view.image) for view in batch.views]
+        rng = np.random.default_rng(7)
+        dL_dimages = [rng.uniform(-1, 1, size=v.image.shape) for v in flat.views]
+        grads = engine.backward_batch(batch, spec.cloud, dL_dimages)
+        flat_grads = flat_engine.backward_batch(flat, spec.cloud, dL_dimages)
+        for name in GRADIENT_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(grads.cloud, name)),
+                np.asarray(getattr(flat_grads.cloud, name)),
+                err_msg=name,
             )
-        # The failed backward did not consume the batch: ownership is intact
-        # until the caller releases it, exactly as on the serial path.
-        with pytest.raises(ArenaInUseError):
-            engine.render_batch(*args, **kwargs)
-        engine.release(batch)
+        events = [
+            event["event"]
+            for event in batch.sharding.fault_events
+            if event["phase"] == "backward"
+        ]
+        assert events.count("stale-handle") == 2
+        # The successful backward released the arena claim: the next managed
+        # batch renders without an explicit release.
         fresh = engine.render_batch(*args, **kwargs)
         assert fresh.n_views == 2
         engine.release(fresh)
@@ -363,6 +455,338 @@ class TestShardedBackend:
             engine.backward_batch(
                 batch, spec.cloud, [np.zeros_like(v.image) for v in batch.views]
             )
+
+
+class TestFaultInjection:
+    """Deterministic chaos: injected faults must never lose a batch.
+
+    Every schedule — crash, hang, slow, poison, sticky total loss — must
+    leave ``render_batch``/``backward_batch`` total: same bits as the
+    healthy flat path, fault events on the attribution, no leaked shared
+    memory, no leaked processes.
+    """
+
+    def _engine(
+        self,
+        deadline: float = 10.0,
+        backoff: float = 0.5,
+        retries: int = 2,
+    ) -> RenderEngine:
+        return RenderEngine(
+            EngineConfig(
+                backend="sharded",
+                geom_cache=False,
+                shard_workers=N_WORKERS,
+                shard_deadline_s=deadline,
+                shard_backoff_s=backoff,
+                shard_retry_limit=retries,
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "schedule, expected_event, heals",
+        [
+            ("crash@0.*", "died", True),
+            ("hang@0.*:delay=30", "timeout", True),
+            ("slow@1.*:delay=0.2", "slow", False),
+            ("poison@0.*", "poisoned", True),
+        ],
+    )
+    def test_render_faults_heal_bitwise(
+        self, schedule, expected_event, heals, _no_shm_leak
+    ):
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        flat = _flat_engine().render_batch(*args, **kwargs, managed=False)
+        engine = self._engine(deadline=3.0, backoff=0.2)
+        with fault_plan(schedule):
+            batch = engine.render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(batch.views, flat.views)
+        sharding = batch.sharding
+        events = [event["event"] for event in sharding.fault_events]
+        assert expected_event in events
+        assert not sharding.escalated_views  # healed in-batch, never serial
+        if heals:
+            # The faulted worker was quarantined, respawned, and the lost
+            # views redispatched within the same batch.
+            assert sharding.fault_retries >= 1
+            assert 0 in sharding.fault_quarantined_workers
+            assert 0 in sharding.fault_respawned_workers
+        else:
+            # A slow worker is an observation, not a failure: no retry.
+            assert sharding.fault_retries == 0
+            assert not sharding.fault_quarantined_workers
+
+    @pytest.mark.parametrize(
+        "schedule, expected_event",
+        [
+            ("crash@*.*:phase=backward", "died"),
+            ("poison@0.*:phase=backward", "poisoned"),
+        ],
+    )
+    def test_backward_faults_recompute_bitwise(
+        self, schedule, expected_event, _no_shm_leak
+    ):
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        flat_engine = _flat_engine()
+        flat = flat_engine.render_batch(*args, **kwargs, managed=False)
+        engine = self._engine(deadline=5.0, backoff=0.2)
+        batch = engine.render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(batch.views, flat.views)
+        rng = np.random.default_rng(13)
+        dL_dimages = [rng.uniform(-1, 1, size=v.image.shape) for v in flat.views]
+        dL_ddepths = [rng.uniform(-1, 1, size=v.depth.shape) for v in flat.views]
+        with fault_plan(schedule):
+            grads = engine.backward_batch(
+                batch, spec.cloud, dL_dimages, dL_ddepths, compute_pose_gradient=True
+            )
+        flat_grads = flat_engine.backward_batch(
+            flat, spec.cloud, dL_dimages, dL_ddepths, compute_pose_gradient=True
+        )
+        for name in GRADIENT_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(grads.cloud, name)),
+                np.asarray(getattr(flat_grads.cloud, name)),
+                err_msg=name,
+            )
+        np.testing.assert_array_equal(
+            grads.per_view_pose_twists, flat_grads.per_view_pose_twists
+        )
+        # Backward fault events ride on the same attribution list the render
+        # started, tagged with their phase.
+        backward_events = [
+            event["event"]
+            for event in batch.sharding.fault_events
+            if event["phase"] == "backward"
+        ]
+        assert expected_event in backward_events
+
+    def test_sticky_total_crash_escalates_to_serial(self, _no_shm_leak):
+        """Sticky all-worker crashes exhaust retries, then the parent takes over.
+
+        Round 0 loses both workers; the retry respawns them and the sticky
+        sites kill them again; the retry budget is spent, so every view
+        escalates to serial parent execution — and the batch still matches
+        the flat path bitwise, forward and backward.
+        """
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        flat_engine = _flat_engine()
+        flat = flat_engine.render_batch(*args, **kwargs, managed=False)
+        engine = self._engine(deadline=5.0, backoff=0.1, retries=1)
+        with fault_plan("crash@*.*:sticky"):
+            batch = engine.render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(batch.views, flat.views)
+        sharding = batch.sharding
+        assert sorted(sharding.escalated_views) == list(range(batch.n_views))
+        assert sharding.worker_ids == [-1] * batch.n_views
+        assert sharding.fault_retries == 1
+        events = [event["event"] for event in sharding.fault_events]
+        assert events.count("escalated") == batch.n_views
+        assert "died" in events and "respawn" in events
+        # Escalated views stay routable: backend "sharded" so the batch
+        # backward flows through the mixed sharded handling, no worker
+        # handles, purely local gradients — still bitwise.
+        assert all(view.backend == "sharded" for view in batch.views)
+        assert [view.cache_status for view in batch.views] == ["uncached"] * 3
+        rng = np.random.default_rng(17)
+        dL_dimages = [rng.uniform(-1, 1, size=v.image.shape) for v in flat.views]
+        grads = engine.backward_batch(batch, spec.cloud, dL_dimages)
+        flat_grads = flat_engine.backward_batch(flat, spec.cloud, dL_dimages)
+        for name in GRADIENT_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(grads.cloud, name)),
+                np.asarray(getattr(flat_grads.cloud, name)),
+                err_msg=name,
+            )
+
+    def test_crash_with_cache_rewarns_worker_entries(self, _no_shm_leak):
+        """A respawned worker serves rebuilt cache entries, never stale ones."""
+        spec = _spec()
+        args, kwargs = _batch_args(spec)
+        engine = RenderEngine(
+            EngineConfig(
+                backend="sharded",
+                geom_cache=True,
+                shard_workers=N_WORKERS,
+                cache_tolerance_px=0.0,
+                cache_refine_margin=0.0,
+                cache_termination_margin=0.0,
+                shard_deadline_s=10.0,
+                shard_backoff_s=0.5,
+            )
+        )
+        uncached = rasterize_batch_views(*args, **kwargs)
+        warm = engine.render_batch(*args, **kwargs)
+        assert [view.cache_status for view in warm.views] == ["miss"] * 3
+        _assert_views_equal(warm.views, uncached.views)
+        engine.release(warm)
+        with fault_plan("crash@0.*"):
+            batch = engine.render_batch(*args, **kwargs)
+        _assert_views_equal(batch.views, uncached.views)
+        events = [event["event"] for event in batch.sharding.fault_events]
+        assert "died" in events and "respawn" in events
+        # The respawned worker lost its entries: its views rebuild as misses
+        # (epoch re-broadcast purged the parent's mirror), the surviving
+        # worker's views may still hit — a stale "hit" against lost worker
+        # state is the failure mode this pins down.
+        assert set(view.cache_status for view in batch.views) <= {"hit", "miss"}
+        engine.release(batch)
+        # The repeat window re-warms: views that stayed on their pre-crash
+        # worker hit, views the redispatch moved to a new worker rebuild as
+        # misses once more — and every tier stays bitwise against uncached.
+        repeat = engine.render_batch(*args, **kwargs)
+        assert set(view.cache_status for view in repeat.views) <= {"hit", "miss"}
+        assert any(view.cache_status == "hit" for view in repeat.views)
+        _assert_views_equal(repeat.views, uncached.views)
+        engine.release(repeat)
+
+    def test_wedged_worker_is_killed_not_leaked(self, _no_shm_leak):
+        """A SIGTERM-ignoring hung worker is killed by quarantine escalation."""
+        spec = _spec("single_gaussian")
+        args, kwargs = _batch_args(spec, n_views=2)
+        engine = self._engine(deadline=2.0, backoff=0.1, retries=1)
+        warm = engine.render_batch(*args, **kwargs, managed=False)
+        pool = warm.views[0].shard_info.pool
+        wedged = pool._workers[0].process
+        with fault_plan("hang@0.*:delay=60,wedge"):
+            batch = engine.render_batch(*args, **kwargs, managed=False)
+        flat = _flat_engine().render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(batch.views, flat.views)
+        sharding = batch.sharding
+        events = [event["event"] for event in sharding.fault_events]
+        assert "timeout" in events
+        assert 0 in sharding.fault_quarantined_workers
+        # terminate() was ignored (the wedge), so quarantine escalated to
+        # kill(): the 60s-sleep process must be dead, not orphaned.
+        assert not wedged.is_alive()
+
+    def test_close_kills_wedged_worker(self):
+        """Pool shutdown escalates terminate -> kill on a wedged worker."""
+        from repro.engine.sharded import ShardedPool
+
+        pool = ShardedPool(1)
+        try:
+            worker = pool._workers[0]
+            process = worker.process
+            worker.conn.send(
+                (
+                    "render",
+                    (
+                        999,
+                        "bogus",
+                        {
+                            "faults": [
+                                {
+                                    "key": "wedge-test",
+                                    "kind": "hang",
+                                    "delay": 120.0,
+                                    "wedge": True,
+                                }
+                            ]
+                        },
+                    ),
+                )
+            )
+            time.sleep(0.5)  # let the worker arm SIG_IGN and start sleeping
+        finally:
+            start = time.perf_counter()
+            pool.close()
+            elapsed = time.perf_counter() - start
+        assert pool.closed and pool.broken
+        assert not process.is_alive()
+        # shutdown-send (ignored) + join(2) + terminate (ignored) + join(2)
+        # + kill: well under the 120s the wedge would otherwise sleep.
+        assert elapsed < 30.0
+
+    def test_shard_pools_shut_down_at_interpreter_exit(self, tmp_path):
+        """Exiting without shutdown_shard_pools() must not hang or orphan.
+
+        The atexit guard (and daemonized workers) reap the pool: the child
+        interpreter exits cleanly and promptly on its own.
+        """
+        script = tmp_path / "atexit_child.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                from repro.engine import EngineConfig, RenderEngine
+                from repro.testing.scenarios import DEFAULT_LIBRARY
+
+
+                def main():
+                    spec = DEFAULT_LIBRARY.get("single_gaussian").build()
+                    n_views = 2
+                    poses = spec.view_poses(n_views)
+                    engine = RenderEngine(
+                        EngineConfig(
+                            backend="sharded", geom_cache=False, shard_workers=2
+                        )
+                    )
+                    batch = engine.render_batch(
+                        spec.cloud,
+                        [spec.camera] * n_views,
+                        poses,
+                        backgrounds=[spec.background] * n_views,
+                        tile_size=spec.tile_size,
+                        subtile_size=spec.subtile_size,
+                        managed=False,
+                    )
+                    assert batch.sharding is not None
+                    print("rendered", flush=True)
+                    # exit WITHOUT shutdown_shard_pools(): atexit must reap
+
+
+                if __name__ == "__main__":
+                    main()
+                """
+            )
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "rendered" in result.stdout
+
+    def test_differential_runner_fault_phase(self):
+        """The runner's fault phase re-renders the window under the schedule."""
+        from repro.testing.differential import DifferentialRunner
+        from repro.testing.scenarios import DEFAULT_LIBRARY
+
+        runner = DifferentialRunner(
+            fault_schedule="crash@0.*", fault_deadline_s=10.0
+        )
+        report = runner.run_scenario(DEFAULT_LIBRARY.get("single_gaussian"))
+        assert report.passed, report.failures
+        assert report.fault_events >= 1  # the schedule demonstrably fired
+        assert report.fault_image_diff == 0.0
+        assert report.fault_gradient_diff == 0.0
+        assert "fault" in report.summary()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_random_fault_schedules_stay_bitwise(self, seed):
+        """Property: any seeded random schedule completes bitwise.
+
+        Random schedules draw crash/slow/poison per (op, worker) from
+        ``derive_seed`` — hangs are excluded so each example stays fast.
+        """
+        spec = _spec("single_gaussian")
+        args, kwargs = _batch_args(spec)
+        flat = _flat_engine().render_batch(*args, **kwargs, managed=False)
+        engine = self._engine(deadline=5.0, backoff=0.2)
+        with fault_plan(f"random:{seed}:0.3"):
+            batch = engine.render_batch(*args, **kwargs, managed=False)
+        _assert_views_equal(batch.views, flat.views)
 
 
 class TestPlanExecuteSeam:
@@ -672,6 +1096,45 @@ class TestShardedMapping:
             # per-view plan time rides along on the snapshot.
             assert snapshot.plan_site == "worker"
             assert snapshot.shard_plan_seconds >= 0.0
+
+    def test_mapping_window_heals_under_faults(self, sequence):
+        """A worker crash mid-window never perturbs the optimization.
+
+        The sharded mapper under a crash schedule must produce the same
+        losses and the same cloud, bit for bit, as the flat mapper — and the
+        snapshots must carry the fault accounting for the profiling report.
+        """
+        from repro.slam import MappingConfig, StreamingMapper
+
+        config = MappingConfig(n_iterations=2, batch_views=3, geom_cache=False)
+        flat_mapper = StreamingMapper(config, engine=_flat_engine())
+        cloud_flat, keyframes = self._seeded(sequence, flat_mapper)
+        faulted_engine = RenderEngine(
+            EngineConfig(
+                backend="sharded",
+                geom_cache=False,
+                shard_workers=N_WORKERS,
+                shard_deadline_s=10.0,
+                shard_backoff_s=0.5,
+            )
+        )
+        sharded_mapper = StreamingMapper(config, engine=faulted_engine)
+        cloud_sharded = cloud_flat.copy()
+
+        result_flat = flat_mapper.map(cloud_flat, keyframes)
+        with fault_plan("crash@0.*"):
+            result_sharded = sharded_mapper.map(cloud_sharded, keyframes)
+        assert result_sharded.losses == result_flat.losses
+        np.testing.assert_array_equal(cloud_sharded.positions, cloud_flat.positions)
+        np.testing.assert_array_equal(cloud_sharded.colors, cloud_flat.colors)
+        # Batch-level fault counts ride on every view's snapshot; aggregate
+        # from view 0 only (the batch_amortization_report convention).
+        total_events = sum(
+            snapshot.fault_events
+            for snapshot in result_sharded.snapshots
+            if snapshot.view_index == 0
+        )
+        assert total_events >= 1
 
     def test_mapping_config_threads_shard_workers_into_engine(self):
         from repro.slam import MappingConfig, StreamingMapper
