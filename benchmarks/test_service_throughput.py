@@ -1,0 +1,127 @@
+"""Render-service throughput gate: shared pool vs a pool per session.
+
+The multi-tenant claim of ``repro.service`` is that N sessions multiplexed
+over ONE shared sharded worker pool beat N isolated engines that each pay
+their own pool spin-up: the spawn/warm-up cost is amortised across tenants
+and idle workers are never stranded inside a tenant that has no work.  This
+benchmark pins that claim under the acceptance workload — 8 sessions over a
+4-worker pool, each session rendering one 4-view batch:
+
+* ``shared_pool_vs_pool_per_session`` — sessions/sec of the shared-pool
+  service over sessions/sec of fresh pool-per-session engines (each baseline
+  session spawns its own pool, like N independent processes would).  Must
+  stay >= 1.5x (acceptance criterion of the service PR) and within 20% of
+  the committed baseline.
+* ``p99_unit_latency_ratio`` — p99 per-view latency of the baseline over the
+  shared service.  Unit latency in the service is the scheduler's own
+  attribution (queue wait + dispatch service time per view); in the baseline
+  it is the session's client-observed wall clock spread over its views.
+  Expect < 1: fair sharing makes late-scheduled views of every tenant wait
+  through other tenants' turns, a deliberate tail-latency-for-throughput
+  trade.  The gate only pins that the trade does not silently get worse —
+  regression against the committed baseline, no absolute floor.
+
+The gate needs real cores: hosts with fewer than 4 CPUs cannot run a
+4-worker pool meaningfully and the test auto-skips with a logged reason.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.perf_gate import check_speedup, skip_gate
+from repro.engine import EngineConfig, RenderEngine, shutdown_shard_pools
+from repro.service import RenderService
+from repro.testing.scenarios import DEFAULT_LIBRARY
+
+N_SESSIONS = 8
+N_WORKERS = 4
+N_VIEWS = 4
+
+
+def _window():
+    spec = DEFAULT_LIBRARY.get("dense_random").build()
+    return (
+        spec.cloud,
+        [spec.camera] * N_VIEWS,
+        spec.view_poses(N_VIEWS),
+    ), dict(backgrounds=[spec.background] * N_VIEWS)
+
+
+def _config() -> EngineConfig:
+    return EngineConfig(backend="sharded", geom_cache=False, shard_workers=N_WORKERS)
+
+
+def _run_shared(args, kwargs):
+    """All sessions through one service; returns (wall, unit latencies)."""
+    shutdown_shard_pools()  # the service pays its own (single) spawn
+    service = RenderService(_config(), round_quantum=2)
+    sessions = [service.open_session(f"tenant-{i}") for i in range(N_SESSIONS)]
+    start = time.perf_counter()
+    jobs = [session.submit(*args, **kwargs) for session in sessions]
+    batches = [job.result() for job in jobs]
+    wall = time.perf_counter() - start
+    unit_latencies = [
+        wait + busy
+        for batch in batches
+        for wait, busy in zip(
+            batch.sharding.view_queue_wait_seconds,
+            batch.sharding.view_service_seconds,
+        )
+    ]
+    service.close()
+    return wall, unit_latencies
+
+
+def _run_pool_per_session(args, kwargs):
+    """Each session spins up its own pool; returns (wall, unit latencies)."""
+    wall = 0.0
+    unit_latencies = []
+    for _ in range(N_SESSIONS):
+        shutdown_shard_pools()  # force a fresh spawn: this pool serves ONE tenant
+        start = time.perf_counter()
+        engine = RenderEngine(_config())
+        engine.render_batch(*args, **kwargs, managed=False)
+        session_wall = time.perf_counter() - start
+        wall += session_wall
+        unit_latencies.extend([session_wall / N_VIEWS] * N_VIEWS)
+    shutdown_shard_pools()
+    return wall, unit_latencies
+
+
+def test_service_throughput_gate():
+    n_cores = os.cpu_count() or 1
+    if n_cores < N_WORKERS:
+        skip_gate(
+            "service_throughput",
+            "shared_pool_vs_pool_per_session",
+            f"insufficient-cores:needs >= {N_WORKERS} cores for {N_WORKERS} "
+            f"workers; this host has {n_cores}",
+        )
+
+    args, kwargs = _window()
+    shared_wall, shared_latencies = _run_shared(args, kwargs)
+    baseline_wall, baseline_latencies = _run_pool_per_session(args, kwargs)
+
+    shared_rate = N_SESSIONS / shared_wall
+    baseline_rate = N_SESSIONS / baseline_wall
+    throughput_ratio = shared_rate / baseline_rate
+    p99_shared = float(np.percentile(shared_latencies, 99))
+    p99_baseline = float(np.percentile(baseline_latencies, 99))
+    latency_ratio = p99_baseline / p99_shared
+
+    print(
+        f"\nshared pool: {shared_rate:.2f} sessions/s "
+        f"(p99 unit {p99_shared * 1e3:.1f} ms) | pool-per-session: "
+        f"{baseline_rate:.2f} sessions/s (p99 unit {p99_baseline * 1e3:.1f} ms)"
+    )
+    check_speedup(
+        "service_throughput",
+        "shared_pool_vs_pool_per_session",
+        throughput_ratio,
+        minimum=1.5,
+    )
+    check_speedup("service_throughput", "p99_unit_latency_ratio", latency_ratio)

@@ -55,6 +55,27 @@ Environment variables (the full table also lives in the README):
                          :mod:`repro.engine.faults` for the grammar).  Not
                          an :class:`EngineConfig` field — it is read by the
                          backend at dispatch time.
+``REPRO_SERVICE_MAX_SESSIONS``
+                         Admission-control cap on concurrently open
+                         :class:`repro.service.RenderService` sessions
+                         (default 8).  Opening one more raises
+                         :class:`repro.service.AdmissionError`.  Must be a
+                         positive integer.
+``REPRO_SERVICE_CACHE_BUDGET``
+                         Global cross-session geometry-cache byte budget of
+                         the render service (default 0 = unbounded).  When
+                         the open sessions' caches exceed it, the service
+                         evicts the globally least-recently-used entry —
+                         whichever session owns it — until back under
+                         budget.  Requires the geometry cache to be enabled.
+                         Must be a non-negative integer.
+``REPRO_SERVICE_FAIR_WEIGHTS``
+                         Weighted-fair-queuing weights for service sessions.
+                         Either one positive number (the default weight of
+                         every session, e.g. ``2.5``) or comma-separated
+                         ``session_id=weight`` pairs
+                         (``mapper=4,tracker=1``); a session's share of the
+                         shared pool is proportional to its weight.
 ======================== ====================================================
 """
 
@@ -76,6 +97,9 @@ ENV_SHARD_RETRIES = "REPRO_SHARD_RETRIES"
 ENV_SHARD_DEADLINE_S = "REPRO_SHARD_DEADLINE_S"
 ENV_SHARD_BACKOFF_S = "REPRO_SHARD_BACKOFF_S"
 ENV_CACHE_POSE_QUANTUM = "REPRO_GEOM_CACHE_POSE_QUANTUM"
+ENV_SERVICE_MAX_SESSIONS = "REPRO_SERVICE_MAX_SESSIONS"
+ENV_SERVICE_CACHE_BUDGET = "REPRO_SERVICE_CACHE_BUDGET"
+ENV_SERVICE_FAIR_WEIGHTS = "REPRO_SERVICE_FAIR_WEIGHTS"
 
 ENGINE_ENV_VARS = (
     ENV_RASTER_BACKEND,
@@ -87,6 +111,9 @@ ENGINE_ENV_VARS = (
     ENV_SHARD_DEADLINE_S,
     ENV_SHARD_BACKOFF_S,
     ENV_CACHE_POSE_QUANTUM,
+    ENV_SERVICE_MAX_SESSIONS,
+    ENV_SERVICE_CACHE_BUDGET,
+    ENV_SERVICE_FAIR_WEIGHTS,
 )
 
 _FALSEY = ("0", "false", "off")
@@ -116,6 +143,56 @@ def _float_from_env(env: Mapping[str, str], name: str, default: float) -> float:
         return float(raw)
     except ValueError:
         raise ValueError(f"{name}={raw!r} is not a valid number") from None
+
+
+def _fair_weights_from_env(
+    env: Mapping[str, str],
+) -> tuple[float, tuple[tuple[str, float], ...]]:
+    """Parse ``REPRO_SERVICE_FAIR_WEIGHTS``: ``(default weight, overrides)``.
+
+    The grammar accepts one bare positive number (the default weight of every
+    session) and/or comma-separated ``session_id=weight`` overrides; see the
+    module docstring table.  Positivity and duplicate ids are validated by
+    ``EngineConfig.__post_init__`` so directly-constructed configs get the
+    same checks.
+    """
+    raw = env.get(ENV_SERVICE_FAIR_WEIGHTS)
+    if raw is None or raw.strip() == "":
+        return 1.0, ()
+    default_weight = 1.0
+    saw_default = False
+    pairs: list[tuple[str, float]] = []
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" in item:
+            session_id, _, value = item.partition("=")
+            session_id = session_id.strip()
+            try:
+                pairs.append((session_id, float(value)))
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_SERVICE_FAIR_WEIGHTS}={raw!r} has a non-numeric "
+                    f"weight for session {session_id!r}; expected "
+                    "'session_id=weight' pairs"
+                ) from None
+        else:
+            if saw_default:
+                raise ValueError(
+                    f"{ENV_SERVICE_FAIR_WEIGHTS}={raw!r} names more than one "
+                    "bare default weight; pass at most one number without a "
+                    "'session_id=' prefix"
+                )
+            try:
+                default_weight = float(item)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_SERVICE_FAIR_WEIGHTS}={raw!r} is not a weight "
+                    "number or a 'session_id=weight' list"
+                ) from None
+            saw_default = True
+    return default_weight, tuple(pairs)
 
 
 @dataclass(frozen=True)
@@ -165,6 +242,15 @@ class EngineConfig:
     # the toleranced stale-geometry tier, so cross-window tracking deltas
     # smaller than the quantum reuse cached geometry instead of rebuilding.
     cache_pose_quantum: float = 0.0
+    # Multi-tenant render-service knobs (repro.service.RenderService).  They
+    # only matter for engines owned by a service: admission cap on open
+    # sessions, global cross-session geometry-cache byte budget (0 =
+    # unbounded), the fair-queuing weight of sessions that do not name their
+    # own, and per-session-id weight overrides.
+    service_max_sessions: int = 8
+    service_cache_budget_bytes: int = 0
+    service_default_weight: float = 1.0
+    service_fair_weights: tuple[tuple[str, float], ...] = ()
     profiling_sink: Callable[..., None] | None = None
 
     def __post_init__(self) -> None:
@@ -226,6 +312,46 @@ class EngineConfig:
                 "cache_tolerance_px=0 disables — raise cache_tolerance_px or set "
                 "cache_pose_quantum=0"
             )
+        if self.service_max_sessions < 1:
+            raise ValueError(
+                f"service_max_sessions (REPRO_SERVICE_MAX_SESSIONS) must be >= 1, "
+                f"got {self.service_max_sessions}"
+            )
+        if self.service_cache_budget_bytes < 0:
+            raise ValueError(
+                f"service_cache_budget_bytes (REPRO_SERVICE_CACHE_BUDGET) must be "
+                f">= 0 (0 disables the budget), got {self.service_cache_budget_bytes}"
+            )
+        if self.service_cache_budget_bytes > 0 and not self.geom_cache:
+            raise ValueError(
+                "service_cache_budget_bytes > 0 (REPRO_SERVICE_CACHE_BUDGET) "
+                "requires the geometry cache: a cache byte budget cannot apply "
+                "when REPRO_GEOM_CACHE is off — enable geom_cache or set "
+                "service_cache_budget_bytes=0"
+            )
+        if not (self.service_default_weight > 0):
+            raise ValueError(
+                f"service_default_weight (REPRO_SERVICE_FAIR_WEIGHTS) must be > 0, "
+                f"got {self.service_default_weight}"
+            )
+        seen_ids: set[str] = set()
+        for session_id, weight in self.service_fair_weights:
+            if not session_id:
+                raise ValueError(
+                    "service_fair_weights (REPRO_SERVICE_FAIR_WEIGHTS) has an "
+                    "entry with an empty session id"
+                )
+            if session_id in seen_ids:
+                raise ValueError(
+                    f"service_fair_weights (REPRO_SERVICE_FAIR_WEIGHTS) names "
+                    f"session {session_id!r} twice"
+                )
+            seen_ids.add(session_id)
+            if not (weight > 0):
+                raise ValueError(
+                    f"service_fair_weights (REPRO_SERVICE_FAIR_WEIGHTS) weight for "
+                    f"session {session_id!r} must be > 0, got {weight}"
+                )
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None, **overrides) -> "EngineConfig":
@@ -293,6 +419,19 @@ class EngineConfig:
                     f"{ENV_CACHE_POSE_QUANTUM}={quantum_raw!r} must be >= 0 "
                     "(0 disables pose-quantised cache keys)"
                 )
+        max_sessions = _int_from_env(env, ENV_SERVICE_MAX_SESSIONS, 8)
+        if max_sessions < 1:
+            raise ValueError(
+                f"{ENV_SERVICE_MAX_SESSIONS}={env.get(ENV_SERVICE_MAX_SESSIONS)!r} "
+                "must be >= 1 (the admission cap on open service sessions)"
+            )
+        cache_budget = _int_from_env(env, ENV_SERVICE_CACHE_BUDGET, 0)
+        if cache_budget < 0:
+            raise ValueError(
+                f"{ENV_SERVICE_CACHE_BUDGET}={env.get(ENV_SERVICE_CACHE_BUDGET)!r} "
+                "must be >= 0 bytes (0 disables the cross-session cache budget)"
+            )
+        default_weight, fair_weights = _fair_weights_from_env(env)
         config = cls(
             backend=backend,
             tile_size=_int_from_env(env, ENV_TILE_SIZE, 16),
@@ -303,6 +442,10 @@ class EngineConfig:
             shard_deadline_s=deadline_s,
             shard_backoff_s=backoff_s,
             cache_pose_quantum=pose_quantum,
+            service_max_sessions=max_sessions,
+            service_cache_budget_bytes=cache_budget,
+            service_default_weight=default_weight,
+            service_fair_weights=fair_weights,
         )
         return replace(config, **overrides) if overrides else config
 

@@ -406,6 +406,9 @@ class RenderEngine:
         fault_retries: int = 0,
         fault_quarantines: int = 0,
         fault_escalated: bool = False,
+        session_id: str = "",
+        queue_wait_seconds: float = 0.0,
+        service_seconds: float = 0.0,
     ) -> "WorkloadSnapshot":
         """Build the workload snapshot of a render and forward it to the sink."""
         from repro.slam.records import WorkloadSnapshot
@@ -434,6 +437,9 @@ class RenderEngine:
             fault_retries=fault_retries,
             fault_quarantines=fault_quarantines,
             fault_escalated=fault_escalated,
+            session_id=session_id,
+            queue_wait_seconds=queue_wait_seconds,
+            service_seconds=service_seconds,
         )
         if self.config.profiling_sink is not None:
             self.config.profiling_sink(snap)

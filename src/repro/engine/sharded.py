@@ -104,7 +104,7 @@ import itertools
 import os
 import time
 import traceback
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
@@ -767,6 +767,15 @@ class ShardedPool:
         self._start_timeout = start_timeout
         self._closed = False
         self._workers: list[_Worker] = []
+        # Parent-side mirror of each worker's retained-batch window (see
+        # _worker_render_batch): uncached tokens rotate out FIFO once a worker
+        # has acknowledged _MAX_RETAINED_BATCHES newer uncached renders, and
+        # each cache namespace retains only its latest token.  Handles consult
+        # the mirror (token_resident) before a backward request is sent, so a
+        # batch the worker already evicted heals through the parent-recompute
+        # path instead of surfacing the worker's residency error.
+        self._resident_uncached: dict[int, deque] = {}
+        self._resident_cached: dict[int, dict] = {}
         try:
             with _single_threaded_blas_for_children():
                 for worker_id in range(self.n_workers):
@@ -827,6 +836,35 @@ class ShardedPool:
             and worker.epoch == epoch
             and worker.process.is_alive()
         )
+
+    def note_resident(self, worker_id: int, token: int, namespace=None) -> None:
+        """Mirror a successful render ack: ``token`` is now worker-resident.
+
+        Mimics the worker's own retention policy exactly: uncached batches
+        share a FIFO window of ``_MAX_RETAINED_BATCHES`` slots, cached batches
+        supersede the namespace's previous token.
+        """
+        if namespace is None:
+            window = self._resident_uncached.setdefault(
+                worker_id, deque(maxlen=_MAX_RETAINED_BATCHES)
+            )
+            window.append(token)
+        else:
+            self._resident_cached.setdefault(worker_id, {})[namespace] = token
+
+    def note_invalidated(self, namespace=None) -> None:
+        """Mirror a cache invalidation: the namespace's batches are gone."""
+        for retained in self._resident_cached.values():
+            if namespace is None:
+                retained.clear()
+            else:
+                retained.pop(namespace, None)
+
+    def token_resident(self, worker_id: int, token: int) -> bool:
+        """Does the parent-side mirror still consider ``token`` retained?"""
+        return token in self._resident_uncached.get(
+            worker_id, ()
+        ) or token in self._resident_cached.get(worker_id, {}).values()
 
     def quarantine(self, worker_id: int) -> None:
         """Take a worker out of service: kill it and close its pipe.
@@ -1064,7 +1102,9 @@ class _ShardHandle:
     ``epoch`` pins the worker incarnation that rendered the view; ``lost``
     marks a handle whose retained batch was superseded worker-side by an
     in-batch redispatch.  Backward treats an unusable handle (lost, stale
-    epoch, quarantined/dead worker, closed pool) as a fault and recomputes
+    epoch, quarantined/dead worker, closed pool, or a token that later
+    dispatches on the shared pool rotated out of the worker's retained set —
+    the pool mirrors that rotation parent-side) as a fault and recomputes
     the view's backward pass in the parent instead of asking the worker.
     """
 
@@ -1077,7 +1117,11 @@ class _ShardHandle:
     lost: bool = False
 
     def usable(self) -> bool:
-        return not self.lost and self.pool.worker_usable(self.worker_id, self.epoch)
+        return (
+            not self.lost
+            and self.pool.worker_usable(self.worker_id, self.epoch)
+            and self.pool.token_resident(self.worker_id, self.token)
+        )
 
 
 def default_shard_workers() -> int:
@@ -1153,8 +1197,11 @@ def _validate_backward_reply(payload, expected_views: Sequence[int]) -> "str | N
         if not isinstance(item, tuple) or len(item) != 10:
             return "malformed per-view gradient reply"
         got.append(item[0])
-    if sorted(got) != sorted(expected_views):
-        return f"reply covers views {sorted(got)}, expected {sorted(expected_views)}"
+    # Order-sensitive: the parent maps replies back to caller views by
+    # position, and dispatch-local indices can repeat across the stitched
+    # rounds of a service batch, so a reordered reply is structurally bad.
+    if got != list(expected_views):
+        return f"reply covers views {got}, expected {list(expected_views)}"
     return None
 
 
@@ -1628,6 +1675,12 @@ class ShardedBackend:
                             }
                         )
                         to_escalate.update(fault_views)
+                        # The worker rotates its retained-batch window before
+                        # planning, so a failed render still consumed a slot
+                        # (uncached) or dropped the namespace's previous token
+                        # (cached); mirror that with a sentinel no real token
+                        # can match, keeping token_resident pessimistic.
+                        pool.note_resident(fault.worker_id, -1, namespace)
                     else:
                         fault_log.append(
                             {
@@ -1668,10 +1721,14 @@ class ShardedBackend:
                             }
                         )
                     if payload.get("desync"):
+                        # The worker dropped the namespace's retained batch
+                        # before reporting the desync — mirror the drop.
+                        pool.note_resident(worker_id, -1, namespace)
                         desync = True
                         continue
                     epoch = pool.worker_epoch(worker_id)
                     rendered_tokens.setdefault(worker_id, []).append(token)
+                    pool.note_resident(worker_id, token, namespace)
                     for view in payload["views"]:
                         index = view["index"]
                         plan_seconds[index] = view["plan_seconds"]
@@ -1894,6 +1951,7 @@ class ShardedBackend:
                         for worker_id in pool.live_worker_ids()
                     }
                 )
+                pool.note_invalidated(namespace)
             except ShardWorkerError:
                 if pool.broken:
                     _discard_pool(pool)
@@ -1944,9 +2002,14 @@ class ShardedBackend:
             }
             projected_specs_by_view[view_index] = projected_specs
             # Per-item tokens: after an in-batch redispatch one worker can
-            # hold views of this batch under several tokens.
+            # hold views of this batch under several tokens.  The index sent
+            # worker-ward is the handle's *dispatch-local* one — the key the
+            # worker stored the view under — which differs from the caller's
+            # batch index when several dispatches were stitched into one
+            # batch (the render service's round-based scheduling); replies
+            # are mapped back to caller indices by position.
             per_worker.setdefault(handle.worker_id, []).append(
-                (handle.token, view_index, image_spec, depth_spec, projected_specs)
+                (handle.token, handle.view_index, image_spec, depth_spec, projected_specs)
             )
             views_by_worker.setdefault(handle.worker_id, []).append(view_index)
         fault_sites = (
@@ -1990,7 +2053,9 @@ class ShardedBackend:
                 )
                 failed.extend(views_by_worker[fault.worker_id])
             for worker_id, payload in replies.items():
-                problem = _validate_backward_reply(payload, views_by_worker[worker_id])
+                problem = _validate_backward_reply(
+                    payload, [item[1] for item in per_worker[worker_id]]
+                )
                 if problem is not None:
                     pool.quarantine(worker_id)
                     fault_log.append(
@@ -2014,8 +2079,8 @@ class ShardedBackend:
                             "detail": ",".join(map(str, payload["fault_sites"])),
                         }
                     )
-                for (
-                    view_index,
+                for slot, (
+                    _local_index,
                     colors,
                     opacities,
                     means2d,
@@ -2025,7 +2090,12 @@ class ShardedBackend:
                     trace_sources,
                     trace_counts,
                     _seconds,
-                ) in payload["views"]:
+                ) in enumerate(payload["views"]):
+                    # Workers answer items in send order (validated above),
+                    # so the slot maps the reply back to the caller's batch
+                    # index even when dispatch-local indices collide across
+                    # the stitched rounds of a service batch.
+                    view_index = views_by_worker[worker_id][slot]
                     view_result = view_results[view_index]
                     # Swap the worker's heavy projection intermediates into
                     # the stitched stub so the fused Step 5 sees the same

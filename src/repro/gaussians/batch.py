@@ -129,6 +129,13 @@ class ShardAttribution:
     # Views that fell back to serial flat execution in the parent (their
     # worker_ids entry is -1 and they carry no worker handle).
     escalated_views: list[int] = field(default_factory=list)
+    # -- multi-tenant attribution (render service) ---------------------------
+    # The owning service session and its per-view scheduler timings: how long
+    # each view waited in the session queue before dispatch and how long its
+    # dispatch round took.  Empty / "" outside repro.service.RenderService.
+    session_id: str = ""
+    view_queue_wait_seconds: list[float] = field(default_factory=list)
+    view_service_seconds: list[float] = field(default_factory=list)
 
 
 @dataclass

@@ -166,6 +166,7 @@ class CacheStats:
     incremental: int = 0
     misses: int = 0
     evictions: int = 0
+    budget_evictions: int = 0  # entries evicted to satisfy a byte budget
     truncation_fallbacks: int = 0  # capped renders that re-ran dense
 
     def count(self, status: str) -> None:
@@ -198,9 +199,28 @@ class CacheStats:
             "incremental": self.incremental,
             "misses": self.misses,
             "evictions": self.evictions,
+            "budget_evictions": self.budget_evictions,
             "truncation_fallbacks": self.truncation_fallbacks,
             "reuse_fraction": self.reuse_fraction,
         }
+
+
+class CacheClock:
+    """A shared recency counter several caches can tick together.
+
+    Per-cache ``last_used`` stamps are only comparable across caches when
+    they come from one monotonic source; the render service installs one
+    ``CacheClock`` into every session's cache (``GeometryCache.set_clock``)
+    so the global cross-session LRU can compare entries from different
+    tenants.
+    """
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def tick(self) -> int:
+        self.value += 1
+        return self.value
 
 
 def view_key(
@@ -440,10 +460,22 @@ class GeometryCache:
         self._entries: dict[tuple, _CacheEntry] = {}
         self._arena: FlatArena | None = None
         self._clock = 0
+        self._shared_clock: CacheClock | None = None
 
     # -- public API ---------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
+
+    def set_clock(self, clock: CacheClock) -> None:
+        """Stamp recency from a shared :class:`CacheClock` from now on.
+
+        The shared counter is advanced past this cache's private clock first,
+        so entries touched before the hand-over stay older than everything
+        touched after it — on this cache and on every other cache sharing the
+        clock.
+        """
+        clock.value = max(clock.value, self._clock)
+        self._shared_clock = clock
 
     def clear(self) -> None:
         """Drop every cached entry (the arena's high-water mark is kept)."""
@@ -716,7 +748,10 @@ class GeometryCache:
         entry.capped_tile_ids = frozenset(capped)
 
     def _touch(self, entry: _CacheEntry) -> None:
-        self._clock += 1
+        if self._shared_clock is not None:
+            self._clock = self._shared_clock.tick()
+        else:
+            self._clock += 1
         entry.last_used = self._clock
 
     def _evict(self) -> None:
@@ -724,3 +759,76 @@ class GeometryCache:
             oldest = min(self._entries.values(), key=lambda entry: entry.last_used)
             del self._entries[oldest.key]
             self.stats.evictions += 1
+
+    # -- byte accounting / budgeted eviction --------------------------------
+    def total_bytes(self) -> int:
+        """Resident bytes of every cached entry (shared buffers counted once)."""
+        seen: set[int] = set()
+        return sum(
+            _entry_nbytes(entry, seen) for entry in self._entries.values()
+        )
+
+    def oldest_entry(self) -> "tuple[int, tuple] | None":
+        """``(last_used, key)`` of the least-recently-used entry, or ``None``.
+
+        ``last_used`` stamps are comparable across caches sharing one
+        :class:`CacheClock`; the render service uses this to pick the global
+        LRU victim among all open sessions.
+        """
+        if not self._entries:
+            return None
+        oldest = min(self._entries.values(), key=lambda entry: entry.last_used)
+        return oldest.last_used, oldest.key
+
+    def evict_lru(self) -> "tuple | None":
+        """Evict the least-recently-used entry for a byte budget; its key.
+
+        Unlike capacity eviction this may empty the cache entirely.  Work
+        units already planned against the evicted entry stay valid — they
+        hold a direct reference — and the next lookup of the evicted view
+        simply rebuilds as a miss, so budget pressure can never corrupt an
+        in-flight batch, only cost a rebuild.
+        """
+        if not self._entries:
+            return None
+        oldest = min(self._entries.values(), key=lambda entry: entry.last_used)
+        del self._entries[oldest.key]
+        self.stats.evictions += 1
+        self.stats.budget_evictions += 1
+        return oldest.key
+
+
+def _entry_nbytes(obj, seen: set[int]) -> int:
+    """Recursively sum ndarray bytes under ``obj``, deduplicating buffers.
+
+    Cached products alias each other aggressively (refined fragment
+    schedules share the builder's arrays, ``intersections.projected`` *is*
+    the entry's ``projected``), so every array is resolved to its owning
+    base buffer and each buffer is counted once per ``seen`` set — pass one
+    set across all entries of a cache for resident-set semantics.
+    """
+    import dataclasses as _dc
+
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes, frozenset)):
+        return 0
+    if isinstance(obj, np.ndarray):
+        root = obj
+        while isinstance(root.base, np.ndarray):
+            root = root.base
+        if id(root) in seen:
+            return 0
+        seen.add(id(root))
+        return int(root.nbytes)
+    if isinstance(obj, (list, tuple)):
+        return sum(_entry_nbytes(item, seen) for item in obj)
+    if isinstance(obj, dict):
+        return sum(_entry_nbytes(item, seen) for item in obj.values())
+    if _dc.is_dataclass(obj) and not isinstance(obj, type):
+        if id(obj) in seen:
+            return 0
+        seen.add(id(obj))
+        return sum(
+            _entry_nbytes(getattr(obj, field.name), seen)
+            for field in _dc.fields(obj)
+        )
+    return 0

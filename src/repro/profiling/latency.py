@@ -111,7 +111,7 @@ def batch_amortization_report(
     statuses = [s.cache_status for s in mapping]
     shard_workers = [s.shard_workers for s in mapping]
     sharded_views = [s for s in mapping if s.shard_workers > 1]
-    return {
+    report = {
         "batched_s": batched,
         "sequential_s": sequential,
         "speedup": sequential / batched if batched > 0 else 1.0,
@@ -149,6 +149,26 @@ def batch_amortization_report(
         ),
         "fault_escalated_views": float(sum(s.fault_escalated for s in mapping)),
     }
+    # -- multi-tenant rollup (render service) --------------------------------
+    # Only snapshots attributed to a service session contribute, and the key
+    # is added only when at least one exists, so single-tenant consumers see
+    # the exact flat report they always did.  The rollup spans *all* stages
+    # (service tenants render outside the mapping loop too).
+    session_ids = sorted({s.session_id for s in snapshots if s.session_id})
+    if session_ids:
+        sessions: dict[str, dict[str, float]] = {}
+        for session_id in session_ids:
+            views = [s for s in snapshots if s.session_id == session_id]
+            sessions[session_id] = {
+                "n_views": float(len(views)),
+                "queue_wait_s": float(sum(s.queue_wait_seconds for s in views)),
+                "service_s": float(sum(s.service_seconds for s in views)),
+                "modelled_s": float(
+                    sum(model.iteration_latency(s).total for s in views)
+                ),
+            }
+        report["sessions"] = sessions
+    return report
 
 
 def per_frame_latency_series(

@@ -1,0 +1,31 @@
+"""Multi-tenant render service: many sessions, one shared worker pool.
+
+:class:`RenderService` multiplexes many concurrent rendering tenants over the
+*one* shared sharded worker pool the engine layer already maintains, instead
+of a pool per backend instance: a central weighted-fair scheduler interleaves
+per-session work units round by round, admission control bounds the open
+sessions and the queued work (rejections raise :class:`AdmissionError`), and
+cross-session geometry-cache byte budgets evict the globally least-recently
+used entries through :class:`CacheBudgetManager`.  See the README "Render
+service" section for the session lifecycle and semantics.
+"""
+
+from repro.service.budget import CacheBudgetManager
+from repro.service.service import (
+    AdmissionError,
+    RenderService,
+    RenderSession,
+    ServiceJob,
+    SessionClosedError,
+    SessionStats,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CacheBudgetManager",
+    "RenderService",
+    "RenderSession",
+    "ServiceJob",
+    "SessionClosedError",
+    "SessionStats",
+]

@@ -123,9 +123,22 @@ class SLAMPipeline:
     tracking_hook: TrackingHook | None = None
     resolution_policy: ResolutionPolicy | None = None
     engine: RenderEngine | None = None
+    # A repro.service.RenderSession this pipeline runs as: the session's
+    # engine becomes the pipeline engine, so tracking and mapping render
+    # under the session's identity (shared pool, fair weight, cache budget).
+    # Duck-typed (anything with an .engine) to keep slam/ free of a service
+    # import.
+    session: object | None = None
     _mapper: Mapper = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.session is not None:
+            if self.engine is not None and self.engine is not self.session.engine:
+                raise ValueError(
+                    "pass either engine= or session=, not both: a session "
+                    "already owns its engine"
+                )
+            self.engine = self.session.engine
         self._mapper = Mapper(self.config.mapping, engine=self.engine)
         if self.engine is None:
             self.engine = self._mapper.engine

@@ -77,6 +77,13 @@ class WorkloadSnapshot:
     fault_retries: int = 0
     fault_quarantines: int = 0
     fault_escalated: bool = False
+    # Multi-tenant attribution (repro.service.RenderService): the owning
+    # session, how long this view waited in the session queue before its
+    # dispatch round, and the wall-clock of that round.  Defaults outside
+    # the service; batch_amortization_report rolls these up per session.
+    session_id: str = ""
+    queue_wait_seconds: float = 0.0
+    service_seconds: float = 0.0
 
     @staticmethod
     def from_iteration(
@@ -103,6 +110,9 @@ class WorkloadSnapshot:
         fault_retries: int = 0,
         fault_quarantines: int = 0,
         fault_escalated: bool = False,
+        session_id: str = "",
+        queue_wait_seconds: float = 0.0,
+        service_seconds: float = 0.0,
     ) -> "WorkloadSnapshot":
         """Build a snapshot from a render result and (optionally) its gradients.
 
@@ -155,6 +165,9 @@ class WorkloadSnapshot:
             fault_retries=fault_retries,
             fault_quarantines=fault_quarantines,
             fault_escalated=fault_escalated,
+            session_id=session_id,
+            queue_wait_seconds=queue_wait_seconds,
+            service_seconds=service_seconds,
         )
 
     # -- aggregate statistics -------------------------------------------------

@@ -45,6 +45,16 @@ exact render.  A runner constructed with a ``fault_schedule``
 window under that schedule and requires the self-healing sharded dispatch to
 complete it bitwise-identical to the healthy run — the CI chaos job and the
 fault-injection tests drive this phase.
+
+A runner constructed with ``n_service_sessions > 0`` adds a multi-tenant
+phase (:meth:`DifferentialRunner.verify_service`): that many concurrent
+:mod:`repro.service` sessions — submitted first, then driven to completion so
+the weighted-fair scheduler genuinely interleaves their work units over the
+shared pool — must each produce a batch bitwise-identical to a solo private
+engine rendering the same window, forward and fused backward, with the
+geometry cache off and on (exact configuration, miss and hit rounds), and,
+when the runner also carries a ``fault_schedule``, under injected faults
+against the healthy solo run.
 """
 
 from __future__ import annotations
@@ -116,6 +126,12 @@ class ScenarioReport:
     fault_image_diff: float = 0.0
     fault_gradient_diff: float = 0.0
     fault_events: int = 0  # fault events observed during the fault phase
+    service_image_diff: float = 0.0
+    service_gradient_diff: float = 0.0
+    service_cached_image_diff: float = 0.0
+    service_cached_gradient_diff: float = 0.0
+    service_fault_diff: float = 0.0
+    service_fault_events: int = 0  # fault events during the service fault phase
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -177,6 +193,12 @@ class DifferentialRunner:
     # attribution.  None (the default) skips the phase.
     fault_schedule: str | None = None
     fault_deadline_s: float = 20.0  # shard deadline of the fault-phase engine
+    # Sessions of the multi-tenant service phase (repro.service): that many
+    # interleaved sessions each compared bitwise against a solo private
+    # engine — cache off and on, plus under the fault schedule when one is
+    # set.  0 (the default) skips the phase.
+    n_service_sessions: int = 0
+    n_service_views: int = 4  # views per service session's job
 
     def __post_init__(self) -> None:
         self._engines: dict[str, RenderEngine] = {}
@@ -1011,6 +1033,225 @@ class DifferentialRunner:
         sharded_quantised.invalidate_cache()
         return failures
 
+    def verify_service(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
+        """Pin interleaved service sessions bitwise against solo engines.
+
+        Opens ``n_service_sessions`` sessions on one :class:`RenderService`
+        (round quantum 2, so every round is a genuine sub-batch over the
+        shared pool), submits every session's ``n_service_views``-view job
+        *before* consuming any result — the weighted-fair scheduler then
+        truly interleaves the tenants — and requires each session's stitched
+        batch to be **bit-identical**, forward and fused backward, to a solo
+        private engine rendering the same window.  The cached variant runs
+        the same tenants with per-session exact-configuration geometry caches
+        (a miss round then a hit round; the parent-resident cached path is
+        bitwise against uncached by the cache phase's guarantee), and a
+        ``fault_schedule`` adds a run under injected faults compared against
+        the healthy solo batches.  Each batch must also carry its session's
+        id on the attribution.
+        """
+        diffs = {
+            "service_image": 0.0,
+            "service_grad": 0.0,
+            "service_cached_image": 0.0,
+            "service_cached_grad": 0.0,
+            "service_fault": 0.0,
+            "service_fault_events": 0.0,
+        }
+        failures: list[str] = []
+        if self.n_service_sessions <= 0 or self.sharded_backend not in REGISTRY:
+            return diffs, failures
+        from repro.service import RenderService
+
+        n_sessions = self.n_service_sessions
+        n_views = self.n_service_views
+        # Overlapping per-session windows: distinct poses per tenant catch
+        # cross-session result contamination that identical windows would
+        # mask, while every pose still comes from the scenario's orbit.
+        poses_all = spec.view_poses(n_views + n_sessions - 1)
+        windows = [poses_all[i : i + n_views] for i in range(n_sessions)]
+        cameras = [spec.camera] * n_views
+        batch_kwargs = dict(
+            backgrounds=[spec.background] * n_views,
+            tile_size=spec.tile_size,
+            subtile_size=spec.subtile_size,
+        )
+
+        solo_engine = self.engine_for(self.sharded_backend)
+        solos = [
+            solo_engine.render_batch(
+                spec.cloud, cameras, window, **batch_kwargs, managed=False
+            )
+            for window in windows
+        ]
+        losses = [
+            [
+                self._loss_arrays(
+                    spec, view.image.shape, view.depth.shape, salt=71 + 16 * s + v
+                )
+                for v, view in enumerate(solo.views)
+            ]
+            for s, solo in enumerate(solos)
+        ]
+        solo_grads = [
+            solo_engine.backward_batch(
+                solo,
+                spec.cloud,
+                [image for image, _ in loss],
+                [depth for _, depth in loss],
+                compute_pose_gradient=True,
+            )
+            for solo, loss in zip(solos, losses)
+        ]
+
+        def interleave(service: RenderService, label: str):
+            sessions = [
+                service.open_session(f"svc-{label}-{s}") for s in range(n_sessions)
+            ]
+            jobs = [
+                session.submit(spec.cloud, cameras, window, **batch_kwargs)
+                for session, window in zip(sessions, windows)
+            ]
+            return sessions, [job.result() for job in jobs]
+
+        def compare(label, sessions, batches, image_key, grad_key) -> None:
+            for s, (session, batch, solo) in enumerate(zip(sessions, batches, solos)):
+                sharding = batch.sharding
+                if sharding is None or sharding.session_id != session.session_id:
+                    failures.append(
+                        f"service {label} session {s}: attribution does not "
+                        "carry its session id"
+                    )
+                for v, (view, solo_view) in enumerate(zip(batch.views, solo.views)):
+                    for name in ("image", "depth", "alpha"):
+                        a = getattr(view, name)
+                        b = getattr(solo_view, name)
+                        if not np.array_equal(a, b):
+                            worst = _max_abs_diff(a, b)
+                            diffs[image_key] = max(diffs[image_key], worst)
+                            failures.append(
+                                f"service {label} session {s} view {v}: {name} "
+                                f"differs from the solo engine (max diff "
+                                f"{worst:.3e})"
+                            )
+                    if not np.array_equal(
+                        view.fragments_per_pixel, solo_view.fragments_per_pixel
+                    ):
+                        failures.append(
+                            f"service {label} session {s} view {v}: fragment "
+                            "counts differ from the solo engine"
+                        )
+                grads = session.backward_batch(
+                    batch,
+                    spec.cloud,
+                    [image for image, _ in losses[s]],
+                    [depth for _, depth in losses[s]],
+                    compute_pose_gradient=True,
+                )
+                for name in GRADIENT_FIELDS:
+                    a = np.asarray(getattr(grads.cloud, name))
+                    b = np.asarray(getattr(solo_grads[s].cloud, name))
+                    if not np.array_equal(a, b):
+                        worst = _max_abs_diff(a, b)
+                        diffs[grad_key] = max(diffs[grad_key], worst)
+                        failures.append(
+                            f"service {label} session {s}: gradient {name} "
+                            f"differs from the solo engine (max diff "
+                            f"{worst:.3e})"
+                        )
+                if not np.array_equal(
+                    grads.per_view_pose_twists, solo_grads[s].per_view_pose_twists
+                ):
+                    failures.append(
+                        f"service {label} session {s}: per-view pose twists "
+                        "differ from the solo engine"
+                    )
+
+        # -- cache-off tenants over the shared pool ------------------------
+        service = RenderService(
+            EngineConfig(
+                backend=self.sharded_backend,
+                geom_cache=False,
+                shard_workers=self.n_shard_workers,
+            ),
+            round_quantum=2,
+        )
+        sessions, batches = interleave(service, "pool")
+        compare("pool", sessions, batches, "service_image", "service_grad")
+        if not any(
+            units < n_views for _sid, units in service.dispatch_log
+        ) and n_sessions > 1:
+            failures.append(
+                "service pool: the dispatch log shows no sub-batch rounds — "
+                "the sessions were not interleaved"
+            )
+        service.close()
+
+        # -- cache-on tenants (parent-resident exact caches) ---------------
+        service = RenderService(
+            EngineConfig(
+                backend=self.sharded_backend,
+                geom_cache=True,
+                shard_workers=self.n_shard_workers,
+                **_EXACT_ENGINE_CACHE,
+            ),
+            round_quantum=2,
+        )
+        sessions, batches = interleave(service, "cached")
+        for s, batch in enumerate(batches):
+            statuses = [view.cache_status for view in batch.views]
+            if statuses != ["miss"] * n_views:
+                failures.append(
+                    f"service cached session {s}: first-round statuses "
+                    f"{statuses}, expected all misses"
+                )
+        # Exact-mode cached renders are bitwise against uncached, so the solo
+        # uncached batches remain the reference.  compare() also runs the
+        # backward, which consumes each session's arena claim and unblocks
+        # the hit round below.
+        compare("cached", sessions, batches, "service_cached_image", "service_cached_grad")
+        jobs = [
+            session.submit(spec.cloud, cameras, window, **batch_kwargs)
+            for session, window in zip(sessions, windows)
+        ]
+        repeats = [job.result() for job in jobs]
+        for s, batch in enumerate(repeats):
+            statuses = [view.cache_status for view in batch.views]
+            if statuses != ["hit"] * n_views:
+                failures.append(
+                    f"service cached session {s}: repeat-round statuses "
+                    f"{statuses}, expected all hits"
+                )
+        compare(
+            "cached-hit", sessions, repeats, "service_cached_image", "service_cached_grad"
+        )
+        service.close()
+
+        # -- the same tenants under the fault schedule ----------------------
+        if self.fault_schedule:
+            from repro.engine import fault_plan
+
+            service = RenderService(
+                EngineConfig(
+                    backend=self.sharded_backend,
+                    geom_cache=False,
+                    shard_workers=self.n_shard_workers,
+                    shard_deadline_s=self.fault_deadline_s,
+                    shard_backoff_s=1.0,
+                ),
+                round_quantum=2,
+            )
+            with fault_plan(self.fault_schedule):
+                sessions, batches = interleave(service, "fault")
+            for batch in batches:
+                if batch.sharding is not None:
+                    diffs["service_fault_events"] += float(
+                        len(batch.sharding.fault_events)
+                    )
+            compare("fault", sessions, batches, "service_fault", "service_fault")
+            service.close()
+        return diffs, failures
+
     def run_scenario(self, scenario: Scenario) -> ScenarioReport:
         """Render + backprop ``scenario`` through both backends and compare."""
         spec = scenario.build()
@@ -1020,6 +1261,7 @@ class DifferentialRunner:
         cache_diffs, cache_failures = self.verify_cache(spec)
         engine_diffs, engine_failures = self.verify_engine(spec)
         sharded_diffs, sharded_failures = self.verify_sharded(spec)
+        service_diffs, service_failures = self.verify_service(spec)
 
         image_diff = _max_abs_diff(reference.image, candidate.image)
         depth_diff = _max_abs_diff(reference.depth, candidate.depth)
@@ -1060,6 +1302,7 @@ class DifferentialRunner:
         failures.extend(cache_failures)
         failures.extend(engine_failures)
         failures.extend(sharded_failures)
+        failures.extend(service_failures)
 
         return ScenarioReport(
             name=scenario.name,
@@ -1083,6 +1326,12 @@ class DifferentialRunner:
             fault_image_diff=sharded_diffs["fault_image"],
             fault_gradient_diff=sharded_diffs["fault_grad"],
             fault_events=int(sharded_diffs["fault_events"]),
+            service_image_diff=service_diffs["service_image"],
+            service_gradient_diff=service_diffs["service_grad"],
+            service_cached_image_diff=service_diffs["service_cached_image"],
+            service_cached_gradient_diff=service_diffs["service_cached_grad"],
+            service_fault_diff=service_diffs["service_fault"],
+            service_fault_events=int(service_diffs["service_fault_events"]),
             failures=failures,
         )
 

@@ -106,6 +106,10 @@ SCENARIO_OPTIONS: dict[str, MatrixOptions] = {
     "long_trajectory": MatrixOptions(n_views=12, tier="long", mapper_iterations=3),
     "aggressive_motion": MatrixOptions(n_views=6),
     "mixed_resolution": MatrixOptions(n_views=3),
+    # Distorted per-view intrinsics stay pinhole-projected, so every cell
+    # keeps its backend's documented tolerance (bitwise flat/sharded,
+    # forward_tol on tile) — tolerance_for needs no scenario carve-out.
+    "camera_distortion": MatrixOptions(n_views=3),
     "densify_churn": MatrixOptions(churn=True),
 }
 

@@ -451,6 +451,38 @@ def _mixed_resolution() -> SceneSpec:
 
 
 @ADVERSARIAL_LIBRARY.add(
+    "camera_distortion",
+    "anamorphic and decentered intrinsics: fx != fy, principal point off-centre",
+)
+def _camera_distortion() -> SceneSpec:
+    # The rectified-crop proxy for lens distortion: real pipelines undistort
+    # and crop, leaving anamorphic focal lengths (fx != fy) and a principal
+    # point well away from the image centre.  The projection model stays
+    # pinhole (the rasterizer's contract), but every x/y symmetry assumption
+    # in projection, tiling and culling is broken per view.
+    rng = np.random.default_rng(61)
+    points = rng.uniform(-0.5, 0.5, size=(50, 3))
+    points[:, 2] *= 0.4
+    colors = rng.uniform(0.1, 0.9, size=(50, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.11, opacity=0.7)
+    base = Camera.from_fov(40, 30, fov_x_degrees=70.0)
+    return SceneSpec(
+        cloud=cloud,
+        camera=base,
+        pose_cw=_look_at_origin(),
+        background=np.array([0.06, 0.04, 0.1]),
+        extra_view_cameras=(
+            # Anamorphic: squeezed vertically, principal point pushed toward
+            # the top-left quadrant (an off-centre rectified crop).
+            Camera(40, 30, fx=base.fx, fy=0.6 * base.fy, cx=11.0, cy=7.5),
+            # Stretched horizontally with the principal point near the
+            # bottom-right corner: splats spill across the opposite tiles.
+            Camera(40, 30, fx=1.45 * base.fx, fy=base.fy, cx=31.0, cy=24.0),
+        ),
+    )
+
+
+@ADVERSARIAL_LIBRARY.add(
     "densify_churn",
     "under-covered scene whose mapper cells densify and prune mid-window",
 )

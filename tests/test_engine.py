@@ -304,6 +304,90 @@ class TestEngineConfig:
         config = EngineConfig(cache_pose_quantum=0.05, cache_tolerance_px=1.0)
         assert config.cache_config().pose_quantum == 0.05
 
+    # -- render-service knobs -------------------------------------------------
+    def test_from_env_service_knobs(self):
+        config = EngineConfig.from_env({})
+        assert config.service_max_sessions == 8
+        assert config.service_cache_budget_bytes == 0
+        assert config.service_default_weight == 1.0
+        assert config.service_fair_weights == ()
+        config = EngineConfig.from_env(
+            {
+                "REPRO_SERVICE_MAX_SESSIONS": "3",
+                "REPRO_SERVICE_CACHE_BUDGET": "65536",
+                "REPRO_SERVICE_FAIR_WEIGHTS": "2.0,tracking=3,mapping=0.5",
+                "REPRO_GEOM_CACHE": "on",
+            }
+        )
+        assert config.service_max_sessions == 3
+        assert config.service_cache_budget_bytes == 65536
+        assert config.service_default_weight == 2.0
+        assert config.service_fair_weights == (("tracking", 3.0), ("mapping", 0.5))
+        # Empty strings fall back to the defaults like every other knob.
+        config = EngineConfig.from_env(
+            {
+                "REPRO_SERVICE_MAX_SESSIONS": "",
+                "REPRO_SERVICE_CACHE_BUDGET": "",
+                "REPRO_SERVICE_FAIR_WEIGHTS": "",
+            }
+        )
+        assert config.service_max_sessions == 8
+        assert config.service_fair_weights == ()
+
+    def test_from_env_rejects_bad_service_knobs(self):
+        with pytest.raises(ValueError, match="REPRO_SERVICE_MAX_SESSIONS"):
+            EngineConfig.from_env({"REPRO_SERVICE_MAX_SESSIONS": "many"})
+        with pytest.raises(ValueError, match="REPRO_SERVICE_MAX_SESSIONS"):
+            EngineConfig.from_env({"REPRO_SERVICE_MAX_SESSIONS": "0"})
+        with pytest.raises(ValueError, match="REPRO_SERVICE_CACHE_BUDGET"):
+            EngineConfig.from_env({"REPRO_SERVICE_CACHE_BUDGET": "-1"})
+        with pytest.raises(ValueError, match="REPRO_SERVICE_CACHE_BUDGET"):
+            EngineConfig.from_env({"REPRO_SERVICE_CACHE_BUDGET": "unbounded"})
+
+    def test_from_env_rejects_bad_fair_weights(self):
+        for value in (
+            "fast",  # non-numeric bare weight
+            "0",  # nonpositive default weight
+            "1.0,2.0",  # two bare default weights
+            "=2",  # empty session id
+            "alpha=",  # empty weight
+            "alpha=big",  # non-numeric session weight
+            "alpha=-1",  # nonpositive session weight
+            "alpha=nan",  # NaN never compares > 0
+            "alpha=1,alpha=2",  # duplicate session id
+        ):
+            with pytest.raises(ValueError, match="REPRO_SERVICE_FAIR_WEIGHTS"):
+                EngineConfig.from_env({"REPRO_SERVICE_FAIR_WEIGHTS": value})
+
+    def test_service_budget_without_cache_is_a_named_conflict(self):
+        # A cross-session cache budget is unenforceable without the geometry
+        # cache; the conflict must fail at config time naming both knobs.
+        with pytest.raises(ValueError, match="REPRO_SERVICE_CACHE_BUDGET") as excinfo:
+            EngineConfig.from_env(
+                {"REPRO_SERVICE_CACHE_BUDGET": "4096", "REPRO_GEOM_CACHE": "0"}
+            )
+        assert "REPRO_GEOM_CACHE" in str(excinfo.value)
+        # A cache-enabled config resolves it; so does a zero budget.
+        config = EngineConfig.from_env(
+            {"REPRO_SERVICE_CACHE_BUDGET": "4096", "REPRO_GEOM_CACHE": "on"}
+        )
+        assert config.service_cache_budget_bytes == 4096
+        assert EngineConfig.from_env(
+            {"REPRO_SERVICE_CACHE_BUDGET": "0", "REPRO_GEOM_CACHE": "0"}
+        ).service_cache_budget_bytes == 0
+
+    def test_service_overrides_beat_env(self):
+        config = EngineConfig.from_env(
+            {
+                "REPRO_SERVICE_MAX_SESSIONS": "3",
+                "REPRO_SERVICE_FAIR_WEIGHTS": "7.5",
+            },
+            service_max_sessions=12,
+            service_default_weight=1.5,
+        )
+        assert config.service_max_sessions == 12
+        assert config.service_default_weight == 1.5
+
 
 class TestEngineRendering:
     def test_engine_matches_internal_backends_bitwise(self):

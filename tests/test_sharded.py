@@ -328,30 +328,56 @@ class TestShardedBackend:
         assert capabilities.worker_resident_cache
         assert not capabilities.reference
 
-    def test_worker_side_eviction_raises_clean_error(self):
-        """Backward on a batch evicted from its workers errors, never hangs."""
+    def test_worker_side_eviction_heals_via_parent_recompute(self):
+        """Backward on a batch evicted from its workers recomputes locally.
+
+        Workers retain a bounded window of batches; the pool mirrors that
+        rotation parent-side, so a handle whose token rotated out reads
+        unusable and backward falls back to the bitwise parent-recompute
+        path (logged as ``stale-handle``) instead of surfacing the worker's
+        residency error.  Interleaved tenants on the shared pool hit this
+        constantly — see ``repro.service``.
+        """
         spec = _spec("single_gaussian")
         args, kwargs = _batch_args(spec, n_views=2)
         engine = _sharded_engine()
+        flat_engine = _flat_engine()
         stale = engine.render_batch(*args, **kwargs, managed=False)
+        flat = flat_engine.render_batch(*args, **kwargs, managed=False)
         assert stale.sharding is not None
-        # Workers retain a bounded number of batches; render enough new ones
-        # to push the first out of every worker's retention window.
+        # Render enough newer batches to push the first out of every
+        # worker's retention window.
         for _ in range(3):
             engine.render_batch(*args, **kwargs, managed=False)
         fresh = engine.render_batch(*args, **kwargs, managed=False)
         pool = fresh.views[0].shard_info.pool
-        with pytest.raises(ShardWorkerError, match="no longer resident"):
-            engine.backward_batch(
-                stale, spec.cloud, [np.zeros_like(view.image) for view in stale.views]
+        assert not any(v.shard_info.usable() for v in stale.views)
+        rng = np.random.default_rng(11)
+        dL_dimages = [rng.uniform(-1, 1, size=v.image.shape) for v in stale.views]
+        grads = engine.backward_batch(stale, spec.cloud, dL_dimages)
+        flat_grads = flat_engine.backward_batch(flat, spec.cloud, dL_dimages)
+        for name in GRADIENT_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(grads.cloud, name)),
+                np.asarray(getattr(flat_grads.cloud, name)),
+                err_msg=name,
             )
-        # A worker-reported error is recoverable: the shared pool survives
-        # and still-resident batches keep working through the same workers.
+        events = [
+            event["event"]
+            for event in stale.sharding.fault_events
+            if event["phase"] == "backward"
+        ]
+        assert events.count("stale-handle") == len(stale.views)
+        # Healing is local: the shared pool survives and still-resident
+        # batches keep their fast worker-side backward path.
         assert not pool.broken
         grads = engine.backward_batch(
             fresh, spec.cloud, [np.zeros_like(view.image) for view in fresh.views]
         )
         assert fresh.views[0].shard_info.pool is pool
+        assert not any(
+            event["phase"] == "backward" for event in fresh.sharding.fault_events
+        )
         assert np.isfinite(grads.cloud.positions).all()
 
     def test_worker_crash_before_render_heals_and_completes(self):
