@@ -13,10 +13,12 @@ collapsed into:
   fragment arena (with aliasing protection via :class:`ArenaInUseError`) and
   workload-snapshot emission.
 * :class:`BackendRegistry` / :func:`register_backend` — the pluggable
-  strategy seam.  ``flat``, ``tile`` and ``sharded`` (multi-process
-  execution of the flat batch plan, :mod:`repro.engine.sharded`) are the
-  built-ins; a future ``async`` execution strategy implements
-  :class:`RenderBackend` and registers without touching callers.
+  strategy seam.  ``flat``, ``tile``, ``sharded`` (multi-process execution
+  of the flat batch plan, :mod:`repro.engine.sharded`) and ``async``
+  (speculative double-buffered pipelining over the sharded pool,
+  :mod:`repro.engine.async_backend`) are the built-ins; further execution
+  strategies implement :class:`RenderBackend` and register without touching
+  callers.
 
 The legacy free functions remain as deprecated shims delegating to
 :func:`default_engine`, so existing call sites keep working bit-identically
@@ -56,6 +58,7 @@ from repro.engine.sharded import (  # noqa: E402
     ShardWorkerError,
     shutdown_shard_pools,
 )
+from repro.engine.async_backend import AsyncBackend  # noqa: E402
 from repro.engine.engine import (  # noqa: E402
     ArenaInUseError,
     RenderEngine,
@@ -65,6 +68,7 @@ from repro.engine.engine import (  # noqa: E402
 
 __all__ = [
     "ArenaInUseError",
+    "AsyncBackend",
     "BackendCapabilities",
     "BackendRegistry",
     "BatchRenderRequest",

@@ -76,6 +76,23 @@ Environment variables (the full table also lives in the README):
                          ``session_id=weight`` pairs
                          (``mapper=4,tracker=1``); a session's share of the
                          shared pool is proportional to its weight.
+``REPRO_ASYNC_PIPELINE`` ``1`` enables the asynchronous double-buffered
+                         pipeline (default off): ``StreamingMapper``
+                         speculates the next mapping window on the ``async``
+                         backend's shadow arena while the parent finishes the
+                         current one, and ``SLAMPipeline`` hides mapping
+                         latency behind tracking (the tracker renders the
+                         last *published* cloud snapshot while the mapper
+                         optimises in the background).  Requires a
+                         batch-capable backend (conflicts with
+                         ``backend="tile"``) and a multi-process worker pool
+                         (conflicts with ``shard_workers=0``).
+``REPRO_ASYNC_DEPTH``    Speculation depth of the ``async`` backend (default
+                         1): how many mapping windows may be planned ahead of
+                         consumption, each against its own shadow arena.
+                         Speculating beyond the depth raises
+                         :class:`repro.engine.ArenaInUseError`.  Must be a
+                         positive integer.
 ======================== ====================================================
 """
 
@@ -100,6 +117,8 @@ ENV_CACHE_POSE_QUANTUM = "REPRO_GEOM_CACHE_POSE_QUANTUM"
 ENV_SERVICE_MAX_SESSIONS = "REPRO_SERVICE_MAX_SESSIONS"
 ENV_SERVICE_CACHE_BUDGET = "REPRO_SERVICE_CACHE_BUDGET"
 ENV_SERVICE_FAIR_WEIGHTS = "REPRO_SERVICE_FAIR_WEIGHTS"
+ENV_ASYNC_PIPELINE = "REPRO_ASYNC_PIPELINE"
+ENV_ASYNC_DEPTH = "REPRO_ASYNC_DEPTH"
 
 ENGINE_ENV_VARS = (
     ENV_RASTER_BACKEND,
@@ -114,6 +133,8 @@ ENGINE_ENV_VARS = (
     ENV_SERVICE_MAX_SESSIONS,
     ENV_SERVICE_CACHE_BUDGET,
     ENV_SERVICE_FAIR_WEIGHTS,
+    ENV_ASYNC_PIPELINE,
+    ENV_ASYNC_DEPTH,
 )
 
 _FALSEY = ("0", "false", "off")
@@ -251,6 +272,16 @@ class EngineConfig:
     service_cache_budget_bytes: int = 0
     service_default_weight: float = 1.0
     service_fair_weights: tuple[tuple[str, float], ...] = ()
+    # Async double-buffered pipeline (repro.engine.async_backend +
+    # SLAMPipeline overlap).  ``async_pipeline`` turns on the overlap
+    # scheduling: the mapper speculates the next window while the parent
+    # finishes the current one, and the pipeline tracks against the last
+    # published cloud snapshot while mapping runs in the background.
+    # ``async_depth`` bounds how many windows the async backend may plan
+    # ahead of consumption (each pending speculation owns a shadow arena;
+    # exceeding the depth raises ArenaInUseError).
+    async_pipeline: bool = False
+    async_depth: int = 1
     profiling_sink: Callable[..., None] | None = None
 
     def __post_init__(self) -> None:
@@ -333,6 +364,28 @@ class EngineConfig:
             raise ValueError(
                 f"service_default_weight (REPRO_SERVICE_FAIR_WEIGHTS) must be > 0, "
                 f"got {self.service_default_weight}"
+            )
+        if self.async_depth < 1:
+            raise ValueError(
+                f"async_depth (REPRO_ASYNC_DEPTH) must be >= 1, got "
+                f"{self.async_depth}: the async backend needs at least one "
+                "speculation slot"
+            )
+        if self.async_pipeline and self.backend == "tile":
+            raise ValueError(
+                "async_pipeline (REPRO_ASYNC_PIPELINE) conflicts with "
+                "backend='tile' (REPRO_RASTER_BACKEND): the tile reference "
+                "loop has no batch path to pipeline, so the overlap could "
+                "never engage — pick a batch-capable backend (e.g. 'async' "
+                "or 'sharded') or disable async_pipeline"
+            )
+        if self.async_pipeline and self.shard_workers == 0:
+            raise ValueError(
+                "async_pipeline (REPRO_ASYNC_PIPELINE) conflicts with "
+                "shard_workers=0 (REPRO_SHARD_WORKERS): with no worker "
+                "processes every window degrades to the serial flat path and "
+                "there is nothing to overlap the parent's Step-5 backward "
+                "with — raise shard_workers or disable async_pipeline"
             )
         seen_ids: set[str] = set()
         for session_id, weight in self.service_fair_weights:
@@ -432,6 +485,18 @@ class EngineConfig:
                 "must be >= 0 bytes (0 disables the cross-session cache budget)"
             )
         default_weight, fair_weights = _fair_weights_from_env(env)
+        async_raw = env.get(ENV_ASYNC_PIPELINE)
+        async_pipeline = (
+            async_raw is not None
+            and async_raw != ""
+            and async_raw.lower() not in _FALSEY
+        )
+        async_depth = _int_from_env(env, ENV_ASYNC_DEPTH, 1)
+        if async_depth < 1:
+            raise ValueError(
+                f"{ENV_ASYNC_DEPTH}={env.get(ENV_ASYNC_DEPTH)!r} must be >= 1 "
+                "(the async backend needs at least one speculation slot)"
+            )
         config = cls(
             backend=backend,
             tile_size=_int_from_env(env, ENV_TILE_SIZE, 16),
@@ -446,6 +511,8 @@ class EngineConfig:
             service_cache_budget_bytes=cache_budget,
             service_default_weight=default_weight,
             service_fair_weights=fair_weights,
+            async_pipeline=async_pipeline,
+            async_depth=async_depth,
         )
         return replace(config, **overrides) if overrides else config
 

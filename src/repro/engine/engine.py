@@ -331,6 +331,63 @@ class RenderEngine:
             self._claim(batch, "render_batch")
         return batch
 
+    # -- speculative pipelining ----------------------------------------------
+    def speculate_batch(
+        self,
+        cloud: "GaussianCloud",
+        cameras: "Sequence[Camera]",
+        poses_cw: "Sequence[SE3]",
+        backgrounds: "np.ndarray | Sequence[np.ndarray | None] | None" = None,
+        *,
+        tile_size: int | None = None,
+        subtile_size: int | None = None,
+        active_only: bool = True,
+        backend: str | None = None,
+    ):
+        """Hint that this exact batch will be rendered next; start it early.
+
+        On a pipelining backend (``async``) this launches the identical
+        deterministic render on a background thread against a backend-owned
+        shadow arena — *not* the engine's live arena, so no claim is taken
+        and :class:`ArenaInUseError` aliasing protection is untouched.  The
+        next matching managed :meth:`render_batch` adopts the early result
+        (and its arena, completing the double-buffer swap); any intervening
+        cloud mutation invalidates the speculation and it is discarded.
+
+        Returns the backend's :class:`~repro.gaussians.batch.SpeculativePlanHandle`,
+        or ``None`` when the backend does not pipeline — callers may invoke
+        this unconditionally.
+        """
+        impl = self.backend(backend)
+        speculate = getattr(impl, "speculate_batch", None)
+        if speculate is None:
+            return None
+        cache = self.cache if impl.capabilities().cache else None
+        request = BatchRenderRequest(
+            cloud=cloud,
+            cameras=cameras,
+            poses_cw=poses_cw,
+            backgrounds=backgrounds,
+            tile_size=self.config.tile_size if tile_size is None else tile_size,
+            subtile_size=self.config.subtile_size if subtile_size is None else subtile_size,
+            active_only=active_only,
+            arena=None,
+            cache=cache,
+        )
+        return speculate(request)
+
+    def drain(self, backend: str | None = None) -> None:
+        """Barrier: retire any in-flight speculative work on the backend.
+
+        A no-op on non-pipelining backends.  After ``drain()`` the engine's
+        next render is exactly the serial computation — the differential
+        harness's ``async == flat`` bitwise pin holds from this point.
+        """
+        impl = self.backend(backend)
+        drain = getattr(impl, "drain", None)
+        if drain is not None:
+            drain()
+
     # -- backward ------------------------------------------------------------
     def backward(
         self,
@@ -409,6 +466,10 @@ class RenderEngine:
         session_id: str = "",
         queue_wait_seconds: float = 0.0,
         service_seconds: float = 0.0,
+        async_published: bool = False,
+        published_epoch: int = -1,
+        async_overlap_seconds: float = 0.0,
+        async_mapping_seconds: float = 0.0,
     ) -> "WorkloadSnapshot":
         """Build the workload snapshot of a render and forward it to the sink."""
         from repro.slam.records import WorkloadSnapshot
@@ -440,6 +501,10 @@ class RenderEngine:
             session_id=session_id,
             queue_wait_seconds=queue_wait_seconds,
             service_seconds=service_seconds,
+            async_published=async_published,
+            published_epoch=published_epoch,
+            async_overlap_seconds=async_overlap_seconds,
+            async_mapping_seconds=async_mapping_seconds,
         )
         if self.config.profiling_sink is not None:
             self.config.profiling_sink(snap)

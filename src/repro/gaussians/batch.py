@@ -229,6 +229,109 @@ def _normalise_backgrounds(
     return [shared_background] * n_views
 
 
+@dataclass(frozen=True)
+class SpeculationKey:
+    """Validity signature of a speculatively planned batch.
+
+    A speculative plan (the ``async`` backend rendering window *k+1* while the
+    parent finishes window *k*) may only be consumed if the batch it was built
+    for is still *bitwise* the batch being requested.  The key captures every
+    input that influences the rendered pixels: the cloud's identity and full
+    mutation-epoch state (the same scalars the sharded workers key their
+    resident caches by), per-view camera geometry, poses and backgrounds, the
+    tiling knobs, and the cache identity.  The arena is deliberately excluded
+    — it is an allocation detail, and double-buffering swaps it by design.
+
+    Any cloud mutation between speculation and consumption (optimiser step,
+    densify/prune, ``notify_removed``) bumps an epoch or accumulates a delta,
+    the keys stop matching, and the stale plan is discarded — never stitched.
+    """
+
+    cloud_uid: int
+    epoch: int
+    structure_epoch: int
+    unbounded_epoch: int
+    cum_position_delta: float
+    cum_log_scale_delta: float
+    cum_opacity_delta: float
+    views: tuple
+    tile_size: int
+    subtile_size: int
+    active_only: bool
+    cache_id: int | None
+
+    @staticmethod
+    def from_batch_inputs(
+        cloud: GaussianCloud,
+        cameras: Sequence[Camera],
+        poses_cw: Sequence[SE3],
+        backgrounds=None,
+        *,
+        tile_size: int = 16,
+        subtile_size: int = 4,
+        active_only: bool = True,
+        cache=None,
+    ) -> "SpeculationKey":
+        backgrounds_per_view = _normalise_backgrounds(backgrounds, len(cameras))
+        views = tuple(
+            (
+                (
+                    int(camera.width),
+                    int(camera.height),
+                    float(camera.fx),
+                    float(camera.fy),
+                    float(camera.cx),
+                    float(camera.cy),
+                ),
+                np.ascontiguousarray(pose.rotation, dtype=np.float64).tobytes()
+                + np.ascontiguousarray(pose.translation, dtype=np.float64).tobytes(),
+                b""
+                if background is None
+                else np.ascontiguousarray(background, dtype=np.float64).tobytes(),
+            )
+            for camera, pose, background in zip(cameras, poses_cw, backgrounds_per_view)
+        )
+        return SpeculationKey(
+            cloud_uid=cloud.uid,
+            epoch=cloud.epoch,
+            structure_epoch=cloud.structure_epoch,
+            unbounded_epoch=cloud.unbounded_epoch,
+            cum_position_delta=float(cloud.cum_position_delta),
+            cum_log_scale_delta=float(cloud.cum_log_scale_delta),
+            cum_opacity_delta=float(cloud.cum_opacity_delta),
+            views=views,
+            tile_size=int(tile_size),
+            subtile_size=int(subtile_size),
+            active_only=bool(active_only),
+            cache_id=None if cache is None else id(cache),
+        )
+
+
+@dataclass
+class SpeculativePlanHandle:
+    """Observable lifecycle of one speculative batch plan.
+
+    ``pending`` (in flight on the pool) -> exactly one of ``consumed`` (the
+    matching request arrived and adopted the result), ``discarded`` (inputs
+    changed before consumption — epoch bump, different window — so the work
+    was thrown away), or ``drained`` (an explicit :meth:`drain` barrier
+    retired it).  Handles are bookkeeping only; they never expose the
+    underlying buffers, so a discarded speculation cannot leak half-built
+    state into a later batch.
+    """
+
+    key: SpeculationKey
+    status: str = "pending"
+
+    @property
+    def pending(self) -> bool:
+        return self.status == "pending"
+
+    @property
+    def consumed(self) -> bool:
+        return self.status == "consumed"
+
+
 @dataclass
 class ViewWorkUnit:
     """One view's self-contained rasterization work, emitted by the planner.

@@ -302,6 +302,29 @@ class GaussianCloud:
             active=self.active.copy(),
         )
 
+    def snapshot_copy(self) -> "GaussianCloud":
+        """Deep copy that *preserves* identity and epoch bookkeeping.
+
+        :meth:`copy` deliberately mints a fresh ``uid`` (a copy is a new
+        cloud whose mutations diverge).  Publication in the async SLAM
+        pipeline needs the opposite: the tracker renders a frozen snapshot
+        whose content is bitwise the live cloud *at this epoch*, so geometry
+        cache entries keyed by ``(uid, epochs, deltas)`` stay coherent
+        between the published snapshot and the mapper's live cloud until the
+        mapper actually mutates.  The snapshot shares no arrays with the
+        live cloud — later optimiser steps cannot bleed into a frame being
+        tracked — but it answers to the same cache keys.
+        """
+        snapshot = self.copy()
+        snapshot._uid = self._uid
+        snapshot._epoch = self._epoch
+        snapshot._structure_epoch = self._structure_epoch
+        snapshot._unbounded_epoch = self._unbounded_epoch
+        snapshot._cum_position_delta = self._cum_position_delta
+        snapshot._cum_log_scale_delta = self._cum_log_scale_delta
+        snapshot._cum_opacity_delta = self._cum_opacity_delta
+        return snapshot
+
     def extend(self, other: "GaussianCloud") -> None:
         """Append all Gaussians from ``other`` (used by mapping densification)."""
         self.positions = np.concatenate([self.positions, other.positions], axis=0)

@@ -149,6 +149,20 @@ def batch_amortization_report(
         ),
         "fault_escalated_views": float(sum(s.fault_escalated for s in mapping)),
     }
+    # -- async-pipeline accounting (zero on a serial run) ---------------------
+    # One publication marker per background mapping job (its last snapshot):
+    # count them, sum the mapping wall-clock that ran concurrently with
+    # tracking, and express it as the fraction of background-mapping
+    # wall-clock that tracking hid, so the overlap is visible next to the
+    # amortisation numbers.
+    publications = [s for s in mapping if s.async_published]
+    overlap_seconds = float(sum(s.async_overlap_seconds for s in publications))
+    mapping_seconds = float(sum(s.async_mapping_seconds for s in publications))
+    report["async_publications"] = float(len(publications))
+    report["async_overlap_s"] = overlap_seconds
+    report["async_overlap_fraction"] = (
+        overlap_seconds / mapping_seconds if mapping_seconds > 0 else 0.0
+    )
     # -- multi-tenant rollup (render service) --------------------------------
     # Only snapshots attributed to a service session contribute, and the key
     # is added only when at least one exists, so single-tenant consumers see

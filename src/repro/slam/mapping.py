@@ -217,6 +217,17 @@ class StreamingMapper:
         losses: list[float] = []
         snapshots: list[WorkloadSnapshot] = []
         batch_sizes: list[int] = []
+        # On a pipelining backend (``async``), hint each *next* iteration's
+        # window right after the optimiser update lands: the workers plan
+        # window k+1's Step 1-2 (geometry-cache lookups included) against a
+        # shadow arena while the parent still runs window k's visibility
+        # recording, snapshot emission and window re-selection.  The hint is
+        # issued only once the cloud is final for the next iteration, so the
+        # speculation key matches at consume time; any structural surprise
+        # (densify/prune between hints) invalidates it and it is discarded.
+        pipelined = config.batched and hasattr(
+            self.engine.backend(), "speculate_batch"
+        )
         for iteration in range(config.n_iterations):
             if config.batched:
                 window = self._select_window(keyframes)
@@ -229,7 +240,24 @@ class StreamingMapper:
                 )
             losses.append(loss)
             batch_sizes.append(len(window))
+            if pipelined and iteration + 1 < config.n_iterations:
+                next_window = self._select_window(keyframes)
+                self.engine.speculate_batch(
+                    cloud,
+                    [frame.camera for frame in next_window],
+                    [
+                        frame.estimated_pose_cw or frame.gt_pose_cw
+                        for frame in next_window
+                    ],
+                    tile_size=config.tile_size,
+                    subtile_size=config.subtile_size,
+                )
 
+        if pipelined:
+            # Barrier before structural mutation: nothing speculative may
+            # outlive this mapping call (the matrix and the differential
+            # harness rely on per-call isolation).
+            self.engine.drain()
         n_pruned = self._prune_transparent(cloud)
         return MappingResult(
             losses=losses,

@@ -17,7 +17,9 @@ the unmodified base algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+import time
+from dataclasses import dataclass, field, replace
 from typing import Protocol
 
 import numpy as np
@@ -34,6 +36,60 @@ from repro.slam.keyframes import make_keyframe_policy
 from repro.slam.mapping import Mapper
 from repro.slam.records import FrameRecord, WorkloadSnapshot
 from repro.slam.tracking import GeometricTracker, GradientTracker, TrackingHook
+
+
+class PublicationBoard:
+    """Epoch-pinned published-map slot shared between mapper and tracker threads.
+
+    The async pipeline decouples tracking from mapping: the mapper optimises
+    the *live* cloud on a background thread while the tracker renders the last
+    *published* snapshot.  Publication is a single atomic swap under a lock of
+    a :meth:`~repro.gaussians.gaussian_model.GaussianCloud.snapshot_copy` —
+    a deep copy that preserves the cloud's identity and epoch bookkeeping, so
+
+    * a reader can never observe a half-updated cloud: it either sees the
+      previous publication whole or the new one whole (the hypothesis
+      property in ``tests/test_async_backend.py`` pins this), and
+    * geometry-cache keys stay coherent: the snapshot answers to the same
+      ``(uid, epochs, cumulative deltas)`` the live cloud had at publication
+      time, so the tracker's cache hits its exact tier within one publication
+      and the toleranced incremental tier across publications.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cloud: GaussianCloud | None = None
+        self._epoch: int = -1
+        self.publications: int = 0
+
+    def publish(self, cloud: GaussianCloud) -> int:
+        """Snapshot ``cloud`` and make it the tracker-visible map; returns its epoch."""
+        snapshot = cloud.snapshot_copy()
+        with self._lock:
+            self._cloud = snapshot
+            self._epoch = snapshot.epoch
+            self.publications += 1
+        return snapshot.epoch
+
+    def current(self) -> "tuple[GaussianCloud | None, int]":
+        """The last published snapshot and its pinned epoch (atomically)."""
+        with self._lock:
+            return self._cloud, self._epoch
+
+
+class _MappingJob:
+    """One in-flight background mapping call and its late-bound bookkeeping."""
+
+    def __init__(self, cloud: GaussianCloud, keyframes: list[Frame], map_every_frame: bool):
+        self.cloud = cloud
+        self.keyframes = keyframes
+        self.map_every_frame = map_every_frame
+        self.result = None
+        self.error: BaseException | None = None
+        self.duration = 0.0
+        self.published_epoch = -1
+        self.record: FrameRecord | None = None
+        self.thread: threading.Thread | None = None
 
 
 class ResolutionPolicy(Protocol):
@@ -142,10 +198,28 @@ class SLAMPipeline:
         self._mapper = Mapper(self.config.mapping, engine=self.engine)
         if self.engine is None:
             self.engine = self._mapper.engine
+        # Async tracking/mapping overlap (EngineConfig.async_pipeline /
+        # REPRO_ASYNC_PIPELINE): the mapper optimises the live cloud on a
+        # background thread while the tracker renders the last *published*
+        # snapshot.  The tracker then needs its own engine — claims, cache and
+        # arena are per-thread state — while the mapping engine (and with
+        # backend="async" its speculative window pipelining) stays exclusive
+        # to the mapping thread.  A tracking hook mutates the shared cloud
+        # from the tracking side, which cannot race with background mapping:
+        # the overlap disables itself and the run stays strictly serial.
+        self._async_overlap = bool(
+            getattr(self.engine.config, "async_pipeline", False)
+        ) and self.tracking_hook is None
+        tracking_engine = self.engine
+        if self._async_overlap:
+            tracking_engine = RenderEngine(replace(self.engine.config))
+        self._tracking_engine = tracking_engine
         if self.config.tracker == "geometric":
-            self._tracker = GeometricTracker(self.config.geometric_tracking, engine=self.engine)
+            self._tracker = GeometricTracker(
+                self.config.geometric_tracking, engine=tracking_engine
+            )
         else:
-            self._tracker = GradientTracker(self.config.tracking, engine=self.engine)
+            self._tracker = GradientTracker(self.config.tracking, engine=tracking_engine)
         self._keyframe_policy = make_keyframe_policy(
             self.config.keyframe_policy, **self.config.keyframe_kwargs
         )
@@ -170,6 +244,64 @@ class SLAMPipeline:
         peak_gaussians = 0
         last_keyframe: Frame | None = None
 
+        # Async overlap state: the publication board the tracker reads, and
+        # the (single) in-flight background mapping job.  ``finish_mapping``
+        # is the drain point: it joins the job, measures how much of the
+        # mapping wall-clock was hidden behind tracking, and backfills the
+        # job's FrameRecord + publication annotations.
+        board = PublicationBoard()
+        self.publication_board = board
+        pending_job: "list[_MappingJob]" = []
+
+        def annotate_publication(
+            result, epoch: int, overlap_seconds: float, mapping_seconds: float
+        ) -> None:
+            if result.snapshots:
+                marker = result.snapshots[-1]
+                marker.async_published = True
+                marker.published_epoch = epoch
+                marker.async_overlap_seconds = overlap_seconds
+                marker.async_mapping_seconds = mapping_seconds
+
+        def mapping_worker(job: _MappingJob) -> None:
+            try:
+                started = time.perf_counter()
+                job.result = self._mapper.map(
+                    job.cloud, job.keyframes, map_every_frame=job.map_every_frame
+                )
+                job.duration = time.perf_counter() - started
+                # Publish from the mapping thread the moment the window is
+                # optimised: the tracker picks up the fresh map mid-stream
+                # instead of at the next keyframe barrier.
+                job.published_epoch = board.publish(job.cloud)
+            except BaseException as error:  # re-raised at the drain point
+                job.error = error
+
+        def finish_mapping() -> None:
+            nonlocal peak_gaussians
+            if not pending_job:
+                return
+            job = pending_job.pop()
+            assert job.thread is not None
+            wait_started = time.perf_counter()
+            job.thread.join()
+            drain_wait = time.perf_counter() - wait_started
+            if job.error is not None:
+                raise job.error
+            result = job.result
+            annotate_publication(
+                result,
+                job.published_epoch,
+                max(0.0, job.duration - drain_wait),
+                job.duration,
+            )
+            if job.record is not None:
+                job.record.snapshots.extend(result.snapshots)
+                job.record.mapping_iterations = len(result.losses)
+                job.record.mapping_batch_size = result.max_batch_size
+                job.record.n_gaussians_after = cloud.n_total
+            peak_gaussians = max(peak_gaussians, cloud.n_total)
+
         for frame_index in range(total_frames):
             observation = sequence.frame(frame_index)
             frame = Frame.from_rgbd(observation)
@@ -182,6 +314,11 @@ class SLAMPipeline:
                 frame.is_keyframe = True
                 self._mapper.initialize_map(cloud, frame, stride=self.config.init_stride)
                 mapping_result = self._mapper.map(cloud, [frame])
+                if self._async_overlap:
+                    # Bootstrap maps synchronously (tracking needs *a* map);
+                    # publish it so frame 1 tracks against something.
+                    epoch = board.publish(cloud)
+                    annotate_publication(mapping_result, epoch, 0.0, 0.0)
                 snapshots.extend(mapping_result.snapshots)
                 estimated.append(pose)
                 keyframe_indices.append(0)
@@ -223,8 +360,17 @@ class SLAMPipeline:
                 # No motion-model prediction exists yet for the first tracked
                 # frame, so it starts further from the optimum than later ones.
                 tracker_kwargs = {"iteration_scale": 1.5}
+            # Overlap mode tracks against the last *published* snapshot (the
+            # real-time semantic: the mapper may still be optimising the live
+            # cloud on its thread); serial mode tracks the live cloud as
+            # before.
+            track_cloud = cloud
+            if self._async_overlap:
+                published, _ = board.current()
+                if published is not None:
+                    track_cloud = published
             tracking = self._tracker.track(
-                cloud,
+                track_cloud,
                 tracked_frame,
                 initial_pose,
                 hook=self.tracking_hook,
@@ -239,31 +385,63 @@ class SLAMPipeline:
 
             mapping_iterations = 0
             mapping_batch_size = 1
+            launched_job: _MappingJob | None = None
             if is_keyframe:
                 keyframes.append(frame)
                 keyframe_indices.append(frame_index)
                 last_keyframe = frame
-                mapping_result = self._mapper.map(
-                    cloud, keyframes, map_every_frame=self.config.map_every_frame
-                )
-                snapshots.extend(mapping_result.snapshots)
-                mapping_iterations = len(mapping_result.losses)
-                mapping_batch_size = mapping_result.max_batch_size
+                if self._async_overlap:
+                    # Barrier: at most one mapping job is ever in flight (the
+                    # mapper's optimiser state is single-threaded), so the
+                    # previous keyframe's job must land before this one
+                    # starts.  Its wall-clock up to this point ran concurrently
+                    # with the tracking above — that difference is the
+                    # recorded overlap.
+                    finish_mapping()
+                    launched_job = _MappingJob(
+                        cloud, list(keyframes), self.config.map_every_frame
+                    )
+                    launched_job.thread = threading.Thread(
+                        target=mapping_worker,
+                        args=(launched_job,),
+                        name="repro-async-mapping",
+                        daemon=True,
+                    )
+                    pending_job.append(launched_job)
+                    launched_job.thread.start()
+                else:
+                    mapping_result = self._mapper.map(
+                        cloud, keyframes, map_every_frame=self.config.map_every_frame
+                    )
+                    snapshots.extend(mapping_result.snapshots)
+                    mapping_iterations = len(mapping_result.losses)
+                    mapping_batch_size = mapping_result.max_batch_size
 
             peak_gaussians = max(peak_gaussians, cloud.n_total)
-            frame_records.append(
-                FrameRecord(
-                    frame_index=frame_index,
-                    is_keyframe=is_keyframe,
-                    resolution_fraction=fraction,
-                    n_gaussians_after=cloud.n_total,
-                    tracking_loss=tracking.losses[-1] if tracking.losses else 0.0,
-                    tracking_iterations=tracking.iterations_run,
-                    mapping_iterations=mapping_iterations,
-                    mapping_batch_size=mapping_batch_size,
-                    snapshots=snapshots,
-                )
+            record = FrameRecord(
+                frame_index=frame_index,
+                is_keyframe=is_keyframe,
+                resolution_fraction=fraction,
+                n_gaussians_after=cloud.n_total,
+                tracking_loss=tracking.losses[-1] if tracking.losses else 0.0,
+                tracking_iterations=tracking.iterations_run,
+                mapping_iterations=mapping_iterations,
+                mapping_batch_size=mapping_batch_size,
+                snapshots=snapshots,
             )
+            frame_records.append(record)
+            if launched_job is not None:
+                # The job's snapshots/iteration counts are backfilled into
+                # this record when the job lands (next keyframe, or end of
+                # run).
+                launched_job.record = record
+
+        # End-of-run barrier: land the last mapping job and retire any
+        # speculative window the mapper still has in flight, so the returned
+        # cloud and engine hold no background state.
+        finish_mapping()
+        if self._async_overlap:
+            self.engine.drain()
 
         gt_trajectory = [sequence.frame(i).gt_pose_cw for i in range(total_frames)]
         return self._build_result(

@@ -84,6 +84,20 @@ class WorkloadSnapshot:
     session_id: str = ""
     queue_wait_seconds: float = 0.0
     service_seconds: float = 0.0
+    # Async-pipeline publication points (repro.slam.SLAMPipeline with
+    # ``async_pipeline``): ``async_published`` marks the snapshot of a mapping
+    # job whose result cloud was published for the tracker, ``published_epoch``
+    # pins the cloud epoch the tracker sees from then on, and
+    # ``async_overlap_seconds`` is the mapping wall-clock that ran concurrently
+    # with tracking (mapping duration minus the drain wait the next keyframe
+    # paid).  batch_amortization_report aggregates these into the overlap
+    # fraction.  Serial pipelines keep the defaults.
+    async_published: bool = False
+    published_epoch: int = -1
+    async_overlap_seconds: float = 0.0
+    # Total wall-clock of that mapping job; overlap/total is the fraction of
+    # background mapping hidden behind tracking.
+    async_mapping_seconds: float = 0.0
 
     @staticmethod
     def from_iteration(
@@ -113,6 +127,10 @@ class WorkloadSnapshot:
         session_id: str = "",
         queue_wait_seconds: float = 0.0,
         service_seconds: float = 0.0,
+        async_published: bool = False,
+        published_epoch: int = -1,
+        async_overlap_seconds: float = 0.0,
+        async_mapping_seconds: float = 0.0,
     ) -> "WorkloadSnapshot":
         """Build a snapshot from a render result and (optionally) its gradients.
 
@@ -168,6 +186,10 @@ class WorkloadSnapshot:
             session_id=session_id,
             queue_wait_seconds=queue_wait_seconds,
             service_seconds=service_seconds,
+            async_published=async_published,
+            published_epoch=published_epoch,
+            async_overlap_seconds=async_overlap_seconds,
+            async_mapping_seconds=async_mapping_seconds,
         )
 
     # -- aggregate statistics -------------------------------------------------

@@ -123,6 +123,10 @@ class ScenarioReport:
     engine_gradient_diff: float = 0.0
     sharded_image_diff: float = 0.0
     sharded_gradient_diff: float = 0.0
+    async_image_diff: float = 0.0
+    async_gradient_diff: float = 0.0
+    async_fault_diff: float = 0.0
+    async_cached_diff: float = 0.0
     fault_image_diff: float = 0.0
     fault_gradient_diff: float = 0.0
     fault_events: int = 0  # fault events observed during the fault phase
@@ -152,7 +156,8 @@ class ScenarioReport:
             f"{max(self.batch1_gradient_diff, self.batch_gradient_diff):.3e} "
             f"cache={self.cache_image_diff:.3e}/{self.cache_gradient_diff:.3e} "
             f"engine={self.engine_image_diff:.3e}/{self.engine_gradient_diff:.3e} "
-            f"sharded={self.sharded_image_diff:.3e}/{self.sharded_gradient_diff:.3e}"
+            f"sharded={self.sharded_image_diff:.3e}/{self.sharded_gradient_diff:.3e} "
+            f"async={self.async_image_diff:.3e}/{self.async_gradient_diff:.3e}"
             + (
                 f" faults={self.fault_events}"
                 f" fault={self.fault_image_diff:.3e}/{self.fault_gradient_diff:.3e}"
@@ -184,6 +189,7 @@ class DifferentialRunner:
     reference_backend: str = "tile"
     candidate_backend: str = "flat"
     sharded_backend: str = "sharded"  # multi-process backend pinned to flat batches
+    async_backend: str = "async"  # speculative pipelining backend pinned to flat
     n_batch_views: int = 3  # views of the multi-view batch-vs-sequential check
     n_shard_workers: int = 2  # worker processes of the sharded checks
     # A REPRO_SHARD_FAULTS schedule (repro.engine.faults grammar).  When set,
@@ -208,7 +214,7 @@ class DifferentialRunner:
         if backend not in self._engines:
             extra = (
                 {"shard_workers": self.n_shard_workers}
-                if backend == self.sharded_backend
+                if backend in (self.sharded_backend, self.async_backend)
                 else {}
             )
             self._engines[backend] = RenderEngine(
@@ -1033,6 +1039,300 @@ class DifferentialRunner:
         sharded_quantised.invalidate_cache()
         return failures
 
+    def verify_async(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
+        """Pin the async pipelining backend bitwise against the flat batch.
+
+        Four phases, all required **bit-identical** to the flat serial batch:
+
+        1. a plain batch with no speculation (empty pending list == plain
+           sharded behaviour), forward and fused backward;
+        2. the speculate -> consume path: the batch is speculated first, the
+           matching render must adopt it (handle ``consumed``) and still
+           equal flat — the speculation is the same pure function evaluated
+           early on another thread;
+        3. invalidation: a cloud epoch bump between speculation and render
+           must *discard* the speculative plan (handle ``discarded``, never
+           stitched) and the synchronous re-render must still equal flat;
+        4. the ``drain()`` barrier retires a pending speculation (handle
+           ``drained``) and the next render equals flat.
+
+        With a ``fault_schedule`` set, phase 2 is repeated under injected
+        faults through a dedicated short-deadline engine; a cached variant
+        re-runs speculate -> consume with exact-configuration geometry caches
+        on both sides.  On platforms where worker processes cannot spawn, the
+        inner sharded backend degrades to the serial flat path and the checks
+        pin that degradation's equivalence instead.
+        """
+        diffs = {
+            "async_image": 0.0,
+            "async_grad": 0.0,
+            "async_fault": 0.0,
+            "async_cached": 0.0,
+        }
+        failures: list[str] = []
+        if self.async_backend not in REGISTRY:
+            return diffs, failures
+        async_engine = self.engine_for(self.async_backend)
+        flat_engine = self.engine_for(self.candidate_backend)
+        poses = spec.view_poses(self.n_batch_views)
+        cameras = [spec.camera] * self.n_batch_views
+        backgrounds = [spec.background] * self.n_batch_views
+
+        def batch_through(engine: RenderEngine):
+            return engine.render_batch(
+                spec.cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+
+        def speculate(engine: RenderEngine):
+            return engine.speculate_batch(
+                spec.cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+
+        def compare_forward(batch, flat, phase: str, key: str) -> None:
+            for index, (async_view, flat_view) in enumerate(zip(batch.views, flat.views)):
+                for name in ("image", "depth", "alpha"):
+                    a = getattr(async_view, name)
+                    b = getattr(flat_view, name)
+                    if not np.array_equal(a, b):
+                        worst = _max_abs_diff(a, b)
+                        diffs[key] = max(diffs[key], worst)
+                        failures.append(
+                            f"async {phase} view {index}: {name} differs from the "
+                            f"flat batch (max diff {worst:.3e})"
+                        )
+                if not np.array_equal(
+                    async_view.fragments_per_pixel, flat_view.fragments_per_pixel
+                ):
+                    failures.append(
+                        f"async {phase} view {index}: fragment counts differ "
+                        "from the flat batch"
+                    )
+
+        # Phase 1: no speculation — plain batch, forward + fused backward.
+        flat = batch_through(flat_engine)
+        plain = batch_through(async_engine)
+        compare_forward(plain, flat, "plain", "async_image")
+        losses = [
+            self._loss_arrays(spec, view.image.shape, view.depth.shape, salt=61 + index)
+            for index, view in enumerate(flat.views)
+        ]
+        flat_grads = flat_engine.backward_batch(
+            flat,
+            spec.cloud,
+            [dL_dimage for dL_dimage, _ in losses],
+            [dL_ddepth for _, dL_ddepth in losses],
+            compute_pose_gradient=True,
+        )
+        async_grads = async_engine.backward_batch(
+            plain,
+            spec.cloud,
+            [dL_dimage for dL_dimage, _ in losses],
+            [dL_ddepth for _, dL_ddepth in losses],
+            compute_pose_gradient=True,
+        )
+        for name in GRADIENT_FIELDS:
+            a = np.asarray(getattr(async_grads.cloud, name))
+            b = np.asarray(getattr(flat_grads.cloud, name))
+            if not np.array_equal(a, b):
+                worst = _max_abs_diff(a, b)
+                diffs["async_grad"] = max(diffs["async_grad"], worst)
+                failures.append(
+                    f"async batch: gradient {name} differs from the flat batch "
+                    f"(max diff {worst:.3e})"
+                )
+        if not np.array_equal(
+            async_grads.per_view_pose_twists, flat_grads.per_view_pose_twists
+        ):
+            failures.append(
+                "async batch: per-view pose twists differ from the flat batch"
+            )
+
+        # Phase 2: speculate -> consume.
+        handle = speculate(async_engine)
+        consumed = batch_through(async_engine)
+        if handle is None or not handle.consumed:
+            failures.append(
+                "async speculate->consume: speculative plan was not consumed "
+                f"(status {handle.status if handle else 'none'})"
+            )
+        compare_forward(consumed, flat, "speculated", "async_image")
+        async_engine.release()
+
+        # Phase 3: mutate between speculation and render — must discard.
+        handle = speculate(async_engine)
+        spec.cloud.bump_epoch()  # content-free epoch bump: caches/speculation stale
+        discarded = batch_through(async_engine)
+        if handle is not None and handle.status != "discarded":
+            failures.append(
+                "async invalidation: epoch bump did not discard the "
+                f"speculative plan (status {handle.status})"
+            )
+        compare_forward(discarded, flat, "post-discard", "async_image")
+        async_engine.release()
+
+        # Phase 4: drain() barrier.
+        handle = speculate(async_engine)
+        async_engine.drain()
+        if handle is not None and handle.status != "drained":
+            failures.append(
+                f"async drain: handle not drained (status {handle.status})"
+            )
+        drained = batch_through(async_engine)
+        compare_forward(drained, flat, "post-drain", "async_image")
+        async_engine.release()
+
+        if self.fault_schedule:
+            failures.extend(self._verify_async_faulted(spec, flat, diffs))
+        failures.extend(self._verify_async_cached(spec, diffs))
+        flat_engine.release()
+        return diffs, failures
+
+    def _verify_async_faulted(self, spec: SceneSpec, flat, diffs) -> list[str]:
+        """Speculate -> consume under injected faults: still bitwise to flat.
+
+        The speculation thread dispatches over the pool while the fault plan
+        is active, so injected worker deaths/hangs/poisons hit the
+        speculative path itself; the self-healing dispatch must deliver a
+        bit-identical batch through the consume anyway.
+        """
+        from repro.engine import fault_plan
+
+        failures: list[str] = []
+        engine = RenderEngine(
+            EngineConfig(
+                backend=self.async_backend,
+                geom_cache=False,
+                shard_workers=self.n_shard_workers,
+                shard_deadline_s=self.fault_deadline_s,
+                shard_backoff_s=1.0,
+            )
+        )
+        poses = spec.view_poses(self.n_batch_views)
+        cameras = [spec.camera] * self.n_batch_views
+        backgrounds = [spec.background] * self.n_batch_views
+        with fault_plan(self.fault_schedule):
+            handle = engine.speculate_batch(
+                spec.cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+            faulted = engine.render_batch(
+                spec.cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+        if handle is not None and not handle.consumed:
+            failures.append(
+                "async fault phase: speculative plan was not consumed "
+                f"(status {handle.status})"
+            )
+        for index, (faulted_view, flat_view) in enumerate(zip(faulted.views, flat.views)):
+            for name in ("image", "depth", "alpha"):
+                a = getattr(faulted_view, name)
+                b = getattr(flat_view, name)
+                if not np.array_equal(a, b):
+                    worst = _max_abs_diff(a, b)
+                    diffs["async_fault"] = max(diffs["async_fault"], worst)
+                    failures.append(
+                        f"async fault phase view {index}: {name} differs from "
+                        f"the healthy flat batch (max diff {worst:.3e})"
+                    )
+        engine.release()
+        engine.drain()
+        return failures
+
+    def _verify_async_cached(self, spec: SceneSpec, diffs) -> list[str]:
+        """Speculate -> consume with exact-configuration caches on both sides.
+
+        Two rounds (a miss round, then a speculated round over warm caches):
+        the async engine's worker-resident cache entries are keyed by the
+        same cloud epochs the flat parent cache uses, so in exact mode both
+        sides must stay bit-identical regardless of which tier served them.
+        """
+        failures: list[str] = []
+        async_cached = RenderEngine(
+            EngineConfig(
+                backend=self.async_backend,
+                geom_cache=True,
+                shard_workers=self.n_shard_workers,
+                **_EXACT_ENGINE_CACHE,
+            )
+        )
+        flat_cached = RenderEngine(
+            EngineConfig(
+                backend=self.candidate_backend, geom_cache=True, **_EXACT_ENGINE_CACHE
+            )
+        )
+        poses = spec.view_poses(self.n_batch_views)
+        cameras = [spec.camera] * self.n_batch_views
+        backgrounds = [spec.background] * self.n_batch_views
+
+        def batch_through(engine: RenderEngine):
+            return engine.render_batch(
+                spec.cloud,
+                cameras,
+                poses,
+                backgrounds=backgrounds,
+                tile_size=spec.tile_size,
+                subtile_size=spec.subtile_size,
+            )
+
+        for round_label in ("miss", "warm"):
+            if round_label == "warm":
+                handle = async_cached.speculate_batch(
+                    spec.cloud,
+                    cameras,
+                    poses,
+                    backgrounds=backgrounds,
+                    tile_size=spec.tile_size,
+                    subtile_size=spec.subtile_size,
+                )
+            else:
+                handle = None
+            async_batch = batch_through(async_cached)
+            flat_batch = batch_through(flat_cached)
+            if round_label == "warm" and handle is not None and not handle.consumed:
+                failures.append(
+                    "async cached warm round: speculative plan was not "
+                    f"consumed (status {handle.status})"
+                )
+            for index, (async_view, flat_view) in enumerate(
+                zip(async_batch.views, flat_batch.views)
+            ):
+                for name in ("image", "depth", "alpha"):
+                    a = getattr(async_view, name)
+                    b = getattr(flat_view, name)
+                    if not np.array_equal(a, b):
+                        worst = _max_abs_diff(a, b)
+                        diffs["async_cached"] = max(diffs["async_cached"], worst)
+                        failures.append(
+                            f"async cached {round_label} round view {index}: "
+                            f"{name} differs from the flat cached batch "
+                            f"(max diff {worst:.3e})"
+                        )
+            async_cached.release(async_batch)
+            flat_cached.release(flat_batch)
+        async_cached.drain()
+        async_cached.invalidate_cache()
+        flat_cached.invalidate_cache()
+        return failures
+
     def verify_service(self, spec: SceneSpec) -> tuple[dict[str, float], list[str]]:
         """Pin interleaved service sessions bitwise against solo engines.
 
@@ -1261,6 +1561,7 @@ class DifferentialRunner:
         cache_diffs, cache_failures = self.verify_cache(spec)
         engine_diffs, engine_failures = self.verify_engine(spec)
         sharded_diffs, sharded_failures = self.verify_sharded(spec)
+        async_diffs, async_failures = self.verify_async(spec)
         service_diffs, service_failures = self.verify_service(spec)
 
         image_diff = _max_abs_diff(reference.image, candidate.image)
@@ -1302,6 +1603,7 @@ class DifferentialRunner:
         failures.extend(cache_failures)
         failures.extend(engine_failures)
         failures.extend(sharded_failures)
+        failures.extend(async_failures)
         failures.extend(service_failures)
 
         return ScenarioReport(
@@ -1323,6 +1625,10 @@ class DifferentialRunner:
             engine_gradient_diff=engine_diffs["engine_grad"],
             sharded_image_diff=sharded_diffs["sharded_image"],
             sharded_gradient_diff=sharded_diffs["sharded_grad"],
+            async_image_diff=async_diffs["async_image"],
+            async_gradient_diff=async_diffs["async_grad"],
+            async_fault_diff=async_diffs["async_fault"],
+            async_cached_diff=async_diffs["async_cached"],
             fault_image_diff=sharded_diffs["fault_image"],
             fault_gradient_diff=sharded_diffs["fault_grad"],
             fault_events=int(sharded_diffs["fault_events"]),

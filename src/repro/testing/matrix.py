@@ -5,7 +5,9 @@ The :class:`ScenarioMatrix` declaratively crosses the merged scenario library
 adversarial growth set) against four execution axes:
 
 * ``backend`` — ``tile`` (reference loop), ``flat`` (fragment-list fast
-  path), ``sharded`` (multi-process flat);
+  path), ``sharded`` (multi-process flat), ``async`` (speculative
+  double-buffered pipelining over the sharded pool — its mapper cells
+  exercise the speculate/consume/discard machinery end-to-end);
 * ``cache`` — geometry cache ``off`` / ``on`` (exact configuration: only the
   bit-identical reuse tiers);
 * ``batch`` — ``single`` view / ``multi`` view
@@ -59,7 +61,7 @@ CLI::
 
     python -m repro.testing.matrix --filter backend=sharded
     python -m repro.testing.matrix --tier long --markdown matrix.md --json matrix.json
-    python -m repro.testing.matrix --faults "random:1234:0.25" --filter backend=sharded
+    python -m repro.testing.matrix --faults "random:1234:0.25" --filter backend=sharded,async
 """
 
 from __future__ import annotations
@@ -82,7 +84,7 @@ from repro.testing.scenarios import ScenarioLibrary, SceneSpec, matrix_library
 
 # The declarative axes every scenario is crossed against, in display order.
 AXES: dict[str, tuple[str, ...]] = {
-    "backend": ("tile", "flat", "sharded"),
+    "backend": ("tile", "flat", "sharded", "async"),
     "cache": ("off", "on"),
     "batch": ("single", "multi"),
     "mapping": ("render", "mapper"),
@@ -110,6 +112,9 @@ SCENARIO_OPTIONS: dict[str, MatrixOptions] = {
     # keeps its backend's documented tolerance (bitwise flat/sharded,
     # forward_tol on tile) — tolerance_for needs no scenario carve-out.
     "camera_distortion": MatrixOptions(n_views=3),
+    # All six row-band poses of the readout in one window: multi cells batch
+    # the full intra-frame motion, mapper cells speculate across it.
+    "rolling_shutter": MatrixOptions(n_views=6),
     "densify_churn": MatrixOptions(churn=True),
 }
 
@@ -331,7 +336,9 @@ class ScenarioMatrix:
         if cell.backend not in self._cache_engines:
             extra = (
                 {"shard_workers": self.shard_workers}
-                if cell.backend == self.runner.sharded_backend and self.shard_workers
+                if cell.backend
+                in (self.runner.sharded_backend, self.runner.async_backend)
+                and self.shard_workers
                 else {}
             )
             self._cache_engines[cell.backend] = RenderEngine(
@@ -372,7 +379,8 @@ class ScenarioMatrix:
             self.fault_schedule
             and cell.cache_enabled
             and cell.mapping == "mapper"
-            and cell.backend == self.runner.sharded_backend
+            and cell.backend
+            in (self.runner.sharded_backend, self.runner.async_backend)
         ):
             # A fault irrecoverably loses worker-resident cache entries, so
             # later iterations legitimately rebuild tiers the healthy cached

@@ -483,6 +483,46 @@ def _camera_distortion() -> SceneSpec:
 
 
 @ADVERSARIAL_LIBRARY.add(
+    "rolling_shutter",
+    "per-row capture-time poses: one fast intra-frame motion sampled row by row",
+)
+def _rolling_shutter() -> SceneSpec:
+    # Rolling-shutter proxy for a global-shutter rasterizer: a rolling
+    # sensor captures each scanline at a slightly later time, so under fast
+    # motion every row sees the scene from a different pose.  The rasterizer
+    # renders rigid views only, so the scenario samples that intra-frame
+    # trajectory instead — one prescribed view per row *band*, posed at the
+    # band's capture time by interpolating a single fast twist on SE(3).
+    # Batching the prescribed views is then exactly the per-row-band render
+    # a rolling-shutter-aware pipeline would stitch, and the large pose
+    # spread across an otherwise identical scene stresses the speculation
+    # key (every view differs only by pose bytes) and the planner's tiling.
+    rng = np.random.default_rng(67)
+    points = rng.uniform(-0.5, 0.5, size=(70, 3))
+    points[:, 2] *= 0.4
+    colors = rng.uniform(0.1, 0.9, size=(70, 3))
+    cloud = GaussianCloud.from_points(points, colors, scale=0.11, opacity=0.7)
+    base = _look_at_origin()
+    # One readout's worth of motion: a strong yaw + lateral translation, the
+    # classic rolling-shutter "wobble" direction.  Band k is captured at
+    # normalised time t_k and posed at exp(t_k * twist) @ base, the constant
+    # velocity interpolation between shutter open (t=0) and close (t=1).
+    readout_twist = np.array([0.02, 0.22, 0.05, 0.12, -0.03, 0.04])
+    n_bands = 6
+    band_times = np.linspace(0.0, 1.0, n_bands)
+    band_poses = tuple(
+        SE3.exp(float(t) * readout_twist) @ base for t in band_times[1:]
+    )
+    return SceneSpec(
+        cloud=cloud,
+        camera=Camera.from_fov(40, 30, fov_x_degrees=70.0),
+        pose_cw=base,  # band 0: shutter open, t=0
+        background=np.array([0.07, 0.09, 0.12]),
+        extra_view_poses=band_poses,
+    )
+
+
+@ADVERSARIAL_LIBRARY.add(
     "densify_churn",
     "under-covered scene whose mapper cells densify and prune mid-window",
 )

@@ -205,6 +205,60 @@ class TestEngineConfig:
         assert config.shard_workers == 2
         assert not config.geom_cache
 
+    # -- async-pipeline knobs -------------------------------------------------
+    def test_from_env_async_pipeline_knobs(self):
+        config = EngineConfig.from_env({})
+        assert not config.async_pipeline
+        assert config.async_depth == 1
+        config = EngineConfig.from_env(
+            {"REPRO_ASYNC_PIPELINE": "1", "REPRO_ASYNC_DEPTH": "3"}
+        )
+        assert config.async_pipeline
+        assert config.async_depth == 3
+        # Falsey spellings and the empty string keep the overlap off, like
+        # the other boolean env knobs.
+        for raw in ("", "0", "off", "false", "OFF"):
+            assert not EngineConfig.from_env({"REPRO_ASYNC_PIPELINE": raw}).async_pipeline
+
+    def test_from_env_rejects_bad_async_depth(self):
+        with pytest.raises(ValueError, match="REPRO_ASYNC_DEPTH"):
+            EngineConfig.from_env({"REPRO_ASYNC_DEPTH": "deep"})
+        with pytest.raises(ValueError, match="REPRO_ASYNC_DEPTH"):
+            EngineConfig.from_env({"REPRO_ASYNC_DEPTH": "0"})
+        with pytest.raises(ValueError, match="REPRO_ASYNC_DEPTH"):
+            EngineConfig(async_depth=0)
+
+    def test_async_pipeline_conflicts_with_tile_backend(self):
+        # The tile reference loop has no batch path, so the overlap could
+        # never engage; the conflict must fail at config time and name both
+        # offending knobs so an env-driven misconfiguration is attributable.
+        with pytest.raises(ValueError, match="REPRO_ASYNC_PIPELINE") as excinfo:
+            EngineConfig.from_env(
+                {"REPRO_ASYNC_PIPELINE": "1", "REPRO_RASTER_BACKEND": "tile"}
+            )
+        assert "REPRO_RASTER_BACKEND" in str(excinfo.value)
+        # Batch-capable backends accept the overlap.
+        for backend in (None, "flat", "sharded", "async"):
+            config = EngineConfig.from_env(
+                {"REPRO_ASYNC_PIPELINE": "1"}, backend=backend
+            )
+            assert config.async_pipeline
+
+    def test_async_pipeline_conflicts_with_zero_shard_workers(self):
+        # shard_workers=0 degrades every window to the serial flat path, so
+        # there is no background execution to overlap with: a conflict, again
+        # named after both env knobs.
+        with pytest.raises(ValueError, match="REPRO_ASYNC_PIPELINE") as excinfo:
+            EngineConfig.from_env(
+                {"REPRO_ASYNC_PIPELINE": "1", "REPRO_SHARD_WORKERS": "0"}
+            )
+        assert "REPRO_SHARD_WORKERS" in str(excinfo.value)
+        # An explicit worker count (or the cpu-count default) is fine.
+        config = EngineConfig.from_env(
+            {"REPRO_ASYNC_PIPELINE": "1", "REPRO_SHARD_WORKERS": "2"}
+        )
+        assert config.async_pipeline and config.shard_workers == 2
+
     def test_validation(self):
         with pytest.raises(ValueError, match="tile_size"):
             EngineConfig(tile_size=0)
